@@ -1,0 +1,99 @@
+"""Ablation A1: dense-tile drain via the active-position array.
+
+Section 4.2's dense tile keeps an ``apos`` array of touched positions so
+the drain iterates only the nonzeros, not the whole ``T_L x T_R`` area.
+This ablation measures the apos drain against the full-tile scan across
+output densities: at low tile occupancy the apos drain wins by orders of
+magnitude; as occupancy approaches 1 the two converge (the scan is even
+slightly cheaper since it avoids the gather).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.accumulators import DenseTileAccumulator
+
+TILE = 512
+OCCUPANCIES = [1e-4, 1e-3, 1e-2, 1e-1, 0.5]
+
+
+def filled_tile(occupancy: float, seed: int = 3) -> DenseTileAccumulator:
+    rng = np.random.default_rng(seed)
+    acc = DenseTileAccumulator(TILE, TILE)
+    n = max(1, int(occupancy * TILE * TILE))
+    positions = rng.choice(TILE * TILE, size=n, replace=False)
+    acc.update_batch(positions, rng.random(n))
+    return acc
+
+
+def time_drain(acc: DenseTileAccumulator, full_scan: bool, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        if full_scan:
+            acc.drain_full_scan()
+        else:
+            acc.drain()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def build_rows():
+    rows = []
+    for occ in OCCUPANCIES:
+        acc = filled_tile(occ)
+        apos_s = time_drain(acc, full_scan=False)
+        scan_s = time_drain(acc, full_scan=True)
+        rows.append([occ, acc.nnz, apos_s * 1e3, scan_s * 1e3, scan_s / apos_s])
+    return rows
+
+
+def main():
+    print("Ablation A1 — dense-tile drain: apos walk vs full-tile scan "
+          f"(tile {TILE}x{TILE})")
+    print(render_table(
+        ["occupancy", "nnz", "apos (ms)", "scan (ms)", "scan/apos"],
+        build_rows(),
+    ))
+    print("\nthe apos drain's cost tracks the nonzero count; the scan's "
+          "cost tracks the tile area — the gap IS the design rationale.")
+
+
+# ---------------------------------------------------------------------------
+# pytest entries
+# ---------------------------------------------------------------------------
+
+
+def test_apos_wins_when_sparse():
+    acc = filled_tile(1e-4)
+    apos_s = time_drain(acc, full_scan=False)
+    scan_s = time_drain(acc, full_scan=True)
+    assert scan_s > 5 * apos_s
+
+
+def test_drains_agree():
+    acc = filled_tile(1e-2)
+    p1, v1 = acc.drain()
+    p2, v2 = acc.drain_full_scan()
+    assert dict(zip(p1.tolist(), v1.tolist())) == dict(zip(p2.tolist(), v2.tolist()))
+
+
+@pytest.mark.parametrize("occ", [1e-3, 1e-1])
+def test_apos_drain_speed(benchmark, occ):
+    acc = filled_tile(occ)
+    benchmark(acc.drain)
+
+
+@pytest.mark.parametrize("occ", [1e-3])
+def test_scan_drain_speed(benchmark, occ):
+    acc = filled_tile(occ)
+    benchmark(acc.drain_full_scan)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Ablation A6: memory-pool chunk sizing for COO output construction.
+
+The paper's implementation hands each thread 512 MB heap chunks while
+pushing output nonzeros (Section 4.2).  The chunk size is a classic
+trade-off: tiny chunks pay allocation/bookkeeping per few rows, huge
+chunks waste memory on mostly-empty final chunks.  This ablation sweeps
+the chunk size against (a) a realistic append stream from a real
+contraction and (b) the naive `np.concatenate`-per-append strategy the
+pool replaces, which is quadratic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.parallel.memory_pool import COOBuilder
+
+#: Append-stream shape: many small drains, like tile-pair tasks emit.
+N_APPENDS = 2_000
+ROWS_PER_APPEND = 150
+
+CHUNK_SIZES = [256, 1 << 12, 1 << 16, 1 << 20]
+
+
+def stream(seed: int = 3):
+    rng = np.random.default_rng(seed)
+    for _ in range(N_APPENDS):
+        n = int(rng.integers(ROWS_PER_APPEND // 2, ROWS_PER_APPEND * 2))
+        l = rng.integers(0, 1 << 20, size=n)
+        yield l, l + 1, rng.random(n)
+
+
+def time_pool(chunk_rows: int) -> tuple[float, int]:
+    builder = COOBuilder(chunk_rows=chunk_rows)
+    t0 = time.perf_counter()
+    for l, r, v in stream():
+        builder.append_batch(l, r, v)
+    builder.finalize()
+    return time.perf_counter() - t0, builder.stats.chunks_allocated
+
+
+def time_naive_concatenate(limit_appends: int = N_APPENDS) -> float:
+    """The strategy the pool replaces: grow three arrays per append.
+    Quadratic in the number of appends."""
+    ls = np.empty(0, dtype=np.int64)
+    rs = np.empty(0, dtype=np.int64)
+    vs = np.empty(0)
+    t0 = time.perf_counter()
+    for i, (l, r, v) in enumerate(stream()):
+        if i >= limit_appends:
+            break
+        ls = np.concatenate([ls, l])
+        rs = np.concatenate([rs, r])
+        vs = np.concatenate([vs, v])
+    return time.perf_counter() - t0
+
+
+def build_rows():
+    rows = []
+    for chunk in CHUNK_SIZES:
+        seconds, chunks = time_pool(chunk)
+        rows.append([chunk, seconds * 1e3, chunks])
+    return rows
+
+
+def main():
+    rows = build_rows()
+    print(f"Ablation A6 — COO memory pool chunk size "
+          f"({N_APPENDS} appends of ~{ROWS_PER_APPEND} rows)")
+    print(render_table(["chunk rows", "time (ms)", "chunks allocated"], rows))
+    naive = time_naive_concatenate()
+    print(f"\nnaive concatenate-per-append: {naive * 1e3:.1f} ms for the "
+          "same stream (quadratic — the pool's amortized appends are "
+          "what make per-tile drains cheap).")
+
+
+# ---------------------------------------------------------------------------
+# pytest entries
+# ---------------------------------------------------------------------------
+
+
+def test_chunking_beats_naive_concatenate():
+    pooled, _ = time_pool(1 << 16)
+    naive = time_naive_concatenate()
+    # Quadratic vs amortized-linear: the pool wins by a wide margin.
+    assert pooled < naive / 5
+
+
+def test_tiny_chunks_allocate_many():
+    _, chunks_small = time_pool(256)
+    _, chunks_big = time_pool(1 << 20)
+    assert chunks_small > 100 * chunks_big
+
+
+def test_row_totals_independent_of_chunking():
+    totals = set()
+    for chunk in CHUNK_SIZES:
+        b = COOBuilder(chunk_rows=chunk)
+        for l, r, v in stream():
+            b.append_batch(l, r, v)
+        totals.add(b.finalize()[0].shape[0])
+    assert len(totals) == 1
+
+
+@pytest.mark.parametrize("chunk", [1 << 12, 1 << 16])
+def test_pool_throughput(benchmark, chunk):
+    benchmark.pedantic(lambda: time_pool(chunk), rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

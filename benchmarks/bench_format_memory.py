@@ -1,0 +1,93 @@
+"""Extension table: storage-format memory across the registry tensors.
+
+COO spends full-width (8-byte) coordinates per mode per nonzero; HiCOO
+amortizes block coordinates and stores narrow within-block offsets
+(Li et al., SC '18 — the compressed format of the ecosystem the paper's
+baselines come from).  This harness tabulates index memory for COO vs
+HiCOO at two block sizes across the benchmark tensors, plus the CSF
+node counts, quantifying the storage side of the format landscape the
+paper's Section 2.2 surveys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.data.frostt import generate_frostt
+from repro.data.quantum import generate_dlpno_operands
+from repro.tensors.csf import CSFTensor
+from repro.tensors.hicoo import HiCOOTensor
+
+TENSORS = {
+    "chicago(s)": lambda: generate_frostt("chicago", scale=0.05, seed=7),
+    "uber(s)": lambda: generate_frostt("uber", scale=0.2, seed=7),
+    "nips(s)": lambda: generate_frostt("nips", scale=0.15, seed=7),
+    "TE_vv(caff)": lambda: generate_dlpno_operands("caffeine", "vvov", seed=11)[0],
+    "TE_ov(caff)": lambda: generate_dlpno_operands("caffeine", "ovov", seed=11)[0],
+}
+
+
+def build_rows():
+    rows = []
+    for name, loader in TENSORS.items():
+        t = loader().sum_duplicates()
+        coo_bytes = t.ndim * t.nnz * 8
+        h4 = HiCOOTensor.from_coo(t, block_bits=4)
+        h7 = HiCOOTensor.from_coo(t, block_bits=7)
+        csf = CSFTensor.from_coo(t)
+        csf_bytes = sum(a.nbytes for a in csf.fids) + sum(
+            a.nbytes for a in csf.fptr
+        )
+        rows.append([
+            name,
+            t.nnz,
+            coo_bytes // 1024,
+            h4.index_nbytes // 1024,
+            h7.index_nbytes // 1024,
+            csf_bytes // 1024,
+            f"{h7.compression_ratio():.2f}x",
+        ])
+    return rows
+
+
+def main():
+    print("Format memory — index bytes (KiB) per storage format")
+    print(render_table(
+        ["tensor", "nnz", "COO", "HiCOO b=4", "HiCOO b=7", "CSF",
+         "HiCOO(b=7) ratio"],
+        build_rows(),
+    ))
+    print("\nthe block size is the knob: small blocks on scattered data "
+          "(nips at b=4) cost more than COO — every nonzero drags a "
+          "block header; once blocks are coarse enough to be shared "
+          "(b=7) the 1-byte offsets win ~8x on 4-mode tensors.")
+
+
+# ---------------------------------------------------------------------------
+# pytest entries
+# ---------------------------------------------------------------------------
+
+
+def test_dlpno_blocks_compress_well():
+    t = generate_dlpno_operands("caffeine", "vvov", seed=11)[0].sum_duplicates()
+    h = HiCOOTensor.from_coo(t, block_bits=7)
+    assert h.compression_ratio() > 2.0
+
+
+def test_roundtrips_on_registry_tensors():
+    for name, loader in TENSORS.items():
+        t = loader().sum_duplicates()
+        h = HiCOOTensor.from_coo(t, block_bits=5)
+        assert h.to_coo().allclose(t), name
+
+
+def test_conversion_speed(benchmark):
+    t = generate_frostt("chicago", scale=0.05, seed=7)
+    benchmark.pedantic(
+        lambda: HiCOOTensor.from_coo(t, block_bits=7), rounds=3, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Correctness matrix: every kernel against every registry case.
+
+Not a figure from the paper but the table every artifact evaluation
+starts with: all contraction methods, all 16 evaluation workloads,
+pairwise numerical agreement.  A disagreement anywhere is a bug in one
+of the kernels; the matrix printing "ok" across the board is the
+license to trust the performance comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.analysis.verify import cross_validate
+from repro.data.registry import all_cases, get_case
+
+from common import FROSTT_ORDER, QUANTUM_ORDER
+
+#: taco/taco_mm are CI-class (quadratic in slices) — run them only on
+#: the cases where they finish quickly.
+FAST_METHODS = ("fastcc", "sparta", "sparta_improved", "co", "cm")
+CI_SAFE_CASES = {"chic_01", "uber_123", "G-ovov", "C-ovov"}
+
+
+def validate_case(name: str, *, include_ci: bool = False):
+    left, right, pairs = get_case(name).load()
+    methods = FAST_METHODS + (("taco",) if include_ci else ())
+    return cross_validate(left, right, pairs, methods=methods)
+
+
+def build_rows():
+    rows = []
+    for name in FROSTT_ORDER + QUANTUM_ORDER:
+        report = validate_case(name, include_ci=name in CI_SAFE_CASES)
+        status = "ALL AGREE" if report.all_agree else "MISMATCH"
+        rows.append([name, len(report.results), status, report.summary()])
+    return rows
+
+
+def main():
+    rows = build_rows()
+    print("Validation matrix — kernel agreement across the registry")
+    for name, n, status, summary in rows:
+        print(f"{name:<10} [{n} methods] {status}")
+        print(f"           {summary}")
+    agree = sum(1 for r in rows if r[2] == "ALL AGREE")
+    print(f"\n{agree}/{len(rows)} cases with full agreement")
+
+
+# ---------------------------------------------------------------------------
+# pytest entries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case_name", FROSTT_ORDER + QUANTUM_ORDER)
+def test_all_methods_agree(case_name):
+    report = validate_case(case_name, include_ci=case_name in CI_SAFE_CASES)
+    assert report.all_agree, report.summary()
+
+
+def test_matrix_speed(benchmark):
+    benchmark.pedantic(lambda: validate_case("chic_01"), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

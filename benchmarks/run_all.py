@@ -1,0 +1,91 @@
+"""Run every benchmark harness and collect outputs (artifact driver).
+
+Usage:  python benchmarks/run_all.py [--out results/] [--quick]
+
+Mirrors the paper's SC artifact workflow: one command regenerates every
+table and figure, writing each harness's printed rows to a text file.
+``--quick`` restricts repeats so a full pass finishes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import io
+import os
+import sys
+import time
+from contextlib import redirect_stdout
+
+#: Harness modules in paper order (tables, figures, ablations).
+HARNESSES = [
+    "bench_table1_loop_orders",
+    "bench_table2_datasets",
+    "bench_table3_model",
+    "bench_fig2_sparta_frostt",
+    "bench_fig2_sparta_quantum",
+    "bench_fig3_scaling",
+    "bench_fig4_tile_sweep",
+    "bench_fig5_taco",
+    "bench_ablation_drain",
+    "bench_ablation_hashing",
+    "bench_ablation_tiling",
+    "bench_ablation_order_vs_tables",
+    "bench_ablation_network",
+    "bench_ablation_pool",
+    "bench_model_accuracy",
+    "bench_format_memory",
+    "bench_validation_matrix",
+]
+
+
+def run_harness(name: str, out_dir: str) -> tuple[bool, float]:
+    """Import and run one harness's main(); capture stdout to a file."""
+    module = importlib.import_module(name)
+    buffer = io.StringIO()
+    t0 = time.perf_counter()
+    ok = True
+    try:
+        with redirect_stdout(buffer):
+            module.main()
+    except Exception as exc:  # noqa: BLE001 - recorded, run continues
+        ok = False
+        buffer.write(f"\nFAILED: {exc!r}\n")
+    elapsed = time.perf_counter() - t0
+    path = os.path.join(out_dir, f"{name.removeprefix('bench_')}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(buffer.getvalue())
+    return ok, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of harness names (without bench_)")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    os.makedirs(args.out, exist_ok=True)
+
+    selected = HARNESSES
+    if args.only:
+        wanted = {f"bench_{n.removeprefix('bench_')}" for n in args.only}
+        selected = [h for h in HARNESSES if h in wanted]
+        missing = wanted - set(selected)
+        if missing:
+            parser.error(f"unknown harnesses: {sorted(missing)}")
+
+    failures = 0
+    for name in selected:
+        ok, elapsed = run_harness(name, args.out)
+        status = "ok" if ok else "FAILED"
+        print(f"{name:<36} {status:>7}  {elapsed:7.1f}s")
+        failures += not ok
+    print(f"\n{len(selected) - failures}/{len(selected)} harnesses succeeded; "
+          f"outputs in {args.out}/")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""DLPNO quantum-chemistry contractions (the paper's Section 6.1 use
+case).
+
+Run:  python examples/quantum_chemistry.py
+
+The DLPNO-CCSD bottleneck is assembling four-centered integrals from
+three-centered ones — contractions of pairs of 3-D block-sparse tensors
+over the auxiliary fitting index:
+
+    Int_ovov(i, mu, j, nu) = TE_ov(i, mu, k) x TE_ov(j, nu, k)
+
+This example generates domain-local TE tensors for a scaled caffeine
+molecule, runs all three paper contractions (ovov / vvoo / vvov) with
+FaSTCC and with the Sparta baseline, and reports the speedups — a
+miniature Figure 2c.
+"""
+
+import time
+
+from repro import contract
+from repro.data.quantum import MOLECULES, generate_dlpno_operands
+
+
+def run_contraction(molecule: str, name: str):
+    left, right, pairs = generate_dlpno_operands(molecule, name, seed=11)
+    t0 = time.perf_counter()
+    out, stats = contract(left, right, pairs, return_stats=True)
+    fastcc_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sparta_out = contract(left, right, pairs, method="sparta")
+    sparta_s = time.perf_counter() - t0
+    assert out.allclose(sparta_out)
+
+    return {
+        "name": name,
+        "left_nnz": left.nnz,
+        "right_nnz": right.nnz,
+        "out_nnz": out.nnz,
+        "accumulator": stats.plan.accumulator,
+        "fastcc_s": fastcc_s,
+        "sparta_s": sparta_s,
+    }
+
+
+def main():
+    molecule = "caffeine"
+    spec = MOLECULES[molecule]
+    print(f"molecule: {molecule}  "
+          f"(occ={spec.n_occ}, virt={spec.n_virt}, aux={spec.n_aux})")
+    print(f"TE densities: ov={spec.density_ov:.2%}, "
+          f"vv={spec.density_vv:.2%}, oo={spec.density_oo:.2%}\n")
+
+    print(f"{'contraction':<12}{'nnz_L':>9}{'nnz_R':>9}{'out nnz':>10}"
+          f"{'acc':>8}{'FaSTCC(s)':>11}{'Sparta(s)':>11}{'speedup':>9}")
+    for name in ("ovov", "vvoo", "vvov"):
+        r = run_contraction(molecule, name)
+        print(f"{r['name']:<12}{r['left_nnz']:>9}{r['right_nnz']:>9}"
+              f"{r['out_nnz']:>10}{r['accumulator']:>8}"
+              f"{r['fastcc_s']:>11.4f}{r['sparta_s']:>11.4f}"
+              f"{r['sparta_s'] / r['fastcc_s']:>9.2f}x")
+
+    print("\nthe vv-operand contractions benefit most: their dense-ish "
+          "operands give long slices per auxiliary index, the CO "
+          "scheme's best case (paper Figure 2c/2d).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``info``
+    Print version, platform models, and the benchmark case registry.
+``run CASE``
+    Run one registry case (e.g. ``chic_01``, ``C-vvov``) with a chosen
+    method and print the plan, timings and counters.
+``plan``
+    Evaluate Algorithm 7 for explicit problem parameters without
+    running anything — the paper's Table 3 calculation as a calculator.
+``contract FILE_A FILE_B``
+    Contract two FROSTT ``.tns`` files over given mode pairs and write
+    the result as ``.tns``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.data.registry import all_cases
+    from repro.machine.specs import DESKTOP, SERVER
+
+    print(f"repro {repro.__version__} — FaSTCC reproduction (SC '25)")
+    for m in (DESKTOP, SERVER):
+        print(f"  machine {m.name}: {m.n_cores} cores, "
+              f"L3 {m.l3_bytes >> 20} MiB, dense tile {m.dense_tile_size()}")
+    print(f"\nregistered benchmark cases ({len(all_cases())}):")
+    for name, case in all_cases().items():
+        print(f"  {name:<10} [{case.family}]  paper model: {case.paper['model']}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro import Counters, contract
+    from repro.data.registry import get_case
+    from repro.machine.specs import DESKTOP, SERVER
+
+    from repro.errors import WorkspaceLimitError
+
+    case = get_case(args.case)
+    machine = SERVER if args.machine == "server" else DESKTOP
+    left, right, pairs = case.load()
+    counters = Counters()
+    t0 = time.perf_counter()
+    try:
+        out, stats = contract(
+            left, right, pairs,
+            method=args.method, machine=machine,
+            accumulator=args.accumulator, tile_size=args.tile,
+            n_workers=args.workers, counters=counters, return_stats=True,
+        )
+    except WorkspaceLimitError as exc:
+        # The paper's DNF regime (Table 3, NIPS mode 2 with dense tiles).
+        print(f"case {args.case}: DNF — {exc}")
+        return 2
+    dt = time.perf_counter() - t0
+    plan = stats.plan
+    print(f"case {args.case} [{case.family}] via {args.method}")
+    print(f"  inputs: nnz_L={left.nnz}, nnz_R={right.nnz}; "
+          f"L={plan.spec.L}, R={plan.spec.R}, C={plan.spec.C}")
+    print(f"  plan: {plan.accumulator} accumulator, tile "
+          f"{plan.tile_l}x{plan.tile_r} on {plan.machine_name}")
+    print(f"  output: nnz={out.nnz} ({out.ndim} modes), time={dt:.4f}s")
+    print(f"  phases: " + ", ".join(
+        f"{k}={v:.4f}s" for k, v in stats.phase_seconds.items()))
+    print(f"  counters: {counters.snapshot()}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.model import choose_accumulator
+    from repro.machine.specs import DESKTOP, SERVER
+
+    machine = SERVER if args.machine == "server" else DESKTOP
+    choice = choose_accumulator(
+        args.L, args.R, args.C, args.nnz_l, args.nnz_r, machine
+    )
+    print(f"Algorithm 7 on {machine.name}:")
+    print(f"  p_L = {choice.p_l:.4e}, p_R = {choice.p_r:.4e}")
+    print(f"  estimated output density = {choice.output_density:.4e}")
+    print(f"  E_nnz(T^2) = {choice.expected_tile_nnz:.4e} "
+          f"(probe tile T = {choice.dense_probe_tile})")
+    print(f"  decision: {choice.accumulator} accumulator, "
+          f"tile size {choice.tile_size}")
+    return 0
+
+
+def _cmd_contract(args) -> int:
+    from repro import contract
+    from repro.tensors.io import read_tns, write_tns
+
+    left = read_tns(args.file_a)
+    right = read_tns(args.file_b)
+    pairs = []
+    for token in args.pairs.split(","):
+        a, b = token.split(":")
+        pairs.append((int(a), int(b)))
+    t0 = time.perf_counter()
+    out = contract(left, right, pairs, method=args.method)
+    dt = time.perf_counter() - t0
+    write_tns(out, args.output)
+    print(f"contracted {left.nnz} x {right.nnz} nonzeros over {pairs} "
+          f"-> {out.nnz} nonzeros in {dt:.3f}s; wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FaSTCC sparse tensor contraction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version, machines and cases")
+
+    run = sub.add_parser("run", help="run a registry benchmark case")
+    run.add_argument("case")
+    run.add_argument("--method", default="fastcc",
+                     choices=["fastcc", "sparta", "taco", "ci", "cm", "co"])
+    run.add_argument("--machine", default="desktop",
+                     choices=["desktop", "server"])
+    run.add_argument("--accumulator", default="auto",
+                     choices=["auto", "dense", "sparse"])
+    run.add_argument("--tile", type=int, default=None)
+    run.add_argument("--workers", type=int, default=1)
+
+    plan = sub.add_parser("plan", help="evaluate Algorithm 7 for parameters")
+    plan.add_argument("--L", type=int, required=True)
+    plan.add_argument("--R", type=int, required=True)
+    plan.add_argument("--C", type=int, required=True)
+    plan.add_argument("--nnz-l", type=int, required=True, dest="nnz_l")
+    plan.add_argument("--nnz-r", type=int, required=True, dest="nnz_r")
+    plan.add_argument("--machine", default="desktop",
+                      choices=["desktop", "server"])
+
+    con = sub.add_parser("contract", help="contract two .tns files")
+    con.add_argument("file_a")
+    con.add_argument("file_b")
+    con.add_argument("--pairs", required=True,
+                     help="mode pairs as 'a:b,c:d' (left:right)")
+    con.add_argument("--output", default="out.tns")
+    con.add_argument("--method", default="fastcc")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "run": _cmd_run,
+        "plan": _cmd_plan,
+        "contract": _cmd_contract,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Instrumentation and analysis: counters, loop-order cost formulas,
+output-density estimation checks, and report rendering."""
+
+from repro.analysis.counters import Counters
+from repro.analysis.loop_order import (
+    SchemeCosts,
+    predicted_costs,
+    predicted_tiled_co_costs,
+)
+from repro.analysis.density import estimate_output_density, exact_output_density
+
+__all__ = [
+    "Counters",
+    "SchemeCosts",
+    "predicted_costs",
+    "predicted_tiled_co_costs",
+    "estimate_output_density",
+    "exact_output_density",
+]

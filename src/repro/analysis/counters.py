@@ -1,0 +1,74 @@
+"""Data-access counters.
+
+Every kernel in the library can be handed a :class:`Counters` instance,
+which tallies exactly the quantities the paper's Section 3.4 analyzes:
+
+* ``hash_queries`` — number of hash-table lookups against the *input*
+  tensor representations (one per key probed, regardless of payload).
+* ``data_volume`` — number of nonzero input elements retrieved across the
+  whole execution (the "payload" of successful queries).
+* ``accum_updates`` — multiply-accumulate operations against the output
+  workspace (identical across loop orders; a useful cross-check).
+* ``workspace_cells`` — peak size, in cells, of the output accumulator.
+* ``probes`` / ``resizes`` — open-addressing internals, for the hashing
+  ablation.
+* ``output_nnz`` — nonzeros appended to the output COO list.
+
+Counting is cheap (scalar adds on batch boundaries) and does not perturb
+the vectorized kernels.
+
+Thread-safety: counter updates are plain ``+=`` on Python ints.  Under
+a multi-worker run concurrent updates can interleave, so counts may be
+slightly low; every instrumented benchmark in this repository therefore
+measures with ``n_workers=1`` (parallel results come from the
+scheduling simulator over per-task costs, which are exact either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Mutable tally of data-access events (see module docstring)."""
+
+    hash_queries: int = 0
+    data_volume: int = 0
+    accum_updates: int = 0
+    workspace_cells: int = 0
+    probes: int = 0
+    resizes: int = 0
+    output_nnz: int = 0
+    tasks: int = 0
+
+    def note_workspace(self, cells: int) -> None:
+        """Record a workspace allocation; keeps the peak."""
+        if cells > self.workspace_cells:
+            self.workspace_cells = cells
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Accumulate another tally into this one (peak for workspace)."""
+        for f in fields(self):
+            if f.name == "workspace_cells":
+                self.note_workspace(other.workspace_cells)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+def ensure_counters(counters: Counters | None) -> Counters:
+    """Return ``counters`` or a fresh throwaway tally.
+
+    Kernels call this so that uninstrumented runs pay only the cost of a
+    small object allocation; counter updates themselves are scalar adds
+    at batch granularity and are negligible either way.
+    """
+    return counters if counters is not None else Counters()

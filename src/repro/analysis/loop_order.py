@@ -1,0 +1,76 @@
+"""Loop-order cost predictions (paper Table 1) and measurement glue.
+
+Thin wrappers around :mod:`repro.machine.cost_model` that pair each
+scheme's closed-form prediction with the counters measured by actually
+running the scheme, for the Table 1 reproduction benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.counters import Counters
+from repro.core.plan import LinearizedOperand
+from repro.machine.cost_model import AccessCostModel, CostEstimate, ProblemShape
+
+__all__ = ["SchemeCosts", "predicted_costs", "predicted_tiled_co_costs", "measure_scheme"]
+
+
+@dataclass(frozen=True)
+class SchemeCosts:
+    """A predicted-vs-measured pair for one scheme."""
+
+    scheme: str
+    predicted: CostEstimate
+    measured: Counters
+
+    @property
+    def query_ratio(self) -> float:
+        """measured / predicted queries (<= ~1 when the prediction is an
+        upper bound over extents rather than nonzero slices)."""
+        return self.measured.hash_queries / max(self.predicted.queries, 1.0)
+
+    @property
+    def volume_ratio(self) -> float:
+        return self.measured.data_volume / max(self.predicted.data_volume, 1.0)
+
+
+def shape_of(left: LinearizedOperand, right: LinearizedOperand) -> ProblemShape:
+    """The Table 1 problem parameters of an operand pair."""
+    return ProblemShape(
+        L=left.ext_extent,
+        R=right.ext_extent,
+        C=left.con_extent,
+        nnz_L=left.nnz,
+        nnz_R=right.nnz,
+    )
+
+
+def predicted_costs(
+    left: LinearizedOperand, right: LinearizedOperand
+) -> dict[str, CostEstimate]:
+    """Table 1 closed forms for all three untiled schemes."""
+    model = AccessCostModel(shape_of(left, right))
+    return {"ci": model.ci(), "cm": model.cm(), "co": model.co()}
+
+
+def predicted_tiled_co_costs(
+    left: LinearizedOperand, right: LinearizedOperand, tile_l: int, tile_r: int
+) -> CostEstimate:
+    """Section 5.3 closed form for the tiled CO scheme."""
+    return AccessCostModel(shape_of(left, right)).tiled_co(tile_l, tile_r)
+
+
+def measure_scheme(
+    scheme: str, left: LinearizedOperand, right: LinearizedOperand
+) -> SchemeCosts:
+    """Run one untiled scheme instrumented and pair it with its prediction."""
+    from repro.baselines.schemes import contract_untiled
+
+    counters = Counters()
+    contract_untiled(scheme, left, right, counters=counters)
+    return SchemeCosts(
+        scheme=scheme,
+        predicted=predicted_costs(left, right)[scheme],
+        measured=counters,
+    )

@@ -1,0 +1,81 @@
+"""Profiling helpers — "no optimization without measuring".
+
+Thin, dependency-free wrappers around :mod:`cProfile` tailored to the
+library's kernels: profile a callable, get the top cumulative-time
+entries back as data (not printed tables), and profile a registry
+benchmark case in one call.  Used by the development workflow and
+exposed so users can find *their* bottleneck before filing performance
+issues.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ProfileEntry", "profile_callable", "profile_case"]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One row of a profile: a function and its costs."""
+
+    function: str  # "module:lineno(name)"
+    calls: int
+    total_time: float  # time inside the function itself
+    cumulative_time: float  # including callees
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.cumulative_time:8.4f}s cum  {self.total_time:8.4f}s own  "
+            f"{self.calls:>8} calls  {self.function}"
+        )
+
+
+def profile_callable(
+    fn: Callable[[], object], *, top: int = 15, sort: str = "cumulative"
+) -> list[ProfileEntry]:
+    """Run ``fn`` under cProfile; return the top entries as data."""
+    if sort not in ("cumulative", "tottime"):
+        raise ValueError(f"sort must be cumulative|tottime, got {sort!r}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    entries: list[ProfileEntry] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        entries.append(
+            ProfileEntry(
+                function=f"{filename}:{lineno}({name})",
+                calls=int(nc),
+                total_time=float(tt),
+                cumulative_time=float(ct),
+            )
+        )
+    key = (lambda e: e.cumulative_time) if sort == "cumulative" else (
+        lambda e: e.total_time
+    )
+    entries.sort(key=key, reverse=True)
+    return entries[:top]
+
+
+def profile_case(
+    case_name: str, *, method: str = "fastcc", top: int = 15
+) -> list[ProfileEntry]:
+    """Profile one registry benchmark case end to end."""
+    from repro.core.contraction import contract
+    from repro.data.registry import get_case
+
+    left, right, pairs = get_case(case_name).load()
+
+    def run():
+        contract(left, right, pairs, method=method)
+
+    return profile_callable(run, top=top)

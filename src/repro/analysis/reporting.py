@@ -1,0 +1,68 @@
+"""Plain-text table and series rendering for the benchmark harnesses.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, via these helpers, so outputs are uniform and diffable
+(EXPERIMENTS.md is assembled from them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_value", "speedup"]
+
+
+def format_value(v, *, width: int = 0) -> str:
+    """Human-oriented numeric formatting: engineering-style floats."""
+    if isinstance(v, float):
+        if v != v:  # NaN
+            s = "nan"
+        elif v in (float("inf"), float("-inf")):
+            s = "DNF" if v > 0 else "-inf"
+        elif v == 0:
+            s = "0"
+        elif abs(v) >= 1e5 or abs(v) < 1e-3:
+            s = f"{v:.3g}"
+        else:
+            s = f"{v:.4g}"
+    else:
+        s = str(v)
+    return s.rjust(width) if width else s
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence, ys: Sequence, *, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    lines = [f"series: {name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {format_value(x):>12}  {format_value(y):>12}")
+    return "\n".join(lines)
+
+
+def speedup(baseline_seconds: float, ours_seconds: float) -> float:
+    """Baseline time over ours: > 1 means we are faster."""
+    if ours_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / ours_seconds

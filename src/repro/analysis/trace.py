@@ -1,0 +1,102 @@
+"""Access-trace recording and cache replay.
+
+Section 5.3's argument for cache-sized tiles is about the *pattern* of
+accumulator updates: outer products make them effectively random within
+the workspace, so the workspace must fit in cache.  This module lets
+the real kernels record their actual update positions (optionally
+subsampled and length-capped) and replays the trace through the
+set-associative cache model — evidence from the kernel itself rather
+than from a synthetic random trace.
+
+Accumulators accept a recorder via their ``trace`` parameter; the
+tiling ablation (`bench_ablation_tiling.py`) wires this end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.cache_sim import CacheSim
+from repro.util.arrays import INDEX_DTYPE
+
+__all__ = ["TraceRecorder", "replay_miss_rate"]
+
+
+class TraceRecorder:
+    """Capture a bounded, optionally subsampled stream of update
+    positions (workspace cell indices)."""
+
+    __slots__ = ("max_len", "sample_every", "_chunks", "_count", "_seen")
+
+    def __init__(self, *, max_len: int = 1_000_000, sample_every: int = 1):
+        if max_len < 1 or sample_every < 1:
+            raise ValueError("max_len and sample_every must be >= 1")
+        self.max_len = int(max_len)
+        self.sample_every = int(sample_every)
+        self._chunks: list[np.ndarray] = []
+        self._count = 0  # recorded entries
+        self._seen = 0  # total positions offered (pre-sampling)
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.max_len
+
+    @property
+    def recorded(self) -> int:
+        return self._count
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def record(self, positions: np.ndarray) -> None:
+        """Append a batch of update positions (cheap when full)."""
+        n = int(np.asarray(positions).shape[0])
+        offset = self._seen
+        self._seen += n
+        if self.full or n == 0:
+            return
+        if self.sample_every > 1:
+            # Deterministic striding aligned to the global stream.
+            first = (-offset) % self.sample_every
+            positions = np.asarray(positions)[first :: self.sample_every]
+        take = min(self.max_len - self._count, positions.shape[0])
+        if take <= 0:
+            return
+        chunk = np.asarray(positions[:take], dtype=INDEX_DTYPE).copy()
+        self._chunks.append(chunk)
+        self._count += take
+
+    def positions(self) -> np.ndarray:
+        """The recorded positions, in stream order."""
+        if not self._chunks:
+            return np.empty(0, dtype=INDEX_DTYPE)
+        return np.concatenate(self._chunks)
+
+    def reset(self) -> None:
+        self._chunks.clear()
+        self._count = 0
+        self._seen = 0
+
+
+def replay_miss_rate(
+    positions: np.ndarray,
+    *,
+    cache_bytes: int,
+    word_bytes: int = 8,
+    line_bytes: int = 64,
+    ways: int = 8,
+    max_accesses: int = 500_000,
+) -> float:
+    """Miss rate of an update-position trace through the cache model.
+
+    Positions are workspace cell indices; the replay maps them to byte
+    addresses at ``word_bytes`` stride.  Long traces are truncated to
+    ``max_accesses`` (the simulator is per-access Python).
+    """
+    positions = np.asarray(positions, dtype=INDEX_DTYPE)[:max_accesses]
+    if positions.size == 0:
+        return 0.0
+    sim = CacheSim(cache_bytes, line_bytes=line_bytes, ways=ways)
+    sim.access(positions * word_bytes)
+    return sim.miss_rate

@@ -1,0 +1,105 @@
+"""Cross-kernel verification: do all contraction methods agree?
+
+The artifact-style correctness check: run several kernels on the same
+contraction and compare outputs as mathematical tensors (order- and
+duplicate-insensitive, tolerance-based).  Used by the validation
+benchmark to produce the agreement matrix over the whole registry, and
+available to users validating the library on their own data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.contraction import contract
+from repro.errors import ReproError
+from repro.tensors.coo import COOTensor
+
+__all__ = ["MethodResult", "VerificationReport", "cross_validate"]
+
+#: Methods cheap enough to run on benchmark-scale inputs by default.
+DEFAULT_METHODS = ("fastcc", "sparta", "sparta_improved", "co", "cm")
+
+
+@dataclass
+class MethodResult:
+    """One method's run on the contraction."""
+
+    method: str
+    seconds: float = 0.0
+    output_nnz: int = -1
+    error: str | None = None
+    agrees: bool | None = None  # vs the reference method
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class VerificationReport:
+    """Agreement matrix for one contraction."""
+
+    reference: str
+    results: list[MethodResult] = field(default_factory=list)
+
+    @property
+    def all_agree(self) -> bool:
+        return all(r.ok and r.agrees is not False for r in self.results)
+
+    def summary(self) -> str:
+        parts = []
+        for r in self.results:
+            if not r.ok:
+                parts.append(f"{r.method}: ERROR({r.error})")
+            elif r.agrees is False:
+                parts.append(f"{r.method}: DISAGREES")
+            else:
+                parts.append(f"{r.method}: ok ({r.seconds:.3f}s)")
+        return "; ".join(parts)
+
+
+def cross_validate(
+    left: COOTensor,
+    right: COOTensor,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    reference: str = "fastcc",
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+    **contract_kwargs,
+) -> VerificationReport:
+    """Run every method and compare against the reference's output.
+
+    Methods that raise are recorded (``error`` set) rather than
+    propagated — a DNF guard tripping on one kernel should not abort
+    the matrix.
+    """
+    report = VerificationReport(reference=reference)
+    ref_out = contract(left, right, pairs, method=reference, **contract_kwargs)
+
+    ref_entry = MethodResult(method=reference, output_nnz=ref_out.nnz, agrees=True)
+    t0 = time.perf_counter()
+    contract(left, right, pairs, method=reference, **contract_kwargs)
+    ref_entry.seconds = time.perf_counter() - t0
+    report.results.append(ref_entry)
+
+    for method in methods:
+        if method == reference:
+            continue
+        entry = MethodResult(method=method)
+        t0 = time.perf_counter()
+        try:
+            out = contract(left, right, pairs, method=method, **contract_kwargs)
+        except ReproError as exc:
+            entry.error = type(exc).__name__
+            report.results.append(entry)
+            continue
+        entry.seconds = time.perf_counter() - t0
+        entry.output_nnz = out.nnz
+        entry.agrees = ref_out.allclose(out, rtol=rtol, atol=atol)
+        report.results.append(entry)
+    return report

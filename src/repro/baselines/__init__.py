@@ -1,0 +1,29 @@
+"""Baselines and reference schemes.
+
+* :mod:`repro.baselines.schemes` — instrumented untiled CI / CM / CO
+  (Algorithms 2-4), used for the paper's Section 3 loop-order analysis.
+* :mod:`repro.baselines.sparta` — the Sparta baseline: the CM scheme on
+  chaining hash tables (Algorithm 8).
+* :mod:`repro.baselines.taco` — the TACO-style baseline: sequential
+  contraction-inner on CSF operands.
+
+All of these are built from scratch in this repository (DESIGN.md
+substitution table) and are validated against the dense ``einsum``
+ground truth by the test suite.
+"""
+
+from repro.baselines.schemes import contract_untiled
+from repro.baselines.sparta import sparta_contract
+from repro.baselines.sparta_improved import sparta_improved_contract
+from repro.baselines.taco import taco_contract
+from repro.baselines.tiled_cm import tiled_cm_contract
+from repro.baselines.taco_multimode import taco_multimode_contract
+
+__all__ = [
+    "contract_untiled",
+    "sparta_contract",
+    "sparta_improved_contract",
+    "taco_contract",
+    "tiled_cm_contract",
+    "taco_multimode_contract",
+]

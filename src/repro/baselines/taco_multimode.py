@@ -1,0 +1,158 @@
+"""True multi-mode contraction-inner kernel over n-level CSF.
+
+The linearized :mod:`repro.baselines.taco` baseline reproduces TACO's
+*cost structure*; this module reproduces its *code structure*: TACO's
+generated kernels walk hierarchical CSF trees directly, with the
+external modes outermost and the contraction modes innermost, and
+co-iterate the contraction subtrees of every (left slice, right slice)
+pair by merging sorted child fibers level by level (the "inner-inner"
+scheme of Section 3.1).
+
+This kernel never linearizes: operands are built as n-level CSF in
+``external modes + contraction modes`` order and the co-iteration
+recurses over tree levels.  It is intentionally the paper's *worst*
+scheme — quadratic in the number of nonzero slices — and exists for
+fidelity tests (it must agree with every other kernel) and for the
+Figure 5 narrative; keep inputs small.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.counters import Counters, ensure_counters
+from repro.core.plan import ContractionSpec
+from repro.errors import PlanError
+from repro.tensors.coo import COOTensor
+from repro.tensors.csf import CSFTensor
+from repro.util.arrays import INDEX_DTYPE
+
+__all__ = ["taco_multimode_contract", "node_paths"]
+
+
+def node_paths(csf: CSFTensor, depth: int) -> np.ndarray:
+    """Full index paths of every node at ``depth``.
+
+    Returns an array of shape ``(depth + 1, n_nodes)``: column ``n`` is
+    the chain of fiber indices from the root level down to node ``n``.
+    """
+    n_nodes = csf.nodes_at(depth)
+    out = np.empty((depth + 1, n_nodes), dtype=INDEX_DTYPE)
+    out[depth] = csf.fids[depth]
+    node_ids = np.arange(n_nodes, dtype=INDEX_DTYPE)
+    for d in range(depth - 1, -1, -1):
+        # Parent of each depth-(d+1) node: the depth-d node whose child
+        # span contains it.
+        counts = np.diff(csf.fptr[d])
+        parents = np.repeat(
+            np.arange(csf.nodes_at(d), dtype=INDEX_DTYPE), counts
+        )
+        node_ids = parents[node_ids]
+        out[d] = csf.fids[d][node_ids]
+    return out
+
+
+def _co_iterate(
+    csf_l: CSFTensor,
+    csf_r: CSFTensor,
+    depth_l: int,
+    depth_r: int,
+    node_l: int,
+    node_r: int,
+    levels_left: int,
+    counters: Counters,
+) -> float:
+    """Recursively merge two contraction subtrees; returns the inner
+    product of the subtrees (sum over all matching index paths)."""
+    span_l = csf_l.children(depth_l, node_l)
+    span_r = csf_r.children(depth_r, node_r)
+    ids_l = csf_l.fids[depth_l + 1][span_l]
+    ids_r = csf_r.fids[depth_r + 1][span_r]
+    counters.data_volume += ids_l.shape[0] + ids_r.shape[0]
+    common, pos_l, pos_r = np.intersect1d(
+        ids_l, ids_r, assume_unique=True, return_indices=True
+    )
+    if common.shape[0] == 0:
+        return 0.0
+    if levels_left == 1:
+        # Deepest contraction level: children are leaf values.
+        vals_l = csf_l.values[span_l][pos_l]
+        vals_r = csf_r.values[span_r][pos_r]
+        counters.accum_updates += common.shape[0]
+        return float(np.dot(vals_l, vals_r))
+    total = 0.0
+    base_l, base_r = span_l.start, span_r.start
+    for pl, pr in zip(pos_l.tolist(), pos_r.tolist()):
+        total += _co_iterate(
+            csf_l, csf_r,
+            depth_l + 1, depth_r + 1,
+            base_l + pl, base_r + pr,
+            levels_left - 1, counters,
+        )
+    return total
+
+
+def taco_multimode_contract(
+    left: COOTensor,
+    right: COOTensor,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    counters: Counters | None = None,
+) -> COOTensor:
+    """Contract two COO tensors via multi-mode CSF co-iteration.
+
+    Semantics match :func:`repro.core.contraction.contract`: output
+    modes are the remaining left modes in order, then the remaining
+    right modes.  Complexity is CI-class (every left slice co-iterated
+    against every right slice); use on small inputs only.
+    """
+    counters = ensure_counters(counters)
+    spec = ContractionSpec(left.shape, right.shape, pairs)
+    n_ext_l = len(spec.left_external)
+    n_ext_r = len(spec.right_external)
+    n_con = len(spec.pairs)
+    if n_ext_l == 0 or n_ext_r == 0:
+        # Degenerate slice enumeration; the linearized baseline covers
+        # scalar-ish outputs, which TACO handles with dense loops anyway.
+        raise PlanError(
+            "multimode CI requires at least one external mode per operand"
+        )
+
+    order_l = tuple(spec.left_external) + tuple(a for a, _ in spec.pairs)
+    order_r = tuple(spec.right_external) + tuple(b for _, b in spec.pairs)
+    csf_l = CSFTensor.from_coo(left, mode_order=order_l)
+    csf_r = CSFTensor.from_coo(right, mode_order=order_r)
+    counters.note_workspace(1)
+
+    # Slice roots: nodes at the last external level.
+    slice_depth_l = n_ext_l - 1
+    slice_depth_r = n_ext_r - 1
+    paths_l = node_paths(csf_l, slice_depth_l)
+    paths_r = node_paths(csf_r, slice_depth_r)
+    n_slices_l = paths_l.shape[1]
+    n_slices_r = paths_r.shape[1]
+
+    out_coords: list[np.ndarray] = []
+    out_values: list[float] = []
+    for sl in range(n_slices_l):
+        counters.hash_queries += 1 + n_slices_r
+        for sr in range(n_slices_r):
+            total = _co_iterate(
+                csf_l, csf_r, slice_depth_l, slice_depth_r, sl, sr,
+                n_con, counters,
+            )
+            if total != 0.0:
+                out_coords.append(
+                    np.concatenate([paths_l[:, sl], paths_r[:, sr]])
+                )
+                out_values.append(total)
+
+    if not out_values:
+        return COOTensor.empty(spec.output_shape)
+    coords = np.stack(out_coords, axis=1)
+    counters.output_nnz += coords.shape[1]
+    return COOTensor(
+        coords, np.array(out_values), spec.output_shape, check=False
+    )

@@ -1,0 +1,179 @@
+"""Reusable compiled contraction expressions.
+
+Applications (the DLPNO pipeline of Section 6.1 is the archetype) run
+the *same* contraction over many tensors of identical shape/sparsity:
+plan selection, index classification, and — for networks — the
+binarization order can be computed once and reused.
+
+:func:`contract_expression` mirrors ``opt_einsum``'s API: it takes the
+subscripts and the operand *shapes* plus expected nonzero counts, does
+all shape-dependent work up front, and returns a callable that accepts
+the actual tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.contraction import contract
+from repro.core.einsum import contraction_path, einsum, parse_subscripts
+from repro.core.model import choose_plan
+from repro.core.plan import ContractionSpec, Plan
+from repro.errors import PlanError, ShapeError
+from repro.machine.specs import DESKTOP, MachineSpec
+from repro.tensors.coo import COOTensor
+
+__all__ = ["ContractExpression", "contract_expression"]
+
+
+@dataclass
+class ContractExpression:
+    """A pre-planned contraction, callable on concrete tensors.
+
+    For two-operand expressions the FaSTCC :class:`Plan` (accumulator
+    kind + tile size) is precomputed from the declared shapes and
+    expected nonzero counts and reused on every call; for networks the
+    greedy binarization order is frozen.
+    """
+
+    subscripts: str
+    shapes: tuple[tuple[int, ...], ...]
+    machine: MachineSpec
+    method: str
+    plan: Plan | None  # two-operand case only
+    path: list[tuple[int, int]] | None  # network case only
+
+    def __call__(self, *operands: COOTensor) -> COOTensor:
+        if len(operands) != len(self.shapes):
+            raise PlanError(
+                f"expression expects {len(self.shapes)} operands, "
+                f"got {len(operands)}"
+            )
+        for t, shape in zip(operands, self.shapes):
+            if t.shape != shape:
+                raise ShapeError(
+                    f"operand shape {t.shape} != declared {shape}"
+                )
+        if self.plan is not None:
+            # Two-operand fast path: reuse the precomputed plan's
+            # decisions (accumulator + tile) directly.
+            inputs, out_sub = parse_subscripts(self.subscripts, 2)
+            sub_a, sub_b = inputs
+            shared = [ch for ch in sub_a if ch in sub_b]
+            pairs = [(sub_a.index(ch), sub_b.index(ch)) for ch in shared]
+            result = contract(
+                operands[0], operands[1], pairs,
+                machine=self.machine, method=self.method,
+                accumulator=self.plan.accumulator,
+                tile_size=self.plan.tile_l,
+            )
+            # Remap to the requested output subscripts via einsum's
+            # bookkeeping only when the natural order differs.
+            natural = "".join(ch for ch in sub_a if ch not in shared) + "".join(
+                ch for ch in sub_b if ch not in shared
+            )
+            if natural != out_sub:
+                if set(natural) != set(out_sub):
+                    # Summed-out or dropped indices: fall back.
+                    return einsum(
+                        self.subscripts, *operands,
+                        machine=self.machine, method=self.method,
+                    )
+                perm = [natural.index(ch) for ch in out_sub]
+                result = result.permute_modes(perm)
+            return result
+        return einsum(
+            self.subscripts, *operands,
+            machine=self.machine, method=self.method,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        detail = (
+            f"plan={self.plan.accumulator}/T{self.plan.tile_l}"
+            if self.plan is not None
+            else f"path={self.path}"
+        )
+        return f"ContractExpression({self.subscripts!r}, {detail})"
+
+
+def contract_expression(
+    subscripts: str,
+    *shapes: Sequence[int],
+    nnz: Sequence[int] | None = None,
+    machine: MachineSpec = DESKTOP,
+    method: str = "fastcc",
+) -> ContractExpression:
+    """Pre-plan a contraction for repeated execution.
+
+    Parameters
+    ----------
+    subscripts:
+        Einsum string, e.g. ``"imk,jnk->imjn"``.
+    shapes:
+        One shape tuple per operand.
+    nnz:
+        Expected nonzero count per operand (defaults to 1% density);
+        drives the accumulator/tile model exactly as at run time.
+    """
+    shapes_t = tuple(tuple(int(s) for s in shape) for shape in shapes)
+    inputs, out_sub = parse_subscripts(subscripts, len(shapes_t))
+    for sub, shape in zip(inputs, shapes_t):
+        if len(sub) != len(shape):
+            raise ShapeError(
+                f"subscript {sub!r} names {len(sub)} modes; shape {shape} "
+                f"has {len(shape)}"
+            )
+    if nnz is None:
+        nnz = [max(1, int(0.01 * _cells(s))) for s in shapes_t]
+    if len(nnz) != len(shapes_t):
+        raise PlanError("need one nnz estimate per operand")
+
+    if len(shapes_t) == 2:
+        sub_a, sub_b = inputs
+        shared = [ch for ch in sub_a if ch in sub_b]
+        if not shared:
+            raise PlanError("operands share no contraction index")
+        pairs = [(sub_a.index(ch), sub_b.index(ch)) for ch in shared]
+        spec = ContractionSpec(shapes_t[0], shapes_t[1], pairs)
+        plan = choose_plan(spec, int(nnz[0]), int(nnz[1]), machine)
+        return ContractExpression(
+            subscripts, shapes_t, machine, method, plan, None
+        )
+
+    # Networks: freeze the greedy order computed from placeholder
+    # operands carrying the declared nnz estimates.
+    placeholders = [
+        _placeholder(shape, int(n)) for shape, n in zip(shapes_t, nnz)
+    ]
+    path = contraction_path(subscripts, placeholders, machine=machine)
+    return ContractExpression(subscripts, shapes_t, machine, method, None, path)
+
+
+def _cells(shape: tuple[int, ...]) -> int:
+    out = 1
+    for s in shape:
+        out *= s
+    return out
+
+
+class _FakeNnz(COOTensor):
+    """An empty tensor reporting a declared nnz (for path planning)."""
+
+    __slots__ = ("_declared_nnz",)
+
+    def __init__(self, shape, declared):
+        import numpy as np
+
+        super().__init__(
+            np.empty((len(shape), 0), dtype=np.int64), np.empty(0), shape
+        )
+        self._declared_nnz = int(declared)
+
+    @property
+    def nnz(self) -> int:  # type: ignore[override]
+        return self._declared_nnz
+
+
+def _placeholder(shape: tuple[int, ...], declared_nnz: int) -> COOTensor:
+    return _FakeNnz(shape, declared_nnz)

@@ -1,0 +1,159 @@
+"""Probabilistic accumulator selection and tile sizing (paper Section 5).
+
+Given only the input shapes and nonzero counts, the model:
+
+1. estimates the output tensor's density assuming uniformly random
+   nonzeros (Section 5.1):
+   ``P_nonzero = 1 - (1 - p_L * p_R)^C``;
+2. computes the expected nonzeros in a cache-sized dense tile,
+   ``E_nnz(T^2) = P_nonzero * T^2`` with ``T^2 = L3 / (N_cores * DT)``
+   (Section 5.2);
+3. chooses a dense accumulator when ``E_nnz >= 1``, else a sparse one
+   (Algorithm 7); and
+4. sizes the tile: the dense tile fills one core's L3 share (Section
+   5.3); the sparse tile is inversely proportional to the square root of
+   the output density (Section 5.4), letting ultra-sparse outputs use
+   much larger tiles.
+
+All probability arithmetic goes through ``log1p``/``expm1`` so the
+ultra-sparse regimes (``p_L * p_R`` down to 1e-30) keep full precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.plan import ContractionSpec, Plan
+from repro.machine.specs import MachineSpec
+from repro.util.arrays import next_power_of_two
+
+__all__ = ["AccumulatorChoice", "estimate_output_density", "choose_plan"]
+
+
+@dataclass(frozen=True)
+class AccumulatorChoice:
+    """Algorithm 7's output plus the intermediate quantities it computed."""
+
+    accumulator: str  # "dense" | "sparse"
+    tile_size: int
+    p_l: float
+    p_r: float
+    output_density: float
+    expected_tile_nnz: float
+    dense_probe_tile: int  # the T used to evaluate E_nnz(T^2)
+
+
+def estimate_output_density(
+    L: int, R: int, C: int, nnz_l: int, nnz_r: int
+) -> float:
+    """``P_nonzero = 1 - (1 - p_L p_R)^C`` (Section 5.1), computed stably.
+
+    Uses ``1 - (1-x)^C = -expm1(C * log1p(-x))`` so that densities as
+    small as 1e-30 survive double precision.
+    """
+    if min(L, R, C) < 1:
+        raise ValueError("extents must be >= 1")
+    p_l = nnz_l / (L * C)
+    p_r = nnz_r / (C * R)
+    x = p_l * p_r
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    return -math.expm1(C * math.log1p(-x))
+
+
+def choose_accumulator(
+    L: int,
+    R: int,
+    C: int,
+    nnz_l: int,
+    nnz_r: int,
+    machine: MachineSpec,
+    *,
+    probe_t_sq: float | None = None,
+) -> AccumulatorChoice:
+    """Algorithm 7: pick dense/sparse tiles and the tile size.
+
+    The dense probe tile satisfies ``T^2 * N_cores * DT = L3``; FaSTCC
+    additionally rounds the executed dense tile down to a power of two
+    for the drain bitmask (Section 6.2), and rounds the sparse tile *up*
+    to a power of two (Section 6.3).
+
+    ``probe_t_sq`` overrides the probe-tile area used for the expected-
+    nonzeros threshold.  The paper's *text* (Section 5.2) derives it from
+    the per-core L3 share, but its published Table 3 E_nnz values are
+    numerically consistent with the per-core private L2 instead
+    (T^2 = 512 KiB / 8 B = 65536); the Table 3 benchmark passes
+    ``machine.l2_bytes_per_core / machine.word_bytes`` to reproduce the
+    published numbers, and EXPERIMENTS.md documents the discrepancy.
+    The dense/sparse decisions agree under either probe for every
+    benchmark in the paper.
+    """
+    p_l = nnz_l / (L * C)
+    p_r = nnz_r / (C * R)
+    density = estimate_output_density(L, R, C, nnz_l, nnz_r)
+
+    if probe_t_sq is None:
+        probe_t_sq = machine.l3_bytes / (machine.n_cores * machine.word_bytes)
+    expected = density * probe_t_sq
+
+    if expected < 1.0:
+        tile = machine.sparse_tile_size(density)
+        # Never tile wider than the output index space itself.
+        tile = min(tile, next_power_of_two(max(L, R)))
+        return AccumulatorChoice(
+            "sparse", tile, p_l, p_r, density, expected, int(math.sqrt(probe_t_sq))
+        )
+    tile = machine.dense_tile_size()
+    return AccumulatorChoice(
+        "dense", tile, p_l, p_r, density, expected, int(math.sqrt(probe_t_sq))
+    )
+
+
+def choose_plan(
+    spec: ContractionSpec,
+    nnz_l: int,
+    nnz_r: int,
+    machine: MachineSpec,
+    *,
+    accumulator: str = "auto",
+    tile_size: int | None = None,
+) -> Plan:
+    """Build the full execution :class:`Plan` for a contraction.
+
+    ``accumulator`` and ``tile_size`` override the model when given
+    (used by the tile-sweep and dense-vs-sparse benchmarks); ``"auto"``
+    follows Algorithm 7.
+    """
+    choice = choose_accumulator(spec.L, spec.R, spec.C, nnz_l, nnz_r, machine)
+    acc = choice.accumulator if accumulator == "auto" else accumulator
+    if acc not in ("dense", "sparse"):
+        raise ValueError(f"accumulator must be auto|dense|sparse, got {accumulator!r}")
+    if tile_size is None:
+        if acc == choice.accumulator:
+            tile = choice.tile_size
+        elif acc == "dense":
+            tile = machine.dense_tile_size()
+        else:
+            tile = machine.sparse_tile_size(choice.output_density)
+            tile = min(tile, next_power_of_two(max(spec.L, spec.R)))
+    else:
+        if tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+        tile = int(tile_size)
+    # Tiles never need to exceed the index extents they partition.
+    tile_l = max(1, min(tile, spec.L))
+    tile_r = max(1, min(tile, spec.R))
+    return Plan(
+        spec=spec,
+        accumulator=acc,
+        tile_l=tile_l,
+        tile_r=tile_r,
+        machine_name=machine.name,
+        p_l=choice.p_l,
+        p_r=choice.p_r,
+        est_output_density=choice.output_density,
+        expected_tile_nnz=choice.expected_tile_nnz,
+    )

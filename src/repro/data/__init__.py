@@ -1,0 +1,35 @@
+"""Workload generation.
+
+Synthetic stand-ins for the paper's datasets (see DESIGN.md's
+substitution table): seeded random sparse tensors, FROSTT-shaped
+generators matching Table 2, DLPNO-style quantum-chemistry tensors, and
+the registry mapping the paper's 16 experiment ids to concrete
+contractions.
+"""
+
+from repro.data.random_tensors import random_coo, random_operand_pair
+from repro.data.frostt import FROSTT_SPECS, FrosttSpec, generate_frostt
+from repro.data.quantum import MOLECULES, MoleculeSpec, generate_dlpno_operands
+from repro.data.registry import (
+    BenchmarkCase,
+    FROSTT_CASES,
+    QUANTUM_CASES,
+    all_cases,
+    get_case,
+)
+
+__all__ = [
+    "random_coo",
+    "random_operand_pair",
+    "FrosttSpec",
+    "FROSTT_SPECS",
+    "generate_frostt",
+    "MoleculeSpec",
+    "MOLECULES",
+    "generate_dlpno_operands",
+    "BenchmarkCase",
+    "FROSTT_CASES",
+    "QUANTUM_CASES",
+    "all_cases",
+    "get_case",
+]

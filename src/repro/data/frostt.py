@@ -1,0 +1,104 @@
+"""FROSTT-shaped synthetic tensor generators.
+
+The paper's Table 2 datasets (nips, chicago, vast, uber) cannot be
+downloaded in this environment; these generators reproduce each tensor's
+*mode extents and density* — the quantities every model decision and
+Table 1 formula depends on — at a configurable scale (DESIGN.md
+substitution table).
+
+Scaling rule: each mode extent is multiplied by ``scale`` (floored at
+small minima that keep tiny modes intact, e.g. chicago's 24-hour mode),
+and the nonzero count is chosen to keep the tensor's *density* equal to
+the original's.  Density equality is what makes the scaled contractions
+hit the same dense/sparse accumulator decisions as the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.random_tensors import random_coo
+from repro.tensors.coo import COOTensor
+
+__all__ = ["FrosttSpec", "FROSTT_SPECS", "generate_frostt", "scaled_shape"]
+
+
+@dataclass(frozen=True)
+class FrosttSpec:
+    """Published metadata of one FROSTT tensor (paper Table 2)."""
+
+    name: str
+    shape: tuple[int, ...]
+    nnz: int
+
+    @property
+    def density(self) -> float:
+        cells = 1
+        for s in self.shape:
+            cells *= s
+        return self.nnz / cells
+
+
+#: Table 2 of the paper, verbatim.
+FROSTT_SPECS: dict[str, FrosttSpec] = {
+    "nips": FrosttSpec("nips", (2482, 2862, 14036, 17), 3_101_609),
+    "chicago": FrosttSpec("chicago", (6186, 24, 77, 32), 5_330_673),
+    "vast": FrosttSpec("vast", (165_427, 11_374, 2, 100, 89), 26_021_945),
+    "uber": FrosttSpec("uber", (183, 24, 1140, 1717), 3_309_490),
+}
+
+
+def scaled_shape(spec: FrosttSpec, scale: float, *, min_extent: int = 2) -> tuple[int, ...]:
+    """Shrink mode extents by ``scale``, preserving tiny modes.
+
+    Modes whose extent is already <= 32 (hour-of-day, day-of-month
+    style categorical modes) are kept verbatim: shrinking them would
+    change the tensor's character, not just its size.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    out = []
+    for s in spec.shape:
+        if s <= 32:
+            out.append(s)
+        else:
+            out.append(max(min_extent, int(round(s * scale))))
+    return tuple(out)
+
+
+def generate_frostt(
+    name: str,
+    *,
+    scale: float = 0.05,
+    seed: int = 0,
+    density_override: float | None = None,
+    nnz_target: int | None = None,
+) -> COOTensor:
+    """Generate a scaled synthetic stand-in for a FROSTT tensor.
+
+    The returned tensor has the scaled shape of :func:`scaled_shape` and,
+    by default, the original tensor's density, with uniformly random
+    nonzero placement.
+
+    Density fidelity and nonzero-count fidelity cannot both survive
+    shrinking (nnz = density x cells).  ``nnz_target`` trades density for
+    a workload big enough to measure — used for the ultra-sparse vast and
+    uber tensors, whose *contraction character* (tiny dense output, hash
+    construction dominating) depends on nnz >> L*R rather than on the
+    absolute density.  ``density_override`` pins the density instead.
+    """
+    spec = FROSTT_SPECS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown FROSTT tensor {name!r}; have {sorted(FROSTT_SPECS)}")
+    if density_override is not None and nnz_target is not None:
+        raise ValueError("give at most one of density_override / nnz_target")
+    shape = scaled_shape(spec, scale)
+    cells = 1
+    for s in shape:
+        cells *= s
+    if nnz_target is not None:
+        nnz = max(1, min(cells, int(nnz_target)))
+    else:
+        density = spec.density if density_override is None else density_override
+        nnz = max(1, min(cells, int(round(density * cells))))
+    return random_coo(shape, nnz, seed=seed)

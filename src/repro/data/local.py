@@ -1,0 +1,109 @@
+"""Loading real FROSTT downloads when they are available.
+
+This reproduction ships synthetic FROSTT stand-ins (DESIGN.md), but the
+library is meant to run on the real data too.  Point the environment
+variable ``REPRO_FROSTT_DIR`` (or the ``directory`` argument) at a
+folder of FROSTT ``.tns`` files — named ``nips.tns``, ``chicago.tns``,
+``vast.tns``, ``uber.tns``, optionally ``.tns.gz`` — and
+:func:`load_frostt` returns the real tensor, validated against the
+published Table 2 metadata; otherwise it falls back to the synthetic
+generator so every workflow keeps working offline.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from pathlib import Path
+
+from repro.data.frostt import FROSTT_SPECS, generate_frostt
+from repro.errors import FormatError
+from repro.tensors.coo import COOTensor
+from repro.tensors.io import read_tns
+
+__all__ = ["frostt_data_dir", "find_tns_file", "load_frostt"]
+
+ENV_VAR = "REPRO_FROSTT_DIR"
+
+#: Alternative basenames accepted per tensor (FROSTT's own file names).
+ALIASES = {
+    "nips": ["nips", "nips-4d"],
+    "chicago": ["chicago", "chicago-crime", "chicago-crime-comm"],
+    "vast": ["vast", "vast-2015-mc1", "vast-2015-mc1-5d"],
+    "uber": ["uber", "uber-pickups", "uber4d"],
+}
+
+
+def frostt_data_dir(directory: str | os.PathLike | None = None) -> Path | None:
+    """The configured real-data directory, or None when unset/missing."""
+    root = directory if directory is not None else os.environ.get(ENV_VAR)
+    if not root:
+        return None
+    path = Path(root)
+    return path if path.is_dir() else None
+
+
+def find_tns_file(name: str, directory: str | os.PathLike | None = None) -> Path | None:
+    """Locate a tensor's ``.tns``/``.tns.gz`` file under the data dir."""
+    if name not in FROSTT_SPECS:
+        raise KeyError(f"unknown FROSTT tensor {name!r}; have {sorted(FROSTT_SPECS)}")
+    root = frostt_data_dir(directory)
+    if root is None:
+        return None
+    for alias in ALIASES[name]:
+        for suffix in (".tns", ".tns.gz"):
+            candidate = root / f"{alias}{suffix}"
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def _read_maybe_gz(path: Path, shape) -> COOTensor:
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return read_tns(fh, shape=shape)
+    return read_tns(path, shape=shape)
+
+
+def load_frostt(
+    name: str,
+    *,
+    directory: str | os.PathLike | None = None,
+    scale: float = 0.05,
+    seed: int = 7,
+    strict: bool = False,
+) -> tuple[COOTensor, bool]:
+    """Load a FROSTT tensor: real file when present, synthetic otherwise.
+
+    Returns ``(tensor, is_real)``.  Real files are checked against the
+    paper's Table 2 metadata (shape and nonzero count; a mismatched
+    file raises :class:`FormatError`).  With ``strict`` the synthetic
+    fallback is disabled.
+    """
+    spec = FROSTT_SPECS[name] if name in FROSTT_SPECS else None
+    if spec is None:
+        raise KeyError(f"unknown FROSTT tensor {name!r}")
+    path = find_tns_file(name, directory)
+    if path is None:
+        if strict:
+            raise FileNotFoundError(
+                f"no real data for {name!r} (set {ENV_VAR}) and strict=True"
+            )
+        return generate_frostt(name, scale=scale, seed=seed), False
+    # Read with inferred extents first so metadata problems surface as
+    # clear FormatErrors instead of bounds errors.
+    tensor = _read_maybe_gz(path, None)
+    if tensor.ndim != len(spec.shape):
+        raise FormatError(
+            f"{path} has {tensor.ndim} modes; Table 2 says {len(spec.shape)}"
+        )
+    if tensor.nnz != spec.nnz:
+        raise FormatError(
+            f"{path} has {tensor.nnz} nonzeros; Table 2 says {spec.nnz}"
+        )
+    for k, (got, expected) in enumerate(zip(tensor.shape, spec.shape)):
+        if got > expected:
+            raise FormatError(
+                f"{path}: mode {k} extent {got} exceeds Table 2's {expected}"
+            )
+    return COOTensor(tensor.coords, tensor.values, spec.shape, check=False), True

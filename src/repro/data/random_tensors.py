@@ -1,0 +1,128 @@
+"""Seeded random sparse tensor generation.
+
+The probabilistic model of Section 5 assumes uniformly random nonzero
+placement; these generators produce exactly that regime (plus skewed
+variants for stress tests), with deterministic seeding throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.plan import LinearizedOperand
+from repro.errors import ShapeError
+from repro.tensors.coo import COOTensor
+from repro.tensors.linearize import ModeLinearizer
+from repro.util.arrays import INDEX_DTYPE
+
+__all__ = ["random_coo", "random_operand_pair", "clustered_coo"]
+
+
+def _sample_unique_linear(size: int, nnz: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``nnz`` distinct cells from a ``size``-cell index space."""
+    if nnz > size:
+        raise ShapeError(f"cannot place {nnz} distinct nonzeros in {size} cells")
+    if size <= 4 * nnz or size <= 1 << 22:
+        # Dense regime: a partial permutation is cheap and exact.
+        return rng.choice(size, size=nnz, replace=False).astype(INDEX_DTYPE)
+    # Sparse regime: oversample with replacement and deduplicate;
+    # collisions are rare (birthday bound), so a couple of rounds suffice.
+    picked = np.unique(rng.integers(0, size, size=int(nnz * 1.05) + 16))
+    while picked.shape[0] < nnz:
+        extra = rng.integers(0, size, size=nnz)
+        picked = np.unique(np.concatenate([picked, extra]))
+    return rng.permutation(picked)[:nnz].astype(INDEX_DTYPE)
+
+
+def random_coo(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    seed: int = 0,
+    value_dist: str = "uniform",
+) -> COOTensor:
+    """A tensor with ``nnz`` distinct uniformly placed nonzeros.
+
+    ``value_dist`` is ``"uniform"`` (values in (0, 1]; never exactly
+    zero, so nnz is exact) or ``"normal"``.
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+    lin = ModeLinearizer(shape)
+    flat = _sample_unique_linear(lin.size, int(nnz), rng)
+    coords = lin.decode(flat)
+    if value_dist == "uniform":
+        values = rng.uniform(np.finfo(np.float64).tiny, 1.0, size=nnz)
+    elif value_dist == "normal":
+        values = rng.standard_normal(nnz)
+    else:
+        raise ValueError(f"unknown value_dist {value_dist!r}")
+    return COOTensor(coords, values, shape, check=False)
+
+
+def clustered_coo(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    seed: int = 0,
+    n_clusters: int = 8,
+    spread: float = 0.05,
+) -> COOTensor:
+    """A tensor whose nonzeros cluster around random centers.
+
+    Violates the model's uniformity assumption on purpose: used to test
+    how Algorithm 7's decisions degrade on structured sparsity.
+    Duplicate coordinates are merged, so the result may have slightly
+    fewer than ``nnz`` stored entries.
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+    centers = np.vstack(
+        [rng.integers(0, s, size=n_clusters) for s in shape]
+    ).astype(np.float64)
+    assign = rng.integers(0, n_clusters, size=nnz)
+    coords = np.empty((len(shape), nnz), dtype=INDEX_DTYPE)
+    for k, s in enumerate(shape):
+        jitter = rng.normal(0.0, max(1.0, spread * s), size=nnz)
+        coords[k] = np.clip(np.rint(centers[k, assign] + jitter), 0, s - 1)
+    values = rng.uniform(0.1, 1.0, size=nnz)
+    return COOTensor(coords, values, shape, check=False).sum_duplicates()
+
+
+def random_operand_pair(
+    L: int,
+    C: int,
+    R: int,
+    *,
+    density_l: float,
+    density_r: float,
+    seed: int = 0,
+) -> tuple[LinearizedOperand, LinearizedOperand]:
+    """Directly build a matched pair of linearized operands.
+
+    Convenient for scheme-level tests and the Table 1 benchmark, where
+    the multi-mode structure is irrelevant and only ``(L, R, C,
+    densities)`` matter.
+    """
+    rng = np.random.default_rng(seed)
+    nnz_l = max(1, int(round(density_l * L * C)))
+    nnz_r = max(1, int(round(density_r * C * R)))
+    flat_l = _sample_unique_linear(L * C, nnz_l, rng)
+    flat_r = _sample_unique_linear(C * R, nnz_r, rng)
+    left = LinearizedOperand(
+        ext=flat_l // C,
+        con=flat_l % C,
+        values=rng.uniform(0.1, 1.0, size=nnz_l),
+        ext_extent=L,
+        con_extent=C,
+    )
+    right = LinearizedOperand(
+        ext=flat_r % R,
+        con=flat_r // R,
+        values=rng.uniform(0.1, 1.0, size=nnz_r),
+        ext_extent=R,
+        con_extent=C,
+    )
+    return left, right

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the FaSTCC reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses mark the subsystem that raised
+them; benchmark harnesses rely on :class:`WorkspaceLimitError` to
+reproduce the paper's ``DNF`` (did-not-finish) entries without actually
+exhausting memory.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Tensor shapes or mode specifications are inconsistent."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse tensor file or in-memory representation is malformed."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A fixed-capacity structure (hash table, pool chunk) overflowed."""
+
+
+class PlanError(ReproError, ValueError):
+    """A contraction plan could not be constructed or is invalid."""
+
+
+class WorkspaceLimitError(ReproError, MemoryError):
+    """A dense workspace would exceed the configured memory guard.
+
+    The paper reports ``DNF`` for the NIPS mode-2 contraction with a dense
+    accumulator (Table 3); this error is the mechanism by which the
+    reproduction detects and reports that case instead of thrashing.
+    """
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """The task queue or scheduling simulator was misused."""

@@ -1,0 +1,22 @@
+"""Hash-table substrate.
+
+The paper (Section 2.2) distinguishes open-addressing tables (used by
+FaSTCC: better locality and space efficiency, resize cost at insertion)
+from chaining tables (used by Sparta: cheap insertion).  Both families
+are implemented here from scratch on NumPy storage, together with the
+``SliceTable`` grouped map ``key -> set of (index, value)`` that realizes
+the ``HL``/``HR`` maps of Section 3.
+"""
+
+from repro.hashing.hash_functions import fibonacci_hash, splitmix64
+from repro.hashing.open_addressing import OpenAddressingMap
+from repro.hashing.chaining import ChainingMultiMap
+from repro.hashing.slice_table import SliceTable
+
+__all__ = [
+    "splitmix64",
+    "fibonacci_hash",
+    "OpenAddressingMap",
+    "ChainingMultiMap",
+    "SliceTable",
+]

@@ -1,0 +1,61 @@
+"""64-bit integer hash functions.
+
+A hash function deterministically maps keys to a fixed output universe
+(paper Section 2.2).  Both tables in this package hash signed 64-bit
+nonnegative keys to power-of-two slot ranges, so the mixers below must
+spread entropy into the *low* bits that the mask keeps.
+
+All functions are vectorized over NumPy arrays; arithmetic is done in
+``uint64`` where C-style wraparound is the defined NumPy behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64", "fibonacci_hash", "identity_hash", "mask_for_capacity"]
+
+# 2^64 / phi, the golden-ratio multiplier of Fibonacci hashing.
+_FIB_MULT = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(keys: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a strong, cheap 64-bit mixer.
+
+    Accepts any integer array; returns ``uint64`` hashes of equal shape.
+    """
+    z = np.asarray(keys).astype(np.uint64, copy=True)
+    z += _FIB_MULT
+    z ^= z >> np.uint64(30)
+    z *= _MIX1
+    z ^= z >> np.uint64(27)
+    z *= _MIX2
+    z ^= z >> np.uint64(31)
+    return z
+
+
+def fibonacci_hash(keys: np.ndarray, bits: int) -> np.ndarray:
+    """Multiply-shift (Fibonacci) hashing to ``bits``-wide slot indices.
+
+    Cheaper than :func:`splitmix64`, adequate for keys that are already
+    well distributed; used where the caller wants a single multiply.
+    """
+    if not 0 < bits <= 64:
+        raise ValueError(f"bits must be in (0, 64], got {bits}")
+    z = np.asarray(keys).astype(np.uint64, copy=True)
+    z *= _FIB_MULT
+    return z >> np.uint64(64 - bits)
+
+
+def identity_hash(keys: np.ndarray) -> np.ndarray:
+    """Pathological hash (no mixing) for failure-injection tests."""
+    return np.asarray(keys).astype(np.uint64)
+
+
+def mask_for_capacity(capacity: int) -> np.uint64:
+    """Slot mask for a power-of-two table capacity."""
+    if capacity <= 0 or capacity & (capacity - 1):
+        raise ValueError(f"capacity must be a positive power of two, got {capacity}")
+    return np.uint64(capacity - 1)

@@ -1,0 +1,15 @@
+"""Machine models for the paper's two evaluation platforms.
+
+The reproduction cannot run on the paper's physical 8-core desktop and
+64-core server; instead, :class:`MachineSpec` carries exactly the
+parameters FaSTCC's tile-size model consumes (core count, last-level
+cache size, word width), and the scheduling simulator in
+:mod:`repro.parallel` replays per-tile costs at each platform's thread
+count.
+"""
+
+from repro.machine.specs import DESKTOP, SERVER, MachineSpec
+from repro.machine.cost_model import AccessCostModel
+from repro.machine.cache_sim import CacheSim
+
+__all__ = ["MachineSpec", "DESKTOP", "SERVER", "AccessCostModel", "CacheSim"]

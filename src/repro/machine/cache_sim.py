@@ -1,0 +1,70 @@
+"""Set-associative LRU cache simulator.
+
+Used by the tiling ablation to demonstrate the locality claim of
+Section 5.3: accumulator updates within a cache-sized tile hit, while the
+same update stream against an untiled workspace misses.  The simulator is
+deliberately simple (single level, LRU, no prefetch) — it measures the
+*capacity* effect the paper's tile-size model is built around, nothing
+micro-architectural.
+
+The hot loop is per-access Python, so keep traces to ~1e6 accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CacheSim"]
+
+
+class CacheSim:
+    """A ``size_bytes`` cache with ``line_bytes`` lines and ``ways`` ways."""
+
+    def __init__(self, size_bytes: int, *, line_bytes: int = 64, ways: int = 8):
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache parameters must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines < ways:
+            raise ValueError("cache too small for the requested associativity")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = max(1, n_lines // ways)
+        # Each set is an ordered list of tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, byte_addresses: np.ndarray) -> None:
+        """Replay a trace of byte addresses through the cache."""
+        lines = np.asarray(byte_addresses, dtype=np.int64) // self.line_bytes
+        set_ids = lines % self.n_sets
+        tags = lines // self.n_sets
+        sets = self._sets
+        ways = self.ways
+        hits = 0
+        misses = 0
+        for s, t in zip(set_ids.tolist(), tags.tolist()):
+            entry = sets[s]
+            try:
+                entry.remove(t)
+                hits += 1
+            except ValueError:
+                misses += 1
+                if len(entry) >= ways:
+                    entry.pop(0)
+            entry.append(t)
+        self.hits += hits
+        self.misses += misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0

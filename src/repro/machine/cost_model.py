@@ -1,0 +1,156 @@
+"""Analytic data-access cost model.
+
+Implements the closed forms of the paper's Table 1 (untiled CI/CM/CO)
+and Section 5.3 (tiled CO): hash-query counts, retrieved data volume,
+and accumulator size, as functions of the linearized problem parameters
+``(L, R, C, nnz_L, nnz_R)`` and, for the tiled scheme, the tile sizes.
+
+These predictions are validated against measured counters in
+``benchmarks/bench_table1_loop_orders.py`` and the analysis tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import MachineSpec
+from repro.util.arrays import ceil_div
+
+__all__ = ["ProblemShape", "CostEstimate", "AccessCostModel"]
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """Linearized contraction parameters (Section 2.1 notation)."""
+
+    L: int
+    R: int
+    C: int
+    nnz_L: int
+    nnz_R: int
+
+    def __post_init__(self):
+        if min(self.L, self.R, self.C) < 1:
+            raise ValueError("extents must be >= 1")
+        if min(self.nnz_L, self.nnz_R) < 0:
+            raise ValueError("nonzero counts must be >= 0")
+
+    @property
+    def density_L(self) -> float:
+        """``p_L = nnz_L / (L * C)`` (Section 5.1)."""
+        return self.nnz_L / (self.L * self.C)
+
+    @property
+    def density_R(self) -> float:
+        """``p_R = nnz_R / (C * R)`` (Section 5.1)."""
+        return self.nnz_R / (self.C * self.R)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted data-access costs for one scheme (Table 1 row)."""
+
+    scheme: str
+    queries: float
+    data_volume: float
+    accumulator_cells: float
+
+
+class AccessCostModel:
+    """Table 1 / Section 5.3 closed forms, optionally weighted by a machine.
+
+    The machine parameter only matters for :meth:`estimated_seconds`,
+    which converts abstract counts into a rough time proxy for the
+    platform-comparison harness; the count formulas themselves are
+    machine-independent.
+    """
+
+    def __init__(self, shape: ProblemShape, machine: MachineSpec | None = None):
+        self.shape = shape
+        self.machine = machine
+
+    # -- untiled schemes (Table 1) -------------------------------------
+
+    def ci(self) -> CostEstimate:
+        """Contraction-inner: O(L*R) queries, O(L*nnz_R + R*nnz_L) volume."""
+        s = self.shape
+        return CostEstimate(
+            scheme="CI",
+            queries=float(s.L) * s.R,
+            data_volume=float(s.L) * s.nnz_R + float(s.R) * s.nnz_L,
+            accumulator_cells=1.0,
+        )
+
+    def cm(self) -> CostEstimate:
+        """Contraction-middle: L + nnz_L queries, nnz_L + nnz_L*nnz_R/C volume."""
+        s = self.shape
+        return CostEstimate(
+            scheme="CM",
+            queries=float(s.L) + s.nnz_L,
+            data_volume=float(s.nnz_L) + float(s.nnz_L) * s.nnz_R / s.C,
+            accumulator_cells=float(s.R),
+        )
+
+    def co(self) -> CostEstimate:
+        """Contraction-outer: 2C queries, nnz_L + nnz_R volume."""
+        s = self.shape
+        return CostEstimate(
+            scheme="CO",
+            queries=2.0 * s.C,
+            data_volume=float(s.nnz_L) + s.nnz_R,
+            accumulator_cells=float(s.L) * s.R,
+        )
+
+    # -- tiled CO (Section 5.3) ----------------------------------------
+
+    def tiled_co(self, tile_l: int, tile_r: int) -> CostEstimate:
+        """2-D tiled CO with tile sizes ``(T_L, T_R)``.
+
+        ``N_queries = 2 * C * NL * NR`` and
+        ``Data_Vol = nnz_L * NR + nnz_R * NL`` (Section 5.3): both shrink
+        inversely with tile size, while the accumulator is capped at
+        ``T_L * T_R`` cells.
+        """
+        s = self.shape
+        nl = ceil_div(s.L, tile_l)
+        nr = ceil_div(s.R, tile_r)
+        return CostEstimate(
+            scheme=f"TiledCO[{tile_l}x{tile_r}]",
+            queries=2.0 * s.C * nl * nr,
+            data_volume=float(s.nnz_L) * nr + float(s.nnz_R) * nl,
+            accumulator_cells=float(tile_l) * tile_r,
+        )
+
+    def all_untiled(self) -> list[CostEstimate]:
+        return [self.ci(), self.cm(), self.co()]
+
+    # -- time proxy -----------------------------------------------------
+
+    #: Cost weights, in arbitrary "cycles": a hash query is a dependent
+    #: random access; retrieving one payload element is a streaming read;
+    #: a workspace update that misses cache costs a DRAM round-trip.
+    QUERY_COST = 30.0
+    ELEMENT_COST = 1.0
+    UPDATE_HIT_COST = 2.0
+    UPDATE_MISS_COST = 60.0
+
+    def estimated_seconds(
+        self, estimate: CostEstimate, accum_updates: float, *, ghz: float = 3.0
+    ) -> float:
+        """Convert counts into a crude time proxy for platform comparison.
+
+        Accumulator updates are charged the DRAM-miss cost when the
+        workspace exceeds the machine's per-core L3 share — the effect
+        Section 3.4 identifies as the CO scheme's untiled weakness.
+        """
+        if self.machine is None:
+            raise ValueError("a MachineSpec is required for time estimates")
+        ws_words = estimate.accumulator_cells
+        fits = ws_words * self.machine.word_bytes <= self.machine.l3_bytes_per_core
+        update_cost = self.UPDATE_HIT_COST if fits else self.UPDATE_MISS_COST
+        cycles = (
+            estimate.queries * self.QUERY_COST
+            + estimate.data_volume * self.ELEMENT_COST
+            + accum_updates * update_cost
+        )
+        return cycles / (ghz * 1e9)

@@ -1,0 +1,156 @@
+"""Platform descriptions.
+
+The paper evaluates on two machines (Section 6):
+
+* an 8-core Intel i7-11700F desktop with 512 KiB per-core L2 and a
+  shared 16 MiB L3, and
+* a 64-core AMD Ryzen Threadripper 3990X server with 512 KiB per-core L2
+  and a shared 256 MiB L3.
+
+FaSTCC's dense-tile model (Section 5.3/6.2) sizes tiles so that every
+core's tile fits in its share of L3: ``T = sqrt(L3_words / N_cores)``,
+rounded down to a power of two because the dense drain's bitmask needs
+one.  That yields T=512 on the desktop (exactly) and 724 -> 512 on the
+server, both reproduced by :meth:`MachineSpec.dense_tile_size`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.arrays import prev_power_of_two
+
+__all__ = ["MachineSpec", "DESKTOP", "SERVER", "from_current_host"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of a target CPU platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform label.
+    n_cores:
+        Physical cores; also the thread count used in the paper's runs.
+    l3_bytes:
+        Shared last-level cache capacity in bytes.
+    l2_bytes_per_core:
+        Private L2 capacity per core in bytes.
+    word_bytes:
+        Accumulator element width (8 for double precision, ``DT`` in
+        Algorithm 7).
+    """
+
+    name: str
+    n_cores: int
+    l3_bytes: int
+    l2_bytes_per_core: int = 512 * KIB
+    word_bytes: int = 8
+
+    def __post_init__(self):
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.l3_bytes <= 0 or self.l2_bytes_per_core <= 0 or self.word_bytes <= 0:
+            raise ValueError("cache and word sizes must be positive")
+
+    @property
+    def l3_words(self) -> int:
+        """L3 capacity in accumulator words."""
+        return self.l3_bytes // self.word_bytes
+
+    @property
+    def l3_bytes_per_core(self) -> int:
+        """Each core's share of the shared L3."""
+        return self.l3_bytes // self.n_cores
+
+    def dense_tile_size(self) -> int:
+        """Square dense-tile side per Section 5.3 / 6.2.
+
+        ``T = sqrt(L3_words / N_cores)``, rounded *down* to a power of
+        two (the drain bitmask requires one).
+        """
+        t = math.isqrt(self.l3_words // self.n_cores)
+        return prev_power_of_two(max(1, t))
+
+    def sparse_tile_size(self, output_density: float) -> int:
+        """Square sparse-tile side per Section 5.4 / Algorithm 7.
+
+        Sizes the tile so that the expected hash-table payload —
+        16 bytes per entry at 90% utilization, i.e. 17.7 bytes per
+        expected output nonzero — fills one core's L3 share:
+        ``T = sqrt(L3_bytes / (17.7 * density * N_cores))``, rounded *up*
+        to a power of two (Section 6.3).
+        """
+        if output_density <= 0.0:
+            # A degenerate estimate: a single tile covering everything is
+            # the right limit; callers clamp to the index-space extents.
+            return 1 << 62
+        t = math.sqrt(self.l3_bytes / (17.7 * output_density * self.n_cores))
+        t = max(1, int(t))
+        from repro.util.arrays import next_power_of_two
+
+        return next_power_of_two(t)
+
+
+def from_current_host(*, fallback: "MachineSpec | None" = None) -> "MachineSpec":
+    """Build a MachineSpec for the machine this process runs on.
+
+    Reads the core count from :func:`os.cpu_count` and the last-level
+    cache size from Linux sysfs (the largest ``index*/size`` under
+    ``cpu0/cache``).  Falls back to ``fallback`` (default: a spec with
+    the detected cores and a conservative 2 MiB-per-core L3) when the
+    cache topology is unreadable — e.g. containers, non-Linux hosts.
+    """
+    import os
+    import re
+
+    n_cores = os.cpu_count() or 1
+    l3_bytes = None
+    cache_dir = "/sys/devices/system/cpu/cpu0/cache"
+    try:
+        sizes = []
+        for entry in sorted(os.listdir(cache_dir)):
+            if not entry.startswith("index"):
+                continue
+            try:
+                with open(os.path.join(cache_dir, entry, "size")) as fh:
+                    text = fh.read().strip()
+            except OSError:
+                continue
+            match = re.fullmatch(r"(\d+)([KMG]?)B?", text, re.IGNORECASE)
+            if not match:
+                continue
+            value = int(match.group(1))
+            unit = match.group(2).upper()
+            value *= {"": 1, "K": KIB, "M": MIB, "G": 1024 * MIB}[unit]
+            sizes.append(value)
+        if sizes:
+            l3_bytes = max(sizes)
+    except OSError:
+        pass
+    if l3_bytes is None:
+        if fallback is not None:
+            return fallback
+        l3_bytes = 2 * MIB * n_cores
+    return MachineSpec(name="current-host", n_cores=n_cores, l3_bytes=l3_bytes)
+
+
+#: The paper's 8-core Intel i7-11700F desktop (Section 6).
+DESKTOP = MachineSpec(
+    name="desktop-i7-11700F", n_cores=8, l3_bytes=16 * MIB, l2_bytes_per_core=512 * KIB
+)
+
+#: The paper's 64-core AMD Threadripper 3990X server (Section 6).
+SERVER = MachineSpec(
+    name="server-tr-3990x", n_cores=64, l3_bytes=256 * MIB, l2_bytes_per_core=512 * KIB
+)
+
+#: A scaled-down model used by the test-suite and the scaled benchmark
+#: datasets: same core ratio as the desktop, cache small enough that the
+#: model's tile choices are exercised on small synthetic tensors.
+MINIATURE = MachineSpec(name="miniature", n_cores=4, l3_bytes=2 * MIB)

@@ -1,0 +1,223 @@
+"""Deterministic dynamic-scheduling simulator.
+
+The paper's parallel results (Figure 3's 1-to-64-thread scaling, the
+64-thread server runs of Figure 2) cannot be measured natively in this
+environment (see DESIGN.md).  Instead, every kernel records the cost of
+each tile-pair task on the real machine, and this simulator replays those
+costs under the same dynamic scheduling policy the Taskflow queue uses:
+each of ``k`` workers repeatedly takes the next task from the shared
+queue when it becomes free (greedy list scheduling in task order).
+
+What the simulation captures — and what the paper attributes its load
+balance to — is the interaction between the task-cost *distribution* and
+dynamic assignment: a few heavy tiles bound the speedup, many uniform
+tiles scale nearly linearly, and fewer tasks than threads caps the
+speedup at the task count.  What it deliberately omits is shared-resource
+contention (memory bandwidth, L3 conflicts), so simulated efficiency at
+high thread counts is an upper bound; EXPERIMENTS.md flags this when
+comparing with the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchedulerError
+
+__all__ = [
+    "ScheduleResult",
+    "simulate_dynamic_schedule",
+    "simulate_static_schedule",
+    "simulate_work_stealing",
+    "scaling_curve",
+]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated schedule."""
+
+    n_workers: int
+    makespan: float
+    worker_loads: np.ndarray  # busy time per worker
+    assignment: np.ndarray  # worker id per task
+
+    @property
+    def total_work(self) -> float:
+        return float(self.worker_loads.sum())
+
+    @property
+    def efficiency(self) -> float:
+        """``total_work / (n_workers * makespan)`` — 1.0 is perfect."""
+        if self.makespan == 0.0:
+            return 1.0
+        return self.total_work / (self.n_workers * self.makespan)
+
+
+def simulate_dynamic_schedule(
+    task_costs: Sequence[float], n_workers: int
+) -> ScheduleResult:
+    """Greedy dynamic scheduling of ``task_costs`` onto ``n_workers``.
+
+    Tasks are dispatched in the given order to whichever worker frees up
+    first — exactly the behaviour of threads pulling from a shared queue
+    (ties broken by worker id, making the simulation deterministic).
+    """
+    if n_workers < 1:
+        raise SchedulerError(f"n_workers must be >= 1, got {n_workers}")
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise SchedulerError("task costs must be a 1-D sequence")
+    if costs.size and costs.min() < 0:
+        raise SchedulerError("task costs must be nonnegative")
+
+    loads = np.zeros(n_workers, dtype=np.float64)
+    assignment = np.full(costs.shape[0], -1, dtype=np.int64)
+    # (free_time, worker_id) min-heap: the earliest-free worker takes the
+    # next task from the queue.
+    heap = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    makespan = 0.0
+    for tid, cost in enumerate(costs.tolist()):
+        free_at, worker = heapq.heappop(heap)
+        finish = free_at + cost
+        loads[worker] += cost
+        assignment[tid] = worker
+        makespan = max(makespan, finish)
+        heapq.heappush(heap, (finish, worker))
+    return ScheduleResult(n_workers, makespan, loads, assignment)
+
+
+def simulate_static_schedule(
+    task_costs: Sequence[float],
+    n_workers: int,
+    *,
+    policy: str = "block",
+) -> ScheduleResult:
+    """Static task assignment — the strawman the paper rejects.
+
+    Section 4.2 argues that mapping tasks to threads at run time keeps
+    load imbalance much lower than a static partition.  This simulates
+    the static side: tasks are pre-assigned ``"block"``-wise (contiguous
+    ranges) or ``"cyclic"``-ally (round robin) and each worker runs its
+    share; the makespan is the heaviest share.
+    """
+    if n_workers < 1:
+        raise SchedulerError(f"n_workers must be >= 1, got {n_workers}")
+    if policy not in ("block", "cyclic"):
+        raise SchedulerError(f"policy must be block|cyclic, got {policy!r}")
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise SchedulerError("task costs must be a 1-D sequence")
+    if costs.size and costs.min() < 0:
+        raise SchedulerError("task costs must be nonnegative")
+
+    n = costs.shape[0]
+    assignment = np.empty(n, dtype=np.int64)
+    if policy == "cyclic":
+        assignment[:] = np.arange(n) % n_workers
+    else:
+        # Contiguous blocks of ceil(n / k), the classic omp-static split.
+        block = max(1, -(-n // n_workers)) if n else 1
+        assignment[:] = np.minimum(np.arange(n) // block, n_workers - 1)
+    loads = np.zeros(n_workers, dtype=np.float64)
+    np.add.at(loads, assignment, costs)
+    makespan = float(loads.max()) if n_workers else 0.0
+    return ScheduleResult(n_workers, makespan, loads, assignment)
+
+
+def simulate_work_stealing(
+    task_costs: Sequence[float],
+    n_workers: int,
+    *,
+    seed: int = 0,
+    steal_overhead: float = 0.0,
+) -> ScheduleResult:
+    """Work-stealing simulation (Taskflow's actual policy).
+
+    Tasks are dealt round-robin into per-worker deques; each worker pops
+    from its own deque's front, and when empty steals from the *back*
+    of a uniformly random victim's deque (paying ``steal_overhead``
+    seconds per successful steal).  Event-driven and deterministic for a
+    given seed.
+
+    For independent tasks the makespan is close to the shared-queue
+    simulation (both are greedy); the difference — measured by the
+    scheduler tests — is bounded by one task per steal, which is why the
+    paper can treat its Taskflow queue as a simple dynamic scheduler.
+    """
+    if n_workers < 1:
+        raise SchedulerError(f"n_workers must be >= 1, got {n_workers}")
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise SchedulerError("task costs must be a 1-D sequence")
+    if costs.size and costs.min() < 0:
+        raise SchedulerError("task costs must be nonnegative")
+    rng = np.random.default_rng(seed)
+
+    from collections import deque
+
+    deques: list[deque[int]] = [deque() for _ in range(n_workers)]
+    for tid in range(costs.shape[0]):
+        deques[tid % n_workers].append(tid)
+
+    loads = np.zeros(n_workers, dtype=np.float64)
+    assignment = np.full(costs.shape[0], -1, dtype=np.int64)
+    # Event queue of (free_time, worker).
+    heap = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    remaining = costs.shape[0]
+    makespan = 0.0
+    while remaining:
+        now, worker = heapq.heappop(heap)
+        tid = None
+        overhead = 0.0
+        if deques[worker]:
+            tid = deques[worker].popleft()
+        else:
+            # Steal from the back of a random non-empty victim.
+            victims = [w for w in range(n_workers) if deques[w]]
+            if victims:
+                victim = victims[int(rng.integers(0, len(victims)))]
+                tid = deques[victim].pop()
+                overhead = steal_overhead
+        if tid is None:
+            # Nothing to do *now*; park just after the next event so the
+            # worker re-checks once another worker has made progress.
+            if heap:
+                next_time = heap[0][0]
+                heapq.heappush(heap, (max(now, next_time) + 1e-12, worker))
+                continue
+            break
+        finish = now + overhead + costs[tid]
+        loads[worker] += costs[tid] + overhead
+        assignment[tid] = worker
+        makespan = max(makespan, finish)
+        remaining -= 1
+        heapq.heappush(heap, (finish, worker))
+    return ScheduleResult(n_workers, makespan, loads, assignment)
+
+
+def scaling_curve(
+    task_costs: Sequence[float],
+    thread_counts: Sequence[int],
+    *,
+    serial_overhead: float = 0.0,
+    per_thread_overhead: float = 0.0,
+) -> dict[int, float]:
+    """Simulated execution time at each thread count.
+
+    ``serial_overhead`` models the non-parallel phases (hash-table
+    construction runs at half-width in the paper, COO concatenation is
+    serial); ``per_thread_overhead`` models per-worker startup.  Both
+    default to zero for the pure-kernel scaling of Figure 3.
+    """
+    out: dict[int, float] = {}
+    for k in thread_counts:
+        result = simulate_dynamic_schedule(task_costs, k)
+        out[int(k)] = serial_overhead + per_thread_overhead * k + result.makespan
+    return out

@@ -1,0 +1,26 @@
+"""Sparse tensor representations: COO, CSF, linearization, and I/O.
+
+The paper's pipeline (Section 2.1) consumes and produces COO tensors and
+linearizes mode groups to single indices before contracting; CSF is the
+format consumed by the TACO-style contraction-inner baseline.
+"""
+
+from repro.tensors.coo import COOTensor
+from repro.tensors.csf import CSFTensor
+from repro.tensors.hicoo import HiCOOTensor
+from repro.tensors.linearize import ModeLinearizer, delinearize, linearize
+from repro.tensors.io import read_tns, write_tns
+from repro.tensors.validate import validate_coo, validate_csf
+
+__all__ = [
+    "COOTensor",
+    "CSFTensor",
+    "HiCOOTensor",
+    "ModeLinearizer",
+    "linearize",
+    "delinearize",
+    "read_tns",
+    "write_tns",
+    "validate_coo",
+    "validate_csf",
+]

@@ -1,0 +1,167 @@
+"""CSF (Compressed Sparse Fiber) format.
+
+CSF (Smith et al., SPLATT) structures a sparse tensor as a tree whose
+level ``k`` nodes are the distinct mode-``k`` indices present under each
+parent path, with leaves holding the nonzero values (Section 2.2 of the
+paper).  Construction requires a full sort of the nonzeros, which is why
+the paper quotes an ``O(nnz log nnz)`` build cost — reproduced here.
+
+The TACO-style contraction-inner baseline consumes two-level CSF tensors
+whose outer level is the (linearized) external index and whose inner
+level is the contraction index, matching TACO's requirement that the
+contraction index be innermost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensors.coo import COOTensor
+from repro.util.arrays import INDEX_DTYPE
+from repro.util.groups import group_boundaries
+
+__all__ = ["CSFTensor"]
+
+
+class CSFTensor:
+    """A sparse tensor as a compressed fiber tree.
+
+    Attributes
+    ----------
+    mode_order:
+        Permutation mapping tree depth to original tensor mode: level
+        ``d`` of the tree stores indices of mode ``mode_order[d]``.
+    fids:
+        ``fids[d]`` holds the index of every level-``d`` node.
+    fptr:
+        ``fptr[d]`` has one entry per level-``d`` node plus a sentinel;
+        node ``i`` owns children ``fptr[d][i]:fptr[d][i+1]`` at level
+        ``d + 1``.  At the deepest level the children are leaf values.
+    values:
+        Leaf values, aligned with ``fids[-1]``.
+    """
+
+    __slots__ = ("shape", "mode_order", "fids", "fptr", "values")
+
+    def __init__(self, shape, mode_order, fids, fptr, values):
+        self.shape = tuple(int(s) for s in shape)
+        self.mode_order = tuple(int(m) for m in mode_order)
+        self.fids = fids
+        self.fptr = fptr
+        self.values = values
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, tensor: COOTensor, mode_order: Sequence[int] | None = None
+    ) -> "CSFTensor":
+        """Build a CSF tree from a COO tensor.
+
+        Duplicate coordinates are summed during construction (CSF cannot
+        represent duplicates).  The dominant cost is the lexicographic
+        sort of the nonzeros.
+        """
+        if mode_order is None:
+            mode_order = tuple(range(tensor.ndim))
+        mode_order = tuple(int(m) for m in mode_order)
+        if sorted(mode_order) != list(range(tensor.ndim)):
+            raise ShapeError(
+                f"mode_order must permute 0..{tensor.ndim - 1}: {mode_order}"
+            )
+        canonical = tensor.permute_modes(mode_order).sum_duplicates()
+        ndim = canonical.ndim
+        nnz = canonical.nnz
+
+        fids: list[np.ndarray] = []
+        fptr: list[np.ndarray] = []
+        if nnz == 0:
+            for _ in range(ndim):
+                fids.append(np.empty(0, dtype=INDEX_DTYPE))
+                fptr.append(np.zeros(1, dtype=INDEX_DTYPE))
+            return cls(tensor.shape, mode_order, fids, fptr, np.empty(0))
+
+        coords = canonical.coords  # already sorted row-major by permuted order
+        # Path id of each nonzero at depth d: index of its depth-d node.
+        # Nodes at depth d are runs of equal (coords[0..d]) prefixes.
+        prefix_change = np.zeros(nnz, dtype=bool)
+        prefix_change[0] = True
+        node_starts_prev = np.array([0], dtype=INDEX_DTYPE)
+        for d in range(ndim):
+            np.logical_or(
+                prefix_change[1:], coords[d, 1:] != coords[d, :-1], out=prefix_change[1:]
+            )
+            node_starts = np.flatnonzero(prefix_change).astype(INDEX_DTYPE)
+            fids.append(coords[d, node_starts].copy())
+            # Parent pointers: each depth-(d-1) node owns the depth-d nodes
+            # whose start position falls inside its run.
+            ptr = np.searchsorted(node_starts, node_starts_prev).astype(INDEX_DTYPE)
+            ptr = np.concatenate([ptr, np.array([node_starts.shape[0]], dtype=INDEX_DTYPE)])
+            fptr.append(ptr)
+            node_starts_prev = node_starts
+        # fptr[d] as built above maps depth-(d-1) nodes to depth-d children
+        # (with a discardable root pointer at position 0); shift so fptr[d]
+        # maps depth-d nodes to depth-(d+1) children, and give the deepest
+        # level an identity span over the leaf values.
+        fptr = fptr[1:] + [np.arange(nnz + 1, dtype=INDEX_DTYPE)]
+        return cls(tensor.shape, mode_order, fids, fptr, canonical.values.copy())
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def nodes_at(self, depth: int) -> int:
+        """Number of fiber-tree nodes at a given depth."""
+        return int(self.fids[depth].shape[0])
+
+    def children(self, depth: int, node: int) -> slice:
+        """Child span of ``node`` at ``depth`` (children live at depth+1)."""
+        ptr = self.fptr[depth]
+        return slice(int(ptr[node]), int(ptr[node + 1]))
+
+    def root_slice(self, root: int) -> tuple[np.ndarray, np.ndarray]:
+        """For a 2-level CSF, the (inner ids, values) fiber under a root.
+
+        This is the access pattern of the CI baseline: fetch the fiber of
+        contraction indices under one external index.
+        """
+        if self.ndim != 2:
+            raise ShapeError("root_slice is only defined for 2-level CSF")
+        span = self.children(0, root)
+        return self.fids[1][span], self.values[span]
+
+    def to_coo(self) -> COOTensor:
+        """Expand back to COO (in the *original* mode order)."""
+        ndim = self.ndim
+        nnz = self.nnz
+        coords = np.empty((ndim, nnz), dtype=INDEX_DTYPE)
+        if nnz:
+            # Walk levels top-down, expanding each node's index over the
+            # leaf span it covers.
+            leaf_span = np.empty(0, dtype=INDEX_DTYPE)
+            # leaf coverage of depth-d nodes, computed by composing fptr.
+            cover = self.fptr[-1]
+            coords[ndim - 1] = self.fids[ndim - 1]
+            for d in range(ndim - 2, -1, -1):
+                cover = cover[self.fptr[d]]
+                counts = np.diff(cover)
+                coords[d] = np.repeat(self.fids[d], counts)
+            del leaf_span
+        permuted_shape = tuple(self.shape[m] for m in self.mode_order)
+        inv = np.argsort(self.mode_order)
+        out = COOTensor(coords, self.values.copy(), permuted_shape, check=False)
+        return out.permute_modes(inv)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSFTensor(shape={self.shape}, order={self.mode_order}, nnz={self.nnz})"
+        )

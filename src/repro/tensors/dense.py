@@ -1,0 +1,71 @@
+"""Dense reference helpers.
+
+Ground-truth contraction via ``numpy.einsum`` for the test suite: every
+sparse kernel in the library is validated against these on inputs small
+enough to densify.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensors.coo import COOTensor
+
+__all__ = ["dense_contract", "dense_self_contract"]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def dense_contract(
+    left: COOTensor,
+    right: COOTensor,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    max_cells: int = 100_000_000,
+) -> np.ndarray:
+    """Contract two sparse tensors densely over the given mode pairs.
+
+    ``pairs`` lists ``(left_mode, right_mode)`` contraction pairs.  The
+    output modes are the remaining left modes (in order) followed by the
+    remaining right modes (in order), matching the library's contraction
+    convention.
+    """
+    pairs = [(int(a), int(b)) for a, b in pairs]
+    lmodes = {a for a, _ in pairs}
+    rmodes = {b for _, b in pairs}
+    if len(lmodes) != len(pairs) or len(rmodes) != len(pairs):
+        raise ShapeError(f"contraction pairs repeat a mode: {pairs}")
+    for a, b in pairs:
+        if left.shape[a] != right.shape[b]:
+            raise ShapeError(
+                f"contracted extents differ: left mode {a} is {left.shape[a]}, "
+                f"right mode {b} is {right.shape[b]}"
+            )
+    if left.ndim + right.ndim - len(pairs) > len(_LETTERS):
+        raise ShapeError("too many modes for the einsum reference")
+
+    left_sub = list(_LETTERS[: left.ndim])
+    next_letter = left.ndim
+    right_sub = [""] * right.ndim
+    for a, b in pairs:
+        right_sub[b] = left_sub[a]
+    for m in range(right.ndim):
+        if not right_sub[m]:
+            right_sub[m] = _LETTERS[next_letter]
+            next_letter += 1
+    out_sub = [left_sub[m] for m in range(left.ndim) if m not in lmodes]
+    out_sub += [right_sub[m] for m in range(right.ndim) if m not in rmodes]
+    expr = f"{''.join(left_sub)},{''.join(right_sub)}->{''.join(out_sub)}"
+    return np.einsum(
+        expr, left.to_dense(max_cells=max_cells), right.to_dense(max_cells=max_cells)
+    )
+
+
+def dense_self_contract(
+    tensor: COOTensor, modes: Sequence[int], *, max_cells: int = 100_000_000
+) -> np.ndarray:
+    """Contract a tensor with itself over ``modes`` (paper Sec. 6.1 style)."""
+    return dense_contract(tensor, tensor, [(m, m) for m in modes], max_cells=max_cells)

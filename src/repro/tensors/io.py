@@ -1,0 +1,78 @@
+"""FROSTT ``.tns`` text I/O.
+
+The FROSTT repository distributes tensors as whitespace-separated text:
+one nonzero per line, 1-based mode coordinates followed by the value.
+Comment lines start with ``#``.  These readers/writers let users run the
+library on real FROSTT downloads; the benchmark suite itself uses the
+synthetic generators in :mod:`repro.data.frostt` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.tensors.coo import COOTensor
+
+__all__ = ["read_tns", "write_tns"]
+
+
+def read_tns(path_or_file, shape: Sequence[int] | None = None) -> COOTensor:
+    """Read a FROSTT ``.tns`` file into a COO tensor.
+
+    When ``shape`` is omitted the extents are inferred as the maximum
+    coordinate seen per mode.
+    """
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        with open(os.fspath(path_or_file), "r", encoding="utf-8") as fh:
+            text = fh.read()
+    rows = []
+    ndim = None
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if ndim is None:
+            ndim = len(parts) - 1
+            if ndim < 1:
+                raise FormatError(f"line {lineno}: need at least one mode and a value")
+        elif len(parts) != ndim + 1:
+            raise FormatError(
+                f"line {lineno}: expected {ndim + 1} fields, found {len(parts)}"
+            )
+        try:
+            rows.append([float(p) for p in parts])
+        except ValueError as exc:
+            raise FormatError(f"line {lineno}: unparseable field") from exc
+    if ndim is None:
+        raise FormatError("file contains no nonzero entries")
+    arr = np.asarray(rows, dtype=np.float64)
+    coords = arr[:, :ndim].astype(np.int64)
+    if (coords < 1).any():
+        raise FormatError(".tns coordinates are 1-based and must be >= 1")
+    coords -= 1  # to 0-based
+    values = arr[:, ndim]
+    if shape is None:
+        shape = tuple(int(coords[:, k].max()) + 1 for k in range(ndim))
+    return COOTensor(coords.T, values, shape)
+
+
+def write_tns(tensor: COOTensor, path_or_file) -> None:
+    """Write a COO tensor in FROSTT ``.tns`` format (1-based coordinates)."""
+    own = not hasattr(path_or_file, "write")
+    fh = open(os.fspath(path_or_file), "w", encoding="utf-8") if own else path_or_file
+    try:
+        coords = tensor.coords + 1
+        for e in range(tensor.nnz):
+            idx = " ".join(str(int(coords[k, e])) for k in range(tensor.ndim))
+            fh.write(f"{idx} {float(tensor.values[e])!r}\n")
+    finally:
+        if own:
+            fh.close()

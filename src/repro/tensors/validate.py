@@ -1,0 +1,153 @@
+"""Structural validation for sparse tensor representations.
+
+Production inputs arrive from files and foreign code; these validators
+give actionable diagnoses (which mode, which entry) instead of the
+downstream index errors a malformed tensor would otherwise cause.  The
+checks are all vectorized and safe to run on multi-million-nonzero
+tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.tensors.coo import COOTensor
+from repro.tensors.csf import CSFTensor
+
+__all__ = ["ValidationReport", "validate_coo", "validate_csf"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    ok: bool = True
+    problems: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def add(self, problem: str) -> None:
+        self.ok = False
+        self.problems.append(problem)
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            raise FormatError("; ".join(self.problems))
+
+
+def validate_coo(
+    tensor: COOTensor,
+    *,
+    require_unique: bool = False,
+    require_sorted: bool = False,
+    allow_zero_values: bool = True,
+) -> ValidationReport:
+    """Check a COO tensor's structural invariants.
+
+    Always checks coordinate bounds and array-shape consistency;
+    optionally checks for duplicate coordinates, row-major sortedness,
+    and explicit zero values.  Non-finite values are always flagged.
+    """
+    report = ValidationReport()
+    if tensor.coords.shape != (tensor.ndim, tensor.nnz):
+        report.add(
+            f"coords shape {tensor.coords.shape} inconsistent with "
+            f"ndim={tensor.ndim}, nnz={tensor.nnz}"
+        )
+        return report
+
+    for k in range(tensor.ndim):
+        row = tensor.coords[k]
+        if row.size == 0:
+            continue
+        lo, hi = int(row.min()), int(row.max())
+        if lo < 0:
+            report.add(f"mode {k}: negative coordinate {lo}")
+        if hi >= tensor.shape[k]:
+            report.add(
+                f"mode {k}: coordinate {hi} >= extent {tensor.shape[k]}"
+            )
+
+    if tensor.nnz:
+        bad = ~np.isfinite(tensor.values)
+        if bad.any():
+            report.add(f"{int(bad.sum())} non-finite values "
+                       f"(first at entry {int(np.flatnonzero(bad)[0])})")
+        if not allow_zero_values and (tensor.values == 0.0).any():
+            report.add("explicit zero values present")
+
+        lin = tensor.linearized()
+        if require_sorted and not np.all(np.diff(lin) >= 0):
+            report.add("nonzeros are not sorted in row-major order")
+        n_unique = len(np.unique(lin))
+        report.stats["duplicate_entries"] = tensor.nnz - n_unique
+        if require_unique and n_unique != tensor.nnz:
+            report.add(
+                f"{tensor.nnz - n_unique} duplicate coordinates present"
+            )
+
+    report.stats["nnz"] = tensor.nnz
+    report.stats["density"] = tensor.density
+    return report
+
+
+def validate_csf(csf: CSFTensor) -> ValidationReport:
+    """Check a CSF tree's structural invariants.
+
+    Verifies per-level pointer monotonicity and coverage, intra-fiber
+    index sortedness, leaf/value alignment, and mode-order validity.
+    """
+    report = ValidationReport()
+    ndim = csf.ndim
+    if sorted(csf.mode_order) != list(range(ndim)):
+        report.add(f"mode_order {csf.mode_order} is not a permutation")
+        return report
+    if len(csf.fids) != ndim or len(csf.fptr) != ndim:
+        report.add(
+            f"expected {ndim} levels, found fids={len(csf.fids)}, "
+            f"fptr={len(csf.fptr)}"
+        )
+        return report
+
+    for d in range(ndim):
+        ptr = csf.fptr[d]
+        n_nodes = csf.nodes_at(d)
+        if ptr.shape[0] != n_nodes + 1:
+            report.add(f"level {d}: fptr length {ptr.shape[0]} != "
+                       f"nodes+1 ({n_nodes + 1})")
+            continue
+        if n_nodes and (np.diff(ptr) < 0).any():
+            report.add(f"level {d}: non-monotone child pointers")
+        child_count = csf.nodes_at(d + 1) if d + 1 < ndim else csf.nnz
+        if n_nodes and (ptr[0] != 0 or ptr[-1] != child_count):
+            report.add(
+                f"level {d}: pointers cover [{ptr[0]}, {ptr[-1]}] but "
+                f"children span [0, {child_count}]"
+            )
+        # Fiber indices sorted strictly within every parent span.
+        if d > 0 and n_nodes:
+            parent_ptr = csf.fptr[d - 1]
+            ids = csf.fids[d]
+            # A violation is a non-increasing adjacent pair *inside* a span.
+            non_increasing = np.flatnonzero(ids[1:] <= ids[:-1]) + 1
+            span_starts = parent_ptr[1:-1]
+            internal = np.setdiff1d(non_increasing, span_starts)
+            if internal.size:
+                report.add(
+                    f"level {d}: fiber indices not strictly sorted "
+                    f"(first violation at node {int(internal[0])})"
+                )
+        ext = csf.shape[csf.mode_order[d]]
+        if n_nodes and (csf.fids[d].min() < 0 or csf.fids[d].max() >= ext):
+            report.add(f"level {d}: index out of extent {ext}")
+
+    if csf.values.shape[0] != (csf.nodes_at(ndim - 1) if ndim else 0):
+        report.add(
+            f"values length {csf.values.shape[0]} != leaf count "
+            f"{csf.nodes_at(ndim - 1)}"
+        )
+    report.stats["nnz"] = csf.nnz
+    report.stats["nodes_per_level"] = [csf.nodes_at(d) for d in range(ndim)]
+    return report

@@ -1,0 +1,32 @@
+"""Shared low-level utilities: array helpers, grouped-index kernels, timing."""
+
+from repro.util.arrays import (
+    as_index_array,
+    as_value_array,
+    ceil_div,
+    next_power_of_two,
+    prev_power_of_two,
+)
+from repro.util.groups import (
+    group_boundaries,
+    grouped_cartesian,
+    match_sorted_keys,
+    segment_sum,
+)
+from repro.util.bitmask import PackedBitmask
+from repro.util.timing import Timer, median_time
+
+__all__ = [
+    "as_index_array",
+    "as_value_array",
+    "ceil_div",
+    "next_power_of_two",
+    "prev_power_of_two",
+    "group_boundaries",
+    "grouped_cartesian",
+    "match_sorted_keys",
+    "segment_sum",
+    "PackedBitmask",
+    "Timer",
+    "median_time",
+]

@@ -1,0 +1,54 @@
+"""Timing helpers for the benchmark harnesses.
+
+Per the profiling-first guidance for HPC Python, benchmark code measures
+with ``time.perf_counter`` and reports medians over repeats rather than
+single observations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    Can be entered multiple times; ``elapsed`` accumulates across entries
+    and ``laps`` records each individual measurement.
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer exited without being entered"
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+def median_time(fn: Callable[[], object], *, repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``repeats`` calls to ``fn``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]

@@ -1,0 +1,41 @@
+"""Unit tests for the counters."""
+
+from repro.analysis.counters import Counters, ensure_counters
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        c = Counters()
+        assert c.hash_queries == 0
+        assert c.snapshot()["data_volume"] == 0
+
+    def test_note_workspace_keeps_peak(self):
+        c = Counters()
+        c.note_workspace(100)
+        c.note_workspace(50)
+        assert c.workspace_cells == 100
+
+    def test_merge_sums_and_peaks(self):
+        a = Counters(hash_queries=5, workspace_cells=10)
+        b = Counters(hash_queries=3, workspace_cells=20)
+        a.merge(b)
+        assert a.hash_queries == 8
+        assert a.workspace_cells == 20
+
+    def test_merge_returns_self(self):
+        a = Counters()
+        assert a.merge(Counters()) is a
+
+    def test_reset(self):
+        c = Counters(probes=9)
+        c.reset()
+        assert c.probes == 0
+
+    def test_ensure_counters_passthrough(self):
+        c = Counters()
+        assert ensure_counters(c) is c
+
+    def test_ensure_counters_fresh(self):
+        c = ensure_counters(None)
+        assert isinstance(c, Counters)
+        assert ensure_counters(None) is not c

@@ -1,0 +1,78 @@
+"""Model-validation tests: the Section 5.1 density estimate against the
+exact output structure."""
+
+import pytest
+
+from repro.analysis.density import (
+    estimate_for_operands,
+    exact_output_density,
+)
+from repro.core.plan import LinearizedOperand
+from repro.data.random_tensors import random_operand_pair
+
+import numpy as np
+
+
+class TestExactDensity:
+    def test_known_tiny_case(self):
+        # L[0,0]=1, R[0,0]=1, R[0,1]=1 over C=1 -> output row 0 has 2 nnz.
+        left = LinearizedOperand(
+            np.array([0]), np.array([0]), np.array([1.0]), 2, 1
+        )
+        right = LinearizedOperand(
+            np.array([0, 1]), np.array([0, 0]), np.array([1.0, 1.0]), 2, 1
+        )
+        assert exact_output_density(left, right) == pytest.approx(2 / 4)
+
+    def test_no_overlap(self):
+        left = LinearizedOperand(np.array([0]), np.array([0]), np.array([1.0]), 2, 4)
+        right = LinearizedOperand(np.array([0]), np.array([3]), np.array([1.0]), 2, 4)
+        assert exact_output_density(left, right) == 0.0
+
+    def test_guard(self):
+        left, right = random_operand_pair(
+            100, 10, 100, density_l=0.5, density_r=0.5, seed=1
+        )
+        with pytest.raises(MemoryError):
+            exact_output_density(left, right, max_pairs=10)
+
+
+class TestEstimateAccuracy:
+    @pytest.mark.parametrize("density", [0.01, 0.05, 0.15])
+    def test_uniform_regime_accuracy(self, density):
+        """On uniformly random inputs — the model's stated assumption —
+        the estimate must land within ~25% of the truth."""
+        left, right = random_operand_pair(
+            120, 80, 120, density_l=density, density_r=density, seed=3
+        )
+        est = estimate_for_operands(left, right)
+        exact = exact_output_density(left, right)
+        assert est == pytest.approx(exact, rel=0.25)
+
+    def test_estimate_never_exceeds_union_bound(self):
+        left, right = random_operand_pair(
+            60, 40, 60, density_l=0.1, density_r=0.1, seed=4
+        )
+        est = estimate_for_operands(left, right)
+        assert 0.0 <= est <= 1.0
+
+    def test_clustered_inputs_break_the_assumption(self):
+        """Structured (clustered) inputs violate uniformity; the estimate
+        may be off — document the direction: overlapping clusters produce
+        *fewer* distinct output coordinates than the uniform model
+        predicts is possible for the same nnz, i.e. exact <= ~est is not
+        guaranteed, only that both remain valid probabilities."""
+        from repro.data.random_tensors import clustered_coo
+        from repro.core.plan import ContractionSpec
+
+        t = clustered_coo((60, 50), nnz=600, seed=5, n_clusters=2, spread=0.02)
+        spec = ContractionSpec(t.shape, t.shape, [(1, 1)])
+        left = spec.linearize_left(t).sum_duplicates()
+        right = spec.linearize_right(t).sum_duplicates()
+        est = estimate_for_operands(left, right)
+        exact = exact_output_density(left, right)
+        assert 0.0 <= est <= 1.0
+        assert 0.0 <= exact <= 1.0
+        # With two tight clusters the structure concentrates: the exact
+        # density deviates from the uniform estimate by a large factor.
+        assert abs(exact - est) > 0.1 * max(exact, est)

@@ -1,0 +1,53 @@
+"""Unit tests for the loop-order prediction glue."""
+
+import pytest
+
+from repro.analysis.loop_order import (
+    SchemeCosts,
+    measure_scheme,
+    predicted_costs,
+    predicted_tiled_co_costs,
+    shape_of,
+)
+from repro.data.random_tensors import random_operand_pair
+
+
+@pytest.fixture
+def pair():
+    return random_operand_pair(30, 25, 28, density_l=0.08, density_r=0.1, seed=9)
+
+
+class TestPredictions:
+    def test_shape_of(self, pair):
+        left, right = pair
+        s = shape_of(left, right)
+        assert s.L == 30 and s.R == 28 and s.C == 25
+        assert s.nnz_L == left.nnz and s.nnz_R == right.nnz
+
+    def test_predicted_costs_keys(self, pair):
+        preds = predicted_costs(*pair)
+        assert set(preds) == {"ci", "cm", "co"}
+
+    def test_tiled_prediction_interpolates(self, pair):
+        left, right = pair
+        untiled = predicted_costs(left, right)["co"]
+        one_tile = predicted_tiled_co_costs(left, right, 30, 28)
+        assert one_tile.queries == untiled.queries
+        assert one_tile.data_volume == untiled.data_volume
+        many = predicted_tiled_co_costs(left, right, 4, 4)
+        assert many.queries > untiled.queries
+        assert many.accumulator_cells == 16
+
+
+class TestSchemeCosts:
+    def test_ratios(self, pair):
+        sc = measure_scheme("co", *pair)
+        assert isinstance(sc, SchemeCosts)
+        assert 0.0 < sc.query_ratio <= 1.01
+        assert 0.0 < sc.volume_ratio <= 1.01
+
+    def test_ci_ratios_below_one(self, pair):
+        # CI predictions use full extents; measurements use nonzero
+        # slices, so the ratio is well under 1 on sparse problems.
+        sc = measure_scheme("ci", *pair)
+        assert sc.volume_ratio < 1.0

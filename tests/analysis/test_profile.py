@@ -1,0 +1,57 @@
+"""Unit tests for the profiling helpers."""
+
+import pytest
+
+from repro.analysis.profile import ProfileEntry, profile_callable, profile_case
+
+
+def busy_function():
+    total = 0
+    for i in range(50_000):
+        total += i * i
+    return total
+
+
+class TestProfileCallable:
+    def test_returns_entries(self):
+        entries = profile_callable(busy_function, top=5)
+        assert entries
+        assert all(isinstance(e, ProfileEntry) for e in entries)
+
+    def test_finds_the_hot_function(self):
+        entries = profile_callable(busy_function, top=10)
+        assert any("busy_function" in e.function for e in entries)
+
+    def test_sorted_by_cumulative(self):
+        entries = profile_callable(busy_function, top=10)
+        cums = [e.cumulative_time for e in entries]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_tottime_sort(self):
+        entries = profile_callable(busy_function, top=10, sort="tottime")
+        owns = [e.total_time for e in entries]
+        assert owns == sorted(owns, reverse=True)
+
+    def test_top_limits(self):
+        assert len(profile_callable(busy_function, top=3)) <= 3
+
+    def test_bad_sort(self):
+        with pytest.raises(ValueError):
+            profile_callable(busy_function, sort="mood")
+
+    def test_exception_still_disables(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            profile_callable(boom)
+        # Profiling again must work (the profiler was disabled).
+        assert profile_callable(busy_function, top=1)
+
+
+class TestProfileCase:
+    def test_profiles_registry_case(self):
+        entries = profile_case("uber_123", top=10)
+        assert entries
+        # The contraction machinery must appear in the hot list.
+        assert any("repro" in e.function for e in entries)

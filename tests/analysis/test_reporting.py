@@ -1,0 +1,63 @@
+"""Unit tests for the report renderers."""
+
+import pytest
+
+from repro.analysis.reporting import format_value, render_series, render_table, speedup
+
+
+class TestFormatValue:
+    def test_plain_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_precision(self):
+        assert format_value(1.23456) == "1.235"
+
+    def test_large_float_engineering(self):
+        assert "e" in format_value(1.5e7) or "+" in format_value(1.5e7)
+
+    def test_inf_is_dnf(self):
+        assert format_value(float("inf")) == "DNF"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_width_padding(self):
+        assert format_value(1, width=5) == "    1"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_row_width_check(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        out = render_series("s", [1, 2], [10.0, 20.0])
+        assert "series: s" in out
+        assert len(out.splitlines()) == 3
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_guard(self):
+        assert speedup(1.0, 0.0) == float("inf")

@@ -1,0 +1,116 @@
+"""Unit tests for access-trace recording and cache replay."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace import TraceRecorder, replay_miss_rate
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        rec = TraceRecorder()
+        rec.record(np.array([1, 2]))
+        rec.record(np.array([3]))
+        np.testing.assert_array_equal(rec.positions(), [1, 2, 3])
+        assert rec.recorded == 3
+        assert rec.seen == 3
+
+    def test_max_len_cap(self):
+        rec = TraceRecorder(max_len=5)
+        rec.record(np.arange(10))
+        assert rec.recorded == 5
+        assert rec.seen == 10
+        rec.record(np.arange(3))  # ignored, already full
+        assert rec.recorded == 5
+        assert rec.seen == 13
+
+    def test_subsampling_global_stride(self):
+        rec = TraceRecorder(sample_every=3)
+        rec.record(np.arange(0, 4))   # global offsets 0..3 -> keep 0, 3
+        rec.record(np.arange(10, 15))  # offsets 4..8 -> keep 6 (val 12)
+        got = rec.positions()
+        np.testing.assert_array_equal(got, [0, 3, 12])
+
+    def test_empty_batches(self):
+        rec = TraceRecorder()
+        rec.record(np.empty(0, dtype=np.int64))
+        assert rec.positions().size == 0
+
+    def test_reset(self):
+        rec = TraceRecorder()
+        rec.record(np.array([1]))
+        rec.reset()
+        assert rec.recorded == 0
+        assert rec.positions().size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_len=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_every=0)
+
+    def test_copies_input(self):
+        rec = TraceRecorder()
+        src = np.array([1, 2, 3])
+        rec.record(src)
+        src[:] = 0
+        np.testing.assert_array_equal(rec.positions(), [1, 2, 3])
+
+
+class TestReplay:
+    def test_empty(self):
+        assert replay_miss_rate(np.empty(0), cache_bytes=4096) == 0.0
+
+    def test_resident_trace_hits(self, rng):
+        positions = rng.integers(0, 64, size=5000)  # 512 B working set
+        rate = replay_miss_rate(positions, cache_bytes=64 * 1024)
+        assert rate < 0.05
+
+    def test_streaming_trace_misses(self, rng):
+        positions = rng.integers(0, 1 << 22, size=5000)
+        rate = replay_miss_rate(positions, cache_bytes=8 * 1024)
+        assert rate > 0.9
+
+    def test_truncation(self, rng):
+        positions = rng.integers(0, 100, size=10_000)
+        # Must not blow up on long traces.
+        replay_miss_rate(positions, cache_bytes=4096, max_accesses=1000)
+
+
+class TestKernelIntegration:
+    def test_tiled_kernel_records_trace(self):
+        from repro.analysis.trace import TraceRecorder
+        from repro.core.model import choose_plan
+        from repro.core.plan import ContractionSpec
+        from repro.core.tiled_co import tiled_co_contract
+        from repro.data.random_tensors import random_operand_pair
+        from repro.machine.specs import DESKTOP
+
+        left, right = random_operand_pair(
+            40, 30, 40, density_l=0.1, density_r=0.1, seed=5
+        )
+        spec = ContractionSpec((40, 30), (30, 40), [(1, 0)])
+        plan = choose_plan(spec, left.nnz, right.nnz, DESKTOP, tile_size=16)
+        rec = TraceRecorder()
+        from repro.analysis.counters import Counters
+
+        c = Counters()
+        tiled_co_contract(left, right, plan, counters=c, trace=rec)
+        # Every accumulator update was offered to the recorder.
+        assert rec.seen == c.accum_updates
+        # Positions are intra-tile: bounded by the tile area.
+        assert rec.positions().max() < 16 * 16
+
+    def test_untiled_co_records_trace(self):
+        from repro.analysis.trace import TraceRecorder
+        from repro.baselines.schemes import co_contract
+        from repro.data.random_tensors import random_operand_pair
+
+        left, right = random_operand_pair(
+            40, 30, 40, density_l=0.1, density_r=0.1, seed=6
+        )
+        rec = TraceRecorder()
+        co_contract(left, right, workspace="dense", trace=rec)
+        # Positions span the full L*R workspace.
+        assert rec.positions().max() < 40 * 40
+        assert rec.seen > 0

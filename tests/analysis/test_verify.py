@@ -1,0 +1,55 @@
+"""Unit tests for the cross-kernel verification harness."""
+
+import pytest
+
+from repro.analysis.verify import cross_validate
+from repro.data.random_tensors import random_coo
+
+
+class TestCrossValidate:
+    def test_agreement_on_healthy_kernels(self):
+        a = random_coo((10, 12), nnz=40, seed=1)
+        b = random_coo((12, 9), nnz=35, seed=2)
+        report = cross_validate(a, b, [(1, 0)])
+        assert report.all_agree
+        assert "ok" in report.summary()
+
+    def test_includes_reference_entry(self):
+        a = random_coo((8, 8), nnz=20, seed=3)
+        report = cross_validate(a, a, [(1, 0)], methods=("sparta",))
+        methods = [r.method for r in report.results]
+        assert methods[0] == "fastcc"
+        assert "sparta" in methods
+
+    def test_errors_recorded_not_raised(self):
+        a = random_coo((8, 8), nnz=20, seed=4)
+        # "taco_mm" rejects full contractions with PlanError; the matrix
+        # must record it and continue.
+        report = cross_validate(
+            a, a, [(0, 0), (1, 1)], methods=("taco_mm", "sparta")
+        )
+        taco_entry = next(r for r in report.results if r.method == "taco_mm")
+        assert not taco_entry.ok
+        assert taco_entry.error == "PlanError"
+        sparta_entry = next(r for r in report.results if r.method == "sparta")
+        assert sparta_entry.agrees
+
+    def test_all_agree_false_on_error_free_disagreement(self):
+        # Force a "disagreement" by comparing with absurd tolerance on
+        # a case where values differ from zero: shrink rtol/atol to 0
+        # cannot create disagreement between correct kernels, so instead
+        # verify the flag logic directly.
+        from repro.analysis.verify import MethodResult, VerificationReport
+
+        report = VerificationReport(reference="fastcc")
+        report.results.append(MethodResult(method="fastcc", agrees=True))
+        report.results.append(MethodResult(method="x", agrees=False))
+        assert not report.all_agree
+        assert "DISAGREES" in report.summary()
+
+    def test_kwargs_forwarded(self):
+        a = random_coo((30, 30), nnz=90, seed=5)
+        report = cross_validate(
+            a, a, [(1, 0)], methods=("sparta",), tile_size=8
+        )
+        assert report.all_agree

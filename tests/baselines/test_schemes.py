@@ -1,0 +1,152 @@
+"""Unit tests for the untiled CI/CM/CO reference schemes, including the
+Table 1 counter validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.counters import Counters
+from repro.analysis.loop_order import measure_scheme, predicted_costs
+from repro.baselines.schemes import ci_contract, cm_contract, co_contract, contract_untiled
+from repro.data.random_tensors import random_operand_pair
+from repro.errors import WorkspaceLimitError
+
+from tests.conftest import reference_product, triples_to_dense
+
+
+@pytest.fixture
+def pair():
+    return random_operand_pair(30, 25, 28, density_l=0.08, density_r=0.1, seed=9)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme", ["ci", "cm", "co"])
+    def test_matches_reference(self, pair, scheme):
+        left, right = pair
+        expected = reference_product(left, right)
+        l, r, v = contract_untiled(scheme, left, right)
+        got = triples_to_dense(l, r, v, left.ext_extent, right.ext_extent)
+        np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    def test_schemes_agree_pairwise(self, pair):
+        left, right = pair
+        results = {
+            s: contract_untiled(s, left, right) for s in ["ci", "cm", "co"]
+        }
+        dense = {
+            s: triples_to_dense(*r, left.ext_extent, right.ext_extent)
+            for s, r in results.items()
+        }
+        np.testing.assert_allclose(dense["ci"], dense["cm"], rtol=1e-10)
+        np.testing.assert_allclose(dense["cm"], dense["co"], rtol=1e-10)
+
+    def test_unknown_scheme(self, pair):
+        with pytest.raises(ValueError):
+            contract_untiled("cx", *pair)
+
+    def test_empty_left(self, pair):
+        left, right = pair
+        left.ext, left.con, left.values = left.ext[:0], left.con[:0], left.values[:0]
+        for fn in (ci_contract, cm_contract, co_contract):
+            l, r, v = fn(left, right)
+            assert v.size == 0
+
+    def test_co_sparse_workspace_matches_dense(self, pair):
+        left, right = pair
+        ld, rd, vd = co_contract(left, right, workspace="dense")
+        ls, rs, vs = co_contract(left, right, workspace="sparse")
+        a = triples_to_dense(ld, rd, vd, left.ext_extent, right.ext_extent)
+        b = triples_to_dense(ls, rs, vs, left.ext_extent, right.ext_extent)
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_co_dense_guard(self):
+        left, right = random_operand_pair(
+            1 << 14, 4, 1 << 14, density_l=0.001, density_r=0.001, seed=1
+        )
+        with pytest.raises(WorkspaceLimitError):
+            co_contract(left, right, workspace="dense", dense_guard=1 << 20)
+
+    def test_co_auto_falls_back_to_sparse(self):
+        left, right = random_operand_pair(
+            1 << 10, 4, 1 << 10, density_l=0.01, density_r=0.01, seed=2
+        )
+        l, r, v = co_contract(left, right, workspace="auto", dense_guard=1 << 10)
+        got = triples_to_dense(l, r, v, left.ext_extent, right.ext_extent)
+        np.testing.assert_allclose(got, reference_product(left, right), rtol=1e-10)
+
+
+class TestTable1Counters:
+    """Measured counters must track the Table 1 closed forms."""
+
+    def test_query_ordering(self, pair):
+        left, right = pair
+        measured = {
+            s: measure_scheme(s, left, right).measured.hash_queries
+            for s in ["ci", "cm", "co"]
+        }
+        assert measured["co"] < measured["cm"] < measured["ci"]
+
+    def test_volume_ordering(self, pair):
+        left, right = pair
+        measured = {
+            s: measure_scheme(s, left, right).measured.data_volume
+            for s in ["ci", "cm", "co"]
+        }
+        assert measured["co"] < measured["cm"] < measured["ci"]
+
+    def test_workspace_ordering(self, pair):
+        left, right = pair
+        measured = {
+            s: measure_scheme(s, left, right).measured.workspace_cells
+            for s in ["ci", "cm", "co"]
+        }
+        assert measured["ci"] == 1
+        assert measured["cm"] == right.ext_extent
+        assert measured["co"] == left.ext_extent * right.ext_extent
+
+    def test_co_volume_exact(self, pair):
+        # CO retrieves each input nonzero at most once (Table 1 bound);
+        # exactly the nonzeros in contraction slices present on *both*
+        # sides are fetched.
+        left, right = pair
+        sc = measure_scheme("co", left, right)
+        common = np.intersect1d(left.con, right.con)
+        expected = int(np.isin(left.con, common).sum()) + int(
+            np.isin(right.con, common).sum()
+        )
+        assert sc.measured.data_volume == expected
+        assert sc.measured.data_volume <= left.nnz + right.nnz
+
+    def test_accum_updates_scheme_invariant(self, pair):
+        # Section 3.4: the number of multiply-accumulates is identical
+        # across loop orders.
+        left, right = pair
+        updates = {
+            s: measure_scheme(s, left, right).measured.accum_updates
+            for s in ["ci", "cm", "co"]
+        }
+        assert updates["ci"] == updates["cm"] == updates["co"]
+
+    def test_measured_bounded_by_predictions(self, pair):
+        # Predictions use extents; measurements use nonzero slices, so
+        # measured <= predicted (with slack ~1) for queries and volume.
+        left, right = pair
+        for s in ["ci", "cm", "co"]:
+            sc = measure_scheme(s, left, right)
+            assert sc.measured.hash_queries <= sc.predicted.queries * 1.01 + 2
+            assert sc.measured.data_volume <= sc.predicted.data_volume * 1.01 + 2
+
+    def test_cm_queries_formula(self, pair):
+        # CM: one query per left slice + one per left nonzero.
+        left, right = pair
+        sc = measure_scheme("cm", left, right)
+        distinct_l = len(np.unique(left.ext))
+        assert sc.measured.hash_queries == distinct_l + left.nnz
+
+    def test_output_nnz_consistent(self, pair):
+        left, right = pair
+        counts = set()
+        for s in ["ci", "cm", "co"]:
+            c = Counters()
+            contract_untiled(s, left, right, counters=c)
+            counts.add(c.output_nnz)
+        assert len(counts) == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the multi-mode CSF CI baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.counters import Counters
+from repro.baselines.taco_multimode import node_paths, taco_multimode_contract
+from repro.data.random_tensors import random_coo
+from repro.errors import PlanError
+from repro.tensors.coo import COOTensor
+from repro.tensors.csf import CSFTensor
+from repro.tensors.dense import dense_contract
+
+
+class TestNodePaths:
+    def test_depth_zero(self):
+        t = random_coo((5, 6), nnz=12, seed=1)
+        csf = CSFTensor.from_coo(t)
+        paths = node_paths(csf, 0)
+        np.testing.assert_array_equal(paths[0], csf.fids[0])
+
+    def test_paths_reconstruct_coordinates(self):
+        t = random_coo((4, 5, 6), nnz=30, seed=2)
+        csf = CSFTensor.from_coo(t)
+        paths = node_paths(csf, 2)  # leaf level
+        rebuilt = COOTensor(paths, csf.values, t.shape, check=False)
+        assert rebuilt.allclose(t)
+
+    def test_intermediate_depth(self):
+        t = COOTensor([[1, 1, 2], [0, 3, 3], [2, 2, 1]], [1.0, 2.0, 3.0],
+                      (3, 4, 3))
+        csf = CSFTensor.from_coo(t)
+        paths = node_paths(csf, 1)
+        got = sorted(map(tuple, paths.T.tolist()))
+        assert got == [(1, 0), (1, 3), (2, 3)]
+
+
+class TestContraction:
+    @pytest.mark.parametrize(
+        "a_shape,b_shape,pairs",
+        [
+            ((6, 7), (7, 5), [(1, 0)]),
+            ((4, 5, 6), (6, 3), [(2, 0)]),
+            ((4, 5, 6), (5, 6, 3), [(1, 0), (2, 1)]),
+            ((3, 4, 2, 5), (2, 5, 4), [(2, 0), (3, 1)]),
+        ],
+    )
+    def test_matches_einsum(self, a_shape, b_shape, pairs):
+        a = random_coo(a_shape, nnz=20, seed=3)
+        b = random_coo(b_shape, nnz=15, seed=4)
+        out = taco_multimode_contract(a, b, pairs)
+        np.testing.assert_allclose(
+            out.to_dense(), dense_contract(a, b, pairs), rtol=1e-9
+        )
+
+    def test_matches_linearized_taco(self):
+        from repro import contract
+
+        a = random_coo((5, 6, 4), nnz=30, seed=5)
+        b = random_coo((4, 6, 7), nnz=30, seed=6)
+        pairs = [(2, 0), (1, 1)]
+        mm = contract(a, b, pairs, method="taco_mm")
+        lin = contract(a, b, pairs, method="taco")
+        assert mm.allclose(lin)
+
+    def test_empty_inputs(self):
+        a = COOTensor.empty((3, 4))
+        b = random_coo((4, 5), nnz=5, seed=7)
+        out = taco_multimode_contract(a, b, [(1, 0)])
+        assert out.nnz == 0
+
+    def test_scalar_output_rejected(self):
+        a = random_coo((3, 4), nnz=5, seed=8)
+        with pytest.raises(PlanError):
+            taco_multimode_contract(a, a, [(0, 0), (1, 1)])
+
+    def test_ci_cost_structure(self):
+        """Queries scale as slices_L x slices_R — the CI signature."""
+        a = random_coo((10, 8), nnz=40, seed=9)
+        b = random_coo((8, 12), nnz=40, seed=10)
+        c = Counters()
+        taco_multimode_contract(a, b, [(1, 0)], counters=c)
+        slices_l = len(np.unique(a.coords[0]))   # external mode of a
+        slices_r = len(np.unique(b.coords[1]))   # external mode of b
+        assert c.hash_queries == slices_l * (1 + slices_r)
+
+    def test_scalar_workspace(self):
+        a = random_coo((6, 5), nnz=15, seed=11)
+        c = Counters()
+        taco_multimode_contract(a, a, [(1, 1)], counters=c)
+        assert c.workspace_cells == 1
+
+    def test_duplicates_folded(self):
+        a = COOTensor([[0, 0], [1, 1]], [1.0, 2.0], (2, 2))
+        out = taco_multimode_contract(a, a, [(1, 1)])
+        assert out.to_dense()[0, 0] == 9.0  # (1+2)^2

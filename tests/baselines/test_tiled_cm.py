@@ -1,0 +1,78 @@
+"""Unit tests for the tiled-CM alternative (the ablation strawman)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.counters import Counters
+from repro.baselines.schemes import cm_contract
+from repro.baselines.tiled_cm import tiled_cm_contract
+from repro.data.random_tensors import random_operand_pair
+
+from tests.conftest import reference_product, triples_to_dense
+
+
+@pytest.fixture
+def pair():
+    return random_operand_pair(30, 25, 40, density_l=0.1, density_r=0.1, seed=14)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("tile_r", [1, 7, 16, 64, 1000])
+    def test_matches_reference_any_tile(self, pair, tile_r):
+        left, right = pair
+        l, r, v = tiled_cm_contract(left, right, tile_r=tile_r)
+        got = triples_to_dense(l, r, v, left.ext_extent, right.ext_extent)
+        np.testing.assert_allclose(got, reference_product(left, right),
+                                   rtol=1e-10)
+
+    def test_agrees_with_untiled_cm(self, pair):
+        left, right = pair
+        a = triples_to_dense(
+            *cm_contract(left, right), left.ext_extent, right.ext_extent
+        )
+        b = triples_to_dense(
+            *tiled_cm_contract(left, right, tile_r=8),
+            left.ext_extent, right.ext_extent,
+        )
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_empty(self, pair):
+        left, right = pair
+        left.ext, left.con, left.values = left.ext[:0], left.con[:0], left.values[:0]
+        _, _, v = tiled_cm_contract(left, right, tile_r=8)
+        assert v.size == 0
+
+    def test_validation(self, pair):
+        left, right = pair
+        with pytest.raises(ValueError):
+            tiled_cm_contract(left, right, tile_r=0)
+        right.con_extent += 1
+        with pytest.raises(ValueError):
+            tiled_cm_contract(left, right)
+
+
+class TestCostStructure:
+    def test_workspace_bounded_by_tile(self, pair):
+        left, right = pair
+        c = Counters()
+        tiled_cm_contract(left, right, tile_r=8, counters=c)
+        assert c.workspace_cells == 8
+
+    def test_left_volume_multiplies_with_tiles(self, pair):
+        """The design's weakness: the left tensor is re-read once per
+        right tile (vs once total for untiled CM)."""
+        left, right = pair
+        volumes = {}
+        for tile_r in (right.ext_extent, 8):
+            c = Counters()
+            tiled_cm_contract(left, right, tile_r=tile_r, counters=c)
+            volumes[tile_r] = c.data_volume
+        n_tiles = -(-right.ext_extent // 8)
+        assert volumes[8] >= volumes[right.ext_extent] + (n_tiles - 1) * left.nnz * 0.5
+
+    def test_queries_multiply_with_tiles(self, pair):
+        left, right = pair
+        c1, c8 = Counters(), Counters()
+        tiled_cm_contract(left, right, tile_r=right.ext_extent, counters=c1)
+        tiled_cm_contract(left, right, tile_r=8, counters=c8)
+        assert c8.hash_queries > 2 * c1.hash_queries

@@ -1,0 +1,208 @@
+"""Unit and property tests for the dense/sparse tile accumulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import Counters
+from repro.core.accumulators import (
+    DenseTileAccumulator,
+    SparseTileAccumulator,
+    make_accumulator,
+)
+from repro.errors import WorkspaceLimitError
+
+
+@pytest.fixture(params=["dense", "sparse"])
+def acc(request):
+    return make_accumulator(request.param, 8, 8)
+
+
+class TestCommonBehaviour:
+    def test_single_update_drain(self, acc):
+        acc.update_batch(np.array([5]), np.array([2.5]))
+        pos, vals = acc.drain()
+        np.testing.assert_array_equal(pos, [5])
+        np.testing.assert_array_equal(vals, [2.5])
+
+    def test_accumulation(self, acc):
+        acc.update_batch(np.array([3, 3, 3]), np.array([1.0, 2.0, 3.0]))
+        pos, vals = acc.drain()
+        assert pos.tolist() == [3]
+        assert vals[0] == 6.0
+
+    def test_multiple_batches(self, acc):
+        acc.update_batch(np.array([1, 2]), np.array([1.0, 2.0]))
+        acc.update_batch(np.array([2, 3]), np.array([0.5, 3.0]))
+        pos, vals = acc.drain()
+        d = dict(zip(pos.tolist(), vals.tolist()))
+        assert d == {1: 1.0, 2: 2.5, 3: 3.0}
+
+    def test_empty_batch(self, acc):
+        acc.update_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        pos, _ = acc.drain()
+        assert pos.size == 0
+
+    def test_reset_clears(self, acc):
+        acc.update_batch(np.array([7]), np.array([1.0]))
+        acc.reset()
+        pos, _ = acc.drain()
+        assert pos.size == 0
+        acc.update_batch(np.array([7]), np.array([5.0]))
+        _, vals = acc.drain()
+        assert vals[0] == 5.0
+
+    def test_nnz_tracks_active(self, acc):
+        acc.update_batch(np.array([0, 1, 0]), np.array([1.0, 1.0, 1.0]))
+        assert acc.nnz == 2
+
+    def test_counters_updates(self):
+        c = Counters()
+        a = make_accumulator("dense", 4, 4, counters=c)
+        a.update_batch(np.array([0, 1, 1]), np.ones(3))
+        assert c.accum_updates == 3
+
+
+class TestDenseSpecifics:
+    def test_mismatched_lengths(self):
+        a = DenseTileAccumulator(4, 4)
+        with pytest.raises(ValueError):
+            a.update_batch(np.array([0, 1]), np.array([1.0]))
+
+    def test_cell_guard(self):
+        with pytest.raises(WorkspaceLimitError):
+            DenseTileAccumulator(1 << 14, 1 << 14)
+
+    def test_workspace_counted(self):
+        c = Counters()
+        DenseTileAccumulator(8, 16, counters=c)
+        assert c.workspace_cells == 128
+
+    def test_apos_no_duplicates(self):
+        a = DenseTileAccumulator(8, 8)
+        a.update_batch(np.array([5, 5, 6, 5]), np.ones(4))
+        a.update_batch(np.array([5, 6]), np.ones(2))
+        active = a.apos[: a.nnz]
+        assert sorted(active.tolist()) == [5, 6]
+
+    def test_apos_growth(self):
+        a = DenseTileAccumulator(64, 64)
+        # Exceed the initial apos capacity of 1024.
+        positions = np.arange(3000, dtype=np.int64)
+        a.update_batch(positions, np.ones(3000))
+        assert a.nnz == 3000
+
+    def test_drain_full_scan_matches_apos_drain(self, rng):
+        a = DenseTileAccumulator(16, 16)
+        p = rng.integers(0, 256, size=100)
+        a.update_batch(p, rng.random(100))
+        pos1, val1 = a.drain()
+        pos2, val2 = a.drain_full_scan()
+        d1 = dict(zip(pos1.tolist(), val1.tolist()))
+        d2 = dict(zip(pos2.tolist(), val2.tolist()))
+        assert d1 == pytest.approx(d2)
+
+    def test_reset_is_sparse(self):
+        # Reset must clear exactly the touched cells.
+        a = DenseTileAccumulator(8, 8)
+        a.update_batch(np.array([0, 63]), np.array([1.0, 2.0]))
+        a.reset()
+        assert not a.bm.any()
+        assert a.buf.sum() == 0.0
+
+
+class TestSparseSpecifics:
+    def test_large_positions(self):
+        # Sparse tiles exist precisely to index huge tile areas.
+        a = SparseTileAccumulator(1 << 20, 1 << 20)
+        big = np.array([(1 << 39) + 17, 3], dtype=np.int64)
+        a.update_batch(big, np.array([1.0, 2.0]))
+        pos, vals = a.drain()
+        assert set(pos.tolist()) == {3, (1 << 39) + 17}
+
+    def test_drain_sorted(self, rng):
+        a = SparseTileAccumulator(64, 64, expected_nnz=4)
+        p = rng.integers(0, 4096, size=200)
+        a.update_batch(p, rng.random(200))
+        pos, _ = a.drain()
+        assert np.all(np.diff(pos) > 0)
+
+    def test_table_grows(self):
+        a = SparseTileAccumulator(1 << 16, 1 << 16, expected_nnz=4)
+        a.update_batch(np.arange(10_000, dtype=np.int64), np.ones(10_000))
+        assert a.nnz == 10_000
+
+
+class TestPackedBitmaskMode:
+    def test_equivalent_to_bool_mode(self, rng):
+        a = DenseTileAccumulator(16, 16, bitmask="bool")
+        b = DenseTileAccumulator(16, 16, bitmask="packed")
+        for _ in range(4):
+            p = rng.integers(0, 256, size=60)
+            v = rng.random(60)
+            a.update_batch(p, v)
+            b.update_batch(p, v)
+        pa, va = a.drain()
+        pb, vb = b.drain()
+        assert dict(zip(pa.tolist(), va.tolist())) == pytest.approx(
+            dict(zip(pb.tolist(), vb.tolist()))
+        )
+
+    def test_reset_and_reuse(self, rng):
+        b = DenseTileAccumulator(8, 8, bitmask="packed")
+        b.update_batch(np.array([1, 2]), np.array([1.0, 2.0]))
+        b.reset()
+        b.update_batch(np.array([2]), np.array([5.0]))
+        pos, vals = b.drain()
+        assert pos.tolist() == [2]
+        assert vals[0] == 5.0
+
+    def test_full_scan_drain(self, rng):
+        b = DenseTileAccumulator(8, 8, bitmask="packed")
+        p = rng.integers(0, 64, size=30)
+        b.update_batch(p, rng.random(30))
+        p1, v1 = b.drain()
+        p2, v2 = b.drain_full_scan()
+        assert dict(zip(p1.tolist(), v1.tolist())) == pytest.approx(
+            dict(zip(p2.tolist(), v2.tolist()))
+        )
+
+    def test_memory_footprint(self):
+        b = DenseTileAccumulator(64, 64, bitmask="packed")
+        assert b.bm.nbytes == 64 * 64 // 8
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            DenseTileAccumulator(4, 4, bitmask="sparse")
+
+
+class TestFactory:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_accumulator("hybrid", 4, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    updates=st.lists(
+        st.lists(st.tuples(st.integers(0, 63), st.floats(-10, 10)), max_size=30),
+        max_size=5,
+    )
+)
+def test_dense_and_sparse_agree(updates):
+    """Property: both accumulator kinds produce the same tile contents."""
+    dense = make_accumulator("dense", 8, 8)
+    sparse = make_accumulator("sparse", 8, 8)
+    for batch in updates:
+        if not batch:
+            continue
+        pos = np.array([p for p, _ in batch], dtype=np.int64)
+        vals = np.array([v for _, v in batch])
+        dense.update_batch(pos, vals)
+        sparse.update_batch(pos, vals)
+    dp, dv = dense.drain()
+    sp, sv = sparse.drain()
+    assert dict(zip(dp.tolist(), dv.tolist())) == pytest.approx(
+        dict(zip(sp.tolist(), sv.tolist()))
+    )

@@ -1,0 +1,90 @@
+"""Unit tests for compiled contraction expressions."""
+
+import numpy as np
+import pytest
+
+from repro.core.expression import contract_expression
+from repro.data.random_tensors import random_coo
+from repro.errors import PlanError, ShapeError
+
+
+class TestTwoOperand:
+    def test_basic_reuse(self):
+        expr = contract_expression("ij,jk->ik", (6, 8), (8, 5), nnz=[20, 15])
+        for seed in range(3):
+            a = random_coo((6, 8), nnz=20, seed=seed)
+            b = random_coo((8, 5), nnz=15, seed=100 + seed)
+            out = expr(a, b)
+            np.testing.assert_allclose(
+                out.to_dense(), a.to_dense() @ b.to_dense(), rtol=1e-9
+            )
+
+    def test_plan_precomputed(self):
+        expr = contract_expression("ij,jk->ik", (600, 80), (80, 600),
+                                   nnz=[5000, 5000])
+        assert expr.plan is not None
+        assert expr.plan.accumulator in ("dense", "sparse")
+
+    def test_output_permutation(self):
+        expr = contract_expression("ij,jk->ki", (6, 8), (8, 5))
+        a = random_coo((6, 8), nnz=20, seed=1)
+        b = random_coo((8, 5), nnz=15, seed=2)
+        np.testing.assert_allclose(
+            expr(a, b).to_dense(), (a.to_dense() @ b.to_dense()).T, rtol=1e-9
+        )
+
+    def test_dlpno_expression(self):
+        expr = contract_expression(
+            "imk,jnk->imjn", (4, 6, 5), (4, 6, 5), nnz=[30, 30]
+        )
+        t1 = random_coo((4, 6, 5), nnz=30, seed=3)
+        t2 = random_coo((4, 6, 5), nnz=30, seed=4)
+        expected = np.einsum("imk,jnk->imjn", t1.to_dense(), t2.to_dense())
+        np.testing.assert_allclose(expr(t1, t2).to_dense(), expected, rtol=1e-9)
+
+    def test_sum_out_falls_back(self):
+        expr = contract_expression("ij,jk->k", (6, 8), (8, 5))
+        a = random_coo((6, 8), nnz=20, seed=5)
+        b = random_coo((8, 5), nnz=15, seed=6)
+        expected = np.einsum("ij,jk->k", a.to_dense(), b.to_dense())
+        np.testing.assert_allclose(expr(a, b).to_dense(), expected, rtol=1e-9)
+
+    def test_shape_mismatch_at_call(self):
+        expr = contract_expression("ij,jk->ik", (6, 8), (8, 5))
+        a = random_coo((6, 9), nnz=10, seed=7)
+        b = random_coo((9, 5), nnz=10, seed=8)
+        with pytest.raises(ShapeError):
+            expr(a, b)
+
+    def test_operand_count_mismatch(self):
+        expr = contract_expression("ij,jk->ik", (6, 8), (8, 5))
+        a = random_coo((6, 8), nnz=10, seed=9)
+        with pytest.raises(PlanError):
+            expr(a)
+
+    def test_disjoint_subscripts_rejected(self):
+        with pytest.raises(PlanError):
+            contract_expression("ij,kl->ijkl", (3, 3), (3, 3))
+
+    def test_subscript_shape_arity_checked(self):
+        with pytest.raises(ShapeError):
+            contract_expression("ijk,jk->i", (3, 3), (3, 3))
+
+
+class TestNetwork:
+    def test_frozen_path_reused(self):
+        expr = contract_expression(
+            "ij,jk,kl->il", (30, 40), (40, 20), (20, 10),
+            nnz=[300, 200, 50],
+        )
+        assert expr.path is not None
+        a = random_coo((30, 40), nnz=300, seed=10)
+        b = random_coo((40, 20), nnz=200, seed=11)
+        c = random_coo((20, 10), nnz=50, seed=12)
+        out = expr(a, b, c)
+        expected = a.to_dense() @ b.to_dense() @ c.to_dense()
+        np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-9)
+
+    def test_default_nnz_estimates(self):
+        expr = contract_expression("ij,jk,kl->il", (10, 10), (10, 10), (10, 10))
+        assert expr.path is not None

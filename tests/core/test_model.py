@@ -1,0 +1,199 @@
+"""Unit tests for the probabilistic model (Algorithm 7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    choose_accumulator,
+    choose_plan,
+    estimate_output_density,
+)
+from repro.core.plan import ContractionSpec
+from repro.machine.specs import DESKTOP, SERVER
+
+
+class TestDensityEstimate:
+    def test_closed_form_small(self):
+        # p_L = p_R = 0.5, C = 1: P = 1 - (1 - 0.25) = 0.25.
+        assert estimate_output_density(2, 2, 1, 1, 1) == pytest.approx(0.25)
+
+    def test_dense_inputs_give_dense_output(self):
+        assert estimate_output_density(10, 10, 10, 100, 100) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert estimate_output_density(10, 10, 10, 0, 100) == 0.0
+
+    def test_ultra_sparse_precision(self):
+        # p*p ~ 1e-24 regime: the naive (1-x)^C would round to 1.0 and
+        # estimate 0; the log1p/expm1 form must keep ~C * p_L * p_R.
+        L = R = C = 1_000_000
+        nnz = 1000
+        d = estimate_output_density(L, R, C, nnz, nnz)
+        p = nnz / (L * C)
+        assert d == pytest.approx(C * p * p, rel=1e-3)
+        assert d > 0
+
+    def test_monotone_in_nnz(self):
+        prev = 0.0
+        for nnz in [10, 100, 1000, 5000]:
+            d = estimate_output_density(100, 100, 100, nnz, 500)
+            assert d >= prev
+            prev = d
+
+    def test_monotone_in_c_for_fixed_densities(self):
+        # Fixed p_L, p_R: more contraction indices -> more chances to hit.
+        d1 = estimate_output_density(100, 100, 10, 100, 100)
+        d2 = estimate_output_density(100, 100, 1000, 10_000, 10_000)
+        assert d2 > d1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_output_density(0, 1, 1, 0, 0)
+
+
+class TestPaperTable3Decisions:
+    """Algorithm 7 at the paper's original parameters must reproduce
+    every D/S decision in Table 3 (FROSTT rows, where the original
+    extents are published in Table 2)."""
+
+    @pytest.mark.parametrize(
+        "name,L,C,expected",
+        [
+            # chicago (6186, 24, 77, 32), nnz 5.33M
+            ("chic_0", 24 * 77 * 32, 6186, "dense"),
+            ("chic_01", 77 * 32, 6186 * 24, "dense"),
+            ("chic_123", 6186, 24 * 77 * 32, "dense"),
+            # nips (2482, 2862, 14036, 17), nnz 3.1M
+            ("NIPS_2", 2482 * 2862 * 17, 14036, "sparse"),
+            ("NIPS_23", 2482 * 2862, 14036 * 17, "sparse"),
+            ("NIPS_013", 14036, 2482 * 2862 * 17, "dense"),
+            # uber (183, 24, 1140, 1717), nnz 3.31M
+            ("uber_02", 24 * 1717, 183 * 1140, "dense"),
+            ("uber_123", 183, 24 * 1140 * 1717, "dense"),
+            # vast (165427, 11374, 2, 100, 89), nnz 26M
+            ("vast_01", 2 * 100 * 89, 165427 * 11374, "dense"),
+            ("vast_014", 2 * 100, 165427 * 11374 * 89, "dense"),
+        ],
+    )
+    def test_decision(self, name, L, C, expected):
+        nnz = {
+            "chic": 5_330_673,
+            "NIPS": 3_101_609,
+            "uber": 3_309_490,
+            "vast": 26_021_945,
+        }[name.split("_")[0]]
+        choice = choose_accumulator(L, L, C, nnz, nnz, DESKTOP)
+        assert choice.accumulator == expected, name
+
+    # Table 3's published E_nnz values correspond to a probe tile of
+    # T^2 = 65536 words (the per-core L2); see choose_accumulator's
+    # docstring.  The probe override reproduces them exactly.
+    TABLE3_PROBE = DESKTOP.l2_bytes_per_core / DESKTOP.word_bytes
+
+    def test_table3_e_nnz_chic0(self):
+        # Table 3 reports E_nnz = 4.79e4 for chic_0.
+        choice = choose_accumulator(
+            24 * 77 * 32, 24 * 77 * 32, 6186, 5_330_673, 5_330_673, DESKTOP,
+            probe_t_sq=self.TABLE3_PROBE,
+        )
+        assert choice.expected_tile_nnz == pytest.approx(4.79e4, rel=0.05)
+
+    def test_table3_e_nnz_nips2(self):
+        choice = choose_accumulator(
+            2482 * 2862 * 17, 2482 * 2862 * 17, 14036, 3_101_609, 3_101_609,
+            DESKTOP, probe_t_sq=self.TABLE3_PROBE,
+        )
+        assert choice.expected_tile_nnz == pytest.approx(3.08e-3, rel=0.15)
+
+    def test_table3_e_nnz_uber02(self):
+        choice = choose_accumulator(
+            24 * 1717, 24 * 1717, 183 * 1140, 3_309_490, 3_309_490, DESKTOP,
+            probe_t_sq=self.TABLE3_PROBE,
+        )
+        assert choice.expected_tile_nnz == pytest.approx(2.00e3, rel=0.05)
+
+    def test_table3_e_nnz_nips013(self):
+        choice = choose_accumulator(
+            14036, 14036, 2482 * 2862 * 17, 3_101_609, 3_101_609, DESKTOP,
+            probe_t_sq=self.TABLE3_PROBE,
+        )
+        assert choice.expected_tile_nnz == pytest.approx(2.65e1, rel=0.05)
+
+    def test_decisions_probe_invariant(self):
+        # The D/S decision is the same under the L3-share probe and the
+        # L2 probe for every paper benchmark shape.
+        shapes = [
+            (24 * 77 * 32, 6186, 5_330_673),
+            (2482 * 2862 * 17, 14036, 3_101_609),
+            (2482 * 2862, 14036 * 17, 3_101_609),
+            (14036, 2482 * 2862 * 17, 3_101_609),
+            (24 * 1717, 183 * 1140, 3_309_490),
+        ]
+        for L, C, nnz in shapes:
+            a = choose_accumulator(L, L, C, nnz, nnz, DESKTOP)
+            b = choose_accumulator(
+                L, L, C, nnz, nnz, DESKTOP, probe_t_sq=self.TABLE3_PROBE
+            )
+            assert a.accumulator == b.accumulator
+
+
+class TestChoosePlan:
+    def _spec(self):
+        return ContractionSpec((64, 32), (32, 48), [(1, 0)])
+
+    def test_auto_follows_model(self):
+        plan = choose_plan(self._spec(), 500, 500, DESKTOP)
+        assert plan.accumulator in ("dense", "sparse")
+        assert plan.tile_l <= 64 and plan.tile_r <= 48
+
+    def test_forced_accumulator(self):
+        plan = choose_plan(self._spec(), 500, 500, DESKTOP, accumulator="sparse")
+        assert plan.accumulator == "sparse"
+
+    def test_tile_override(self):
+        plan = choose_plan(self._spec(), 500, 500, DESKTOP, tile_size=16)
+        assert plan.tile_l == 16 and plan.tile_r == 16
+
+    def test_tile_clamped_to_extent(self):
+        plan = choose_plan(self._spec(), 500, 500, DESKTOP, tile_size=10_000)
+        assert plan.tile_l == 64 and plan.tile_r == 48
+
+    def test_num_tiles(self):
+        plan = choose_plan(self._spec(), 500, 500, DESKTOP, tile_size=16)
+        assert plan.num_tiles == (4, 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            choose_plan(self._spec(), 5, 5, DESKTOP, accumulator="bogus")
+        with pytest.raises(ValueError):
+            choose_plan(self._spec(), 5, 5, DESKTOP, tile_size=0)
+
+    def test_machine_changes_tile(self):
+        # Same contraction, bigger per-core cache share -> bigger probe
+        # tile; the recorded machine name must follow.
+        plan_d = choose_plan(self._spec(), 500, 500, DESKTOP)
+        plan_s = choose_plan(self._spec(), 500, 500, SERVER)
+        assert plan_d.machine_name != plan_s.machine_name
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    L=st.integers(1, 10**7),
+    R=st.integers(1, 10**7),
+    C=st.integers(1, 10**7),
+    fl=st.floats(0.0, 1.0),
+    fr=st.floats(0.0, 1.0),
+)
+def test_density_estimate_is_probability(L, R, C, fl, fr):
+    nnz_l = int(fl * L * C)
+    nnz_r = int(fr * C * R)
+    d = estimate_output_density(L, R, C, nnz_l, nnz_r)
+    assert 0.0 <= d <= 1.0
+    if nnz_l and nnz_r:
+        assert d > 0.0
+        # Union bound: at most C * p_L * p_R.
+        p = (nnz_l / (L * C)) * (nnz_r / (C * R))
+        assert d <= min(1.0, C * p) * (1 + 1e-9)

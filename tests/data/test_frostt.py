@@ -1,0 +1,76 @@
+"""Unit tests for the FROSTT-shaped generators (paper Table 2)."""
+
+import pytest
+
+from repro.data.frostt import FROSTT_SPECS, generate_frostt, scaled_shape
+
+
+class TestSpecs:
+    def test_table2_verbatim(self):
+        # The paper's Table 2 rows.
+        assert FROSTT_SPECS["nips"].shape == (2482, 2862, 14036, 17)
+        assert FROSTT_SPECS["nips"].nnz == 3_101_609
+        assert FROSTT_SPECS["chicago"].shape == (6186, 24, 77, 32)
+        assert FROSTT_SPECS["chicago"].nnz == 5_330_673
+        assert FROSTT_SPECS["vast"].shape == (165_427, 11_374, 2, 100, 89)
+        assert FROSTT_SPECS["vast"].nnz == 26_021_945
+        assert FROSTT_SPECS["uber"].shape == (183, 24, 1140, 1717)
+        assert FROSTT_SPECS["uber"].nnz == 3_309_490
+
+    def test_densities_match_table3(self):
+        # Table 3's p_L column is the tensor density (self-contraction):
+        # chicago 1.46%, uber 0.04%, nips 1.83e-4%.
+        assert FROSTT_SPECS["chicago"].density == pytest.approx(0.0146, rel=0.01)
+        assert FROSTT_SPECS["uber"].density == pytest.approx(3.85e-4, rel=0.02)
+        assert FROSTT_SPECS["nips"].density == pytest.approx(1.83e-6, rel=0.02)
+
+
+class TestScaledShape:
+    def test_small_modes_preserved(self):
+        spec = FROSTT_SPECS["chicago"]
+        shape = scaled_shape(spec, 0.1)
+        assert shape[1] == 24  # hours mode kept
+        assert shape[3] == 32
+        assert shape[0] == round(6186 * 0.1)
+
+    def test_scale_one_identity_for_large_modes(self):
+        spec = FROSTT_SPECS["uber"]
+        assert scaled_shape(spec, 1.0) == spec.shape
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_shape(FROSTT_SPECS["uber"], 0.0)
+        with pytest.raises(ValueError):
+            scaled_shape(FROSTT_SPECS["uber"], 1.5)
+
+
+class TestGeneration:
+    def test_density_preserved_by_default(self):
+        t = generate_frostt("chicago", scale=0.05, seed=1)
+        assert t.density == pytest.approx(FROSTT_SPECS["chicago"].density, rel=0.05)
+
+    def test_nnz_target(self):
+        t = generate_frostt("vast", scale=0.05, seed=1, nnz_target=5000)
+        assert t.nnz == 5000
+
+    def test_density_override(self):
+        t = generate_frostt("uber", scale=0.1, seed=1, density_override=0.01)
+        assert t.density == pytest.approx(0.01, rel=0.05)
+
+    def test_conflicting_overrides(self):
+        with pytest.raises(ValueError):
+            generate_frostt("uber", nnz_target=10, density_override=0.1)
+
+    def test_unknown_tensor(self):
+        with pytest.raises(KeyError):
+            generate_frostt("amazon")
+
+    def test_deterministic(self):
+        a = generate_frostt("uber", scale=0.1, seed=3)
+        b = generate_frostt("uber", scale=0.1, seed=3)
+        assert a.allclose(b)
+
+    def test_mode_count_preserved(self):
+        for name, spec in FROSTT_SPECS.items():
+            t = generate_frostt(name, scale=0.02, seed=1, nnz_target=100)
+            assert t.ndim == len(spec.shape)

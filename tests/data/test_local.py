@@ -1,0 +1,96 @@
+"""Unit tests for the real-FROSTT local loader."""
+
+import gzip
+
+import pytest
+
+from repro.data.frostt import FROSTT_SPECS
+from repro.data.local import ENV_VAR, find_tns_file, frostt_data_dir, load_frostt
+from repro.data.random_tensors import random_coo
+from repro.errors import FormatError
+from repro.tensors.io import write_tns
+
+
+class TestDiscovery:
+    def test_unset_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert frostt_data_dir() is None
+        assert find_tns_file("uber") is None
+
+    def test_env_pointing_nowhere(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "missing"))
+        assert frostt_data_dir() is None
+
+    def test_explicit_directory(self, tmp_path):
+        (tmp_path / "uber.tns").write_text("1 1 1 1 1.0\n")
+        assert find_tns_file("uber", tmp_path) is not None
+
+    def test_alias_names(self, tmp_path):
+        (tmp_path / "chicago-crime.tns").write_text("1 1 1 1 1.0\n")
+        assert find_tns_file("chicago", tmp_path) is not None
+
+    def test_gz_suffix(self, tmp_path):
+        with gzip.open(tmp_path / "uber.tns.gz", "wt") as fh:
+            fh.write("1 1 1 1 1.0\n")
+        path = find_tns_file("uber", tmp_path)
+        assert path is not None and path.suffix == ".gz"
+
+    def test_unknown_tensor(self, tmp_path):
+        with pytest.raises(KeyError):
+            find_tns_file("amazon", tmp_path)
+
+
+class TestLoading:
+    def test_synthetic_fallback(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        tensor, is_real = load_frostt("uber", scale=0.05)
+        assert not is_real
+        assert tensor.ndim == 4
+
+    def test_strict_without_data(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            load_frostt("uber", strict=True)
+
+    def test_metadata_mismatch_rejected(self, tmp_path):
+        # Wrong nnz count vs Table 2.
+        t = random_coo((200, 24, 1200, 1800), nnz=100, seed=2)
+        write_tns(t, tmp_path / "uber.tns")
+        with pytest.raises(FormatError):
+            load_frostt("uber", directory=tmp_path)
+
+    def test_wrong_arity_rejected(self, tmp_path):
+        t = random_coo((50, 60), nnz=100, seed=3)
+        write_tns(t, tmp_path / "uber.tns")
+        with pytest.raises(FormatError):
+            load_frostt("uber", directory=tmp_path)
+
+    def test_valid_real_file_loaded(self, tmp_path, monkeypatch):
+        """A file matching the published metadata loads as real data
+        (using a shrunken spec so the test stays small)."""
+        from repro.data.frostt import FrosttSpec
+        import repro.data.local as local_mod
+
+        small_spec = FrosttSpec("uber", (20, 24, 30, 40), 500)
+        monkeypatch.setitem(FROSTT_SPECS, "uber", small_spec)
+        t = random_coo(small_spec.shape, nnz=small_spec.nnz, seed=5)
+        write_tns(t, tmp_path / "uber.tns")
+        loaded, is_real = load_frostt("uber", directory=tmp_path)
+        assert is_real
+        assert loaded.allclose(t)
+
+    def test_gz_roundtrip(self, tmp_path, monkeypatch):
+        spec = FROSTT_SPECS["uber"]
+        t = random_coo(spec.shape, nnz=spec.nnz // 10_000, seed=4)
+        # Build a file with exactly the published nnz is impractical in a
+        # unit test; instead verify the gz reader path with strict
+        # metadata disabled by monkeypatching the spec check boundary.
+        with gzip.open(tmp_path / "uber.tns.gz", "wt") as fh:
+            from io import StringIO
+
+            buf = StringIO()
+            write_tns(t, buf)
+            fh.write(buf.getvalue())
+        # Expect the nnz-mismatch error — proving the gz file was parsed.
+        with pytest.raises(FormatError, match="nonzeros"):
+            load_frostt("uber", directory=tmp_path)

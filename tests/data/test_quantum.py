@@ -1,0 +1,88 @@
+"""Unit tests for the DLPNO quantum-chemistry generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantum import (
+    DLPNO_CONTRACTIONS,
+    MOLECULES,
+    generate_dlpno_operands,
+    generate_te_tensor,
+)
+from repro.errors import ShapeError
+
+
+class TestTeTensors:
+    @pytest.mark.parametrize("kind", ["ov", "vv", "oo"])
+    @pytest.mark.parametrize("mol", ["guanine", "caffeine"])
+    def test_shapes(self, kind, mol):
+        spec = MOLECULES[mol]
+        t = generate_te_tensor(kind, spec, seed=1)
+        dims = {"o": spec.n_occ, "v": spec.n_virt}
+        assert t.shape == (dims[kind[0]], dims[kind[1]], spec.n_aux)
+
+    @pytest.mark.parametrize(
+        "mol,kind,attr",
+        [
+            ("guanine", "ov", "density_ov"),
+            ("guanine", "vv", "density_vv"),
+            ("caffeine", "ov", "density_ov"),
+            ("caffeine", "vv", "density_vv"),
+            ("caffeine", "oo", "density_oo"),
+        ],
+    )
+    def test_density_near_target(self, mol, kind, attr):
+        """Generated densities must land near the paper's Table 3
+        densities (window quantization allows ~40% slack)."""
+        spec = MOLECULES[mol]
+        t = generate_te_tensor(kind, spec, seed=2)
+        target = getattr(spec, attr)
+        assert t.density == pytest.approx(target, rel=0.4)
+
+    def test_domain_locality(self):
+        """DLPNO structure: each occupied orbital's virtual domain is a
+        narrow window, not the full virtual space."""
+        spec = MOLECULES["guanine"]
+        t = generate_te_tensor("ov", spec, seed=3)
+        for i in np.unique(t.coords[0])[:5]:
+            mus = t.coords[1][t.coords[0] == i]
+            assert mus.max() - mus.min() < spec.n_virt // 2
+
+    def test_centers_move_with_orbital(self):
+        spec = MOLECULES["guanine"]
+        t = generate_te_tensor("ov", spec, seed=4)
+        first = t.coords[1][t.coords[0] == 0].mean()
+        last = t.coords[1][t.coords[0] == spec.n_occ - 1].mean()
+        assert last > first
+
+    def test_bad_kind(self):
+        with pytest.raises(ShapeError):
+            generate_te_tensor("vx", MOLECULES["guanine"])
+
+    def test_deterministic(self):
+        a = generate_te_tensor("vv", MOLECULES["caffeine"], seed=5)
+        b = generate_te_tensor("vv", MOLECULES["caffeine"], seed=5)
+        assert a.allclose(b)
+
+
+class TestOperands:
+    @pytest.mark.parametrize("contraction", sorted(DLPNO_CONTRACTIONS))
+    @pytest.mark.parametrize("mol", sorted(MOLECULES))
+    def test_contractible(self, mol, contraction):
+        left, right, pairs = generate_dlpno_operands(mol, contraction, seed=1)
+        assert pairs == [(2, 2)]
+        assert left.shape[2] == right.shape[2]  # shared auxiliary mode
+
+    def test_ovov_operands_differ(self):
+        # ovov contracts TE_ov with an independently seeded TE_ov.
+        left, right, _ = generate_dlpno_operands("caffeine", "ovov", seed=1)
+        assert left.shape == right.shape
+        assert not left.allclose(right)
+
+    def test_unknown_molecule(self):
+        with pytest.raises(KeyError):
+            generate_dlpno_operands("benzene", "ovov")
+
+    def test_unknown_contraction(self):
+        with pytest.raises(KeyError):
+            generate_dlpno_operands("caffeine", "oooo")

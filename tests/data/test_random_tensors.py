@@ -1,0 +1,106 @@
+"""Unit tests for the random tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.random_tensors import clustered_coo, random_coo, random_operand_pair
+from repro.errors import ShapeError
+
+
+class TestRandomCoo:
+    def test_exact_nnz(self):
+        t = random_coo((20, 20), nnz=50, seed=1)
+        assert t.nnz == 50
+        assert t.sum_duplicates().nnz == 50  # coordinates are distinct
+
+    def test_deterministic(self):
+        a = random_coo((10, 10, 10), nnz=100, seed=7)
+        b = random_coo((10, 10, 10), nnz=100, seed=7)
+        np.testing.assert_array_equal(a.coords, b.coords)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_changes_output(self):
+        a = random_coo((10, 10, 10), nnz=100, seed=7)
+        b = random_coo((10, 10, 10), nnz=100, seed=8)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_too_many_nonzeros(self):
+        with pytest.raises(ShapeError):
+            random_coo((3, 3), nnz=10, seed=1)
+
+    def test_full_density(self):
+        t = random_coo((4, 4), nnz=16, seed=2)
+        assert t.nnz == 16
+        assert (t.to_dense() != 0).all()
+
+    def test_sparse_regime_sampling(self):
+        # Exercise the oversample-and-dedupe path (cells >> nnz).
+        t = random_coo((1 << 12, 1 << 12), nnz=1000, seed=3)
+        assert t.nnz == 1000
+        assert t.sum_duplicates().nnz == 1000
+
+    def test_normal_values(self):
+        t = random_coo((30, 30), nnz=200, seed=4, value_dist="normal")
+        assert (t.values < 0).any()
+
+    def test_uniform_values_nonzero(self):
+        t = random_coo((30, 30), nnz=200, seed=5)
+        assert (t.values > 0).all()
+
+    def test_bad_dist(self):
+        with pytest.raises(ValueError):
+            random_coo((5, 5), nnz=3, seed=0, value_dist="cauchy")
+
+    def test_coordinates_uniform_ish(self):
+        # Mode marginals of a large uniform sample should be flat-ish.
+        t = random_coo((16, 1000), nnz=8000, seed=6)
+        counts = np.bincount(t.coords[0], minlength=16)
+        assert counts.min() > 0.5 * counts.mean()
+        assert counts.max() < 1.5 * counts.mean()
+
+
+class TestClusteredCoo:
+    def test_generates(self):
+        t = clustered_coo((100, 100), nnz=500, seed=1)
+        assert 0 < t.nnz <= 500
+        assert t.shape == (100, 100)
+
+    def test_single_cluster_concentrates(self):
+        clustered = clustered_coo((1000, 1000), nnz=2000, seed=2, n_clusters=1,
+                                  spread=0.01)
+        # All points jitter around one center: tiny spread vs the extent.
+        assert clustered.coords[0].std() < 50
+        assert clustered.coords[1].std() < 50
+
+    def test_occupies_few_rows(self):
+        import numpy as np
+
+        uniform = random_coo((1000, 1000), nnz=2000, seed=2)
+        clustered = clustered_coo((1000, 1000), nnz=2000, seed=2, n_clusters=3,
+                                  spread=0.01)
+        assert len(np.unique(clustered.coords[0])) < 0.5 * len(
+            np.unique(uniform.coords[0])
+        )
+
+
+class TestOperandPair:
+    def test_extents_and_density(self):
+        left, right = random_operand_pair(
+            50, 40, 30, density_l=0.1, density_r=0.05, seed=1
+        )
+        assert left.ext_extent == 50 and left.con_extent == 40
+        assert right.ext_extent == 30 and right.con_extent == 40
+        assert left.nnz == round(0.1 * 50 * 40)
+        assert right.nnz == round(0.05 * 40 * 30)
+
+    def test_indices_in_range(self):
+        left, right = random_operand_pair(
+            50, 40, 30, density_l=0.1, density_r=0.05, seed=2
+        )
+        assert left.ext.max() < 50 and left.con.max() < 40
+        assert right.ext.max() < 30 and right.con.max() < 40
+
+    def test_unique_coordinates(self):
+        left, _ = random_operand_pair(20, 20, 20, density_l=0.3, density_r=0.1, seed=3)
+        combined = left.ext * 20 + left.con
+        assert len(np.unique(combined)) == left.nnz

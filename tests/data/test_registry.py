@@ -1,0 +1,54 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.data.registry import FROSTT_CASES, QUANTUM_CASES, all_cases, get_case
+
+
+class TestRegistry:
+    def test_sixteen_cases(self):
+        # Table 3 has 16 rows: 10 FROSTT + 6 quantum chemistry.
+        assert len(FROSTT_CASES) == 10
+        assert len(QUANTUM_CASES) == 6
+        assert len(all_cases()) == 16
+
+    def test_paper_metadata_complete(self):
+        for name, case in all_cases().items():
+            assert case.paper["model"] in ("D", "S"), name
+            assert "p_l_pct" in case.paper
+            assert "time_dense_s" in case.paper
+
+    def test_frostt_original_parameters(self):
+        orig = get_case("chic_0").paper["original"]
+        assert orig["C"] == 6186
+        assert orig["L"] == 24 * 77 * 32
+        assert orig["nnz_L"] == 5_330_673
+
+    def test_nips2_dnf_marker(self):
+        assert get_case("NIPS_2").paper["time_dense_s"] == float("inf")
+
+    def test_get_case_unknown(self):
+        with pytest.raises(KeyError):
+            get_case("chic_9")
+
+    def test_case_loads_self_contraction(self):
+        left, right, pairs = get_case("chic_01").load()
+        assert left is right
+        assert pairs == [(0, 0), (1, 1)]
+
+    def test_case_loads_quantum(self):
+        left, right, pairs = get_case("C-vvoo").load()
+        assert pairs == [(2, 2)]
+        assert left.ndim == right.ndim == 3
+
+    def test_loaders_deterministic(self):
+        a1, _, _ = get_case("uber_02").load()
+        a2, _, _ = get_case("uber_02").load()
+        assert a1.allclose(a2)
+
+    def test_workloads_measurable(self):
+        """Every case must be big enough to produce a measurable kernel
+        run (thousands of nonzeros), per the DESIGN.md scaling rules."""
+        for name, case in all_cases().items():
+            left, _, _ = case.load()
+            assert left.nnz >= 400, name

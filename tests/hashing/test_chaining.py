@@ -1,0 +1,129 @@
+"""Unit and property tests for the chaining multimap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import Counters
+from repro.hashing.chaining import ChainingMultiMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m = ChainingMultiMap()
+        assert len(m) == 0
+        q, k, v = m.get_all_batch(np.array([1, 2]))
+        assert q.size == 0
+
+    def test_single_insert_lookup(self):
+        m = ChainingMultiMap()
+        m.insert_batch(np.array([5]), np.array([2.5]))
+        q, k, v = m.get_all_batch(np.array([5]))
+        np.testing.assert_array_equal(k, [5])
+        np.testing.assert_array_equal(v, [2.5])
+
+    def test_duplicate_keys_kept(self):
+        m = ChainingMultiMap()
+        m.insert_batch(np.array([3, 3, 3]), np.array([1.0, 2.0, 3.0]))
+        q, k, v = m.get_all_batch(np.array([3]))
+        assert sorted(v.tolist()) == [1.0, 2.0, 3.0]
+        assert len(m) == 3
+
+    def test_query_index_alignment(self):
+        m = ChainingMultiMap()
+        m.insert_batch(np.array([1, 2, 2]), np.array([10.0, 20.0, 21.0]))
+        q, k, v = m.get_all_batch(np.array([2, 1, 9]))
+        # query 0 -> key 2 (two matches), query 1 -> key 1, query 2 -> none
+        assert sorted(v[q == 0].tolist()) == [20.0, 21.0]
+        assert v[q == 1].tolist() == [10.0]
+        assert (q == 2).sum() == 0
+
+    def test_multi_batch_inserts(self):
+        m = ChainingMultiMap(num_buckets=8)
+        m.insert_batch(np.array([1, 2]), np.array([1.0, 2.0]))
+        m.insert_batch(np.array([1, 3]), np.array([1.5, 3.0]))
+        q, k, v = m.get_all_batch(np.array([1]))
+        assert sorted(v.tolist()) == [1.0, 1.5]
+
+    def test_mismatched_lengths(self):
+        m = ChainingMultiMap()
+        with pytest.raises(ValueError):
+            m.insert_batch(np.array([1]), np.array([1.0, 2.0]))
+
+    def test_empty_insert_noop(self):
+        m = ChainingMultiMap()
+        m.insert_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(m) == 0
+
+    def test_int_value_dtype(self):
+        m = ChainingMultiMap(value_dtype=np.int64)
+        m.insert_batch(np.array([7]), np.array([99]))
+        _, _, v = m.get_all_batch(np.array([7]))
+        assert v.dtype == np.int64
+        assert v[0] == 99
+
+    def test_items_insertion_order(self):
+        m = ChainingMultiMap()
+        m.insert_batch(np.array([9, 1]), np.array([9.0, 1.0]))
+        k, v = m.items()
+        np.testing.assert_array_equal(k, [9, 1])
+
+
+class TestChainBehaviour:
+    def test_chain_lengths_sum(self):
+        m = ChainingMultiMap(num_buckets=16)
+        m.insert_batch(np.arange(100, dtype=np.int64), np.ones(100))
+        assert m.chain_lengths().sum() == 100
+
+    def test_overload_grows_chains(self):
+        # Fixed bucket count: chains grow with load (Sparta's trade-off).
+        m = ChainingMultiMap(num_buckets=8)
+        m.insert_batch(np.arange(256, dtype=np.int64), np.ones(256))
+        assert m.chain_lengths().max() >= 256 / 8
+
+    def test_probe_counter_tracks_chain_walks(self):
+        c = Counters()
+        m = ChainingMultiMap(num_buckets=8, counters=c)
+        m.insert_batch(np.arange(64, dtype=np.int64), np.ones(64))
+        c.probes = 0
+        m.get_all_batch(np.arange(64, dtype=np.int64))
+        # Walking 64 chains of average length 8 costs >> 64 probes.
+        assert c.probes > 128
+
+    def test_all_colliding_hash_correct(self):
+        def bad_hash(keys):
+            return np.zeros(np.asarray(keys).shape, dtype=np.uint64)
+
+        m = ChainingMultiMap(num_buckets=8, hash_fn=bad_hash)
+        m.insert_batch(np.arange(50, dtype=np.int64), np.arange(50, dtype=float))
+        q, k, v = m.get_all_batch(np.arange(50, dtype=np.int64))
+        assert q.shape[0] == 50
+        np.testing.assert_array_equal(np.sort(k), np.arange(50))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.tuples(st.integers(0, 40), st.integers(-5, 5)), max_size=25),
+        max_size=6,
+    ),
+    queries=st.lists(st.integers(0, 50), max_size=20),
+)
+def test_matches_multimap_model(batches, queries):
+    """Property: lookups return exactly the inserted multiset per key."""
+    m = ChainingMultiMap(num_buckets=8)
+    model: dict[int, list[float]] = {}
+    for batch in batches:
+        if not batch:
+            continue
+        keys = np.array([k for k, _ in batch], dtype=np.int64)
+        values = np.array([float(v) for _, v in batch])
+        m.insert_batch(keys, values)
+        for k, v in batch:
+            model.setdefault(k, []).append(float(v))
+    q, k, v = m.get_all_batch(np.array(queries, dtype=np.int64))
+    for qi, query_key in enumerate(queries):
+        got = sorted(v[q == qi].tolist())
+        expected = sorted(model.get(query_key, []))
+        assert got == expected

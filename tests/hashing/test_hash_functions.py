@@ -1,0 +1,80 @@
+"""Unit tests for the hash mixers."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.hash_functions import (
+    fibonacci_hash,
+    identity_hash,
+    mask_for_capacity,
+    splitmix64,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.int64)
+        np.testing.assert_array_equal(splitmix64(keys), splitmix64(keys))
+
+    def test_no_trivial_collisions(self):
+        keys = np.arange(100_000, dtype=np.int64)
+        hashes = splitmix64(keys)
+        assert len(np.unique(hashes)) == len(keys)
+
+    def test_low_bits_spread(self):
+        # Sequential keys must spread over low bits (the table mask keeps
+        # only these); a uniform spread has ~N/16 keys per bucket.
+        keys = np.arange(16_000, dtype=np.int64)
+        buckets = splitmix64(keys) & np.uint64(15)
+        counts = np.bincount(buckets.astype(np.int64), minlength=16)
+        assert counts.min() > 800 and counts.max() < 1200
+
+    def test_strided_keys_spread(self):
+        # Keys sharing low bits (tile-strided indices) must still spread.
+        keys = np.arange(0, 1 << 20, 1 << 10, dtype=np.int64)
+        buckets = splitmix64(keys) & np.uint64(63)
+        counts = np.bincount(buckets.astype(np.int64), minlength=64)
+        assert counts.min() > 0
+
+    def test_output_dtype(self):
+        assert splitmix64(np.array([1], dtype=np.int64)).dtype == np.uint64
+
+    def test_input_not_mutated(self):
+        keys = np.arange(10, dtype=np.int64)
+        before = keys.copy()
+        splitmix64(keys)
+        np.testing.assert_array_equal(keys, before)
+
+
+class TestFibonacciHash:
+    def test_range(self):
+        keys = np.arange(1000, dtype=np.int64)
+        h = fibonacci_hash(keys, 8)
+        assert h.max() < 256
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            fibonacci_hash(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            fibonacci_hash(np.array([1]), 65)
+
+    def test_sequential_spread(self):
+        keys = np.arange(4096, dtype=np.int64)
+        h = fibonacci_hash(keys, 6)
+        counts = np.bincount(h.astype(np.int64), minlength=64)
+        assert counts.max() < 3 * counts.mean()
+
+
+class TestHelpers:
+    def test_identity_hash(self):
+        keys = np.array([5, 7], dtype=np.int64)
+        np.testing.assert_array_equal(identity_hash(keys), [5, 7])
+
+    def test_mask(self):
+        assert mask_for_capacity(64) == 63
+
+    def test_mask_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            mask_for_capacity(48)
+        with pytest.raises(ValueError):
+            mask_for_capacity(0)

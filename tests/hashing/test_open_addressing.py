@@ -1,0 +1,251 @@
+"""Unit and property tests for the open-addressing map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import Counters
+from repro.hashing.open_addressing import OpenAddressingMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m = OpenAddressingMap()
+        assert len(m) == 0
+        assert 5 not in m
+
+    def test_scalar_set_get(self):
+        m = OpenAddressingMap()
+        m[7] = 3.5
+        assert m[7] == 3.5
+        assert 7 in m
+
+    def test_missing_key_raises(self):
+        m = OpenAddressingMap()
+        with pytest.raises(KeyError):
+            m[42]
+
+    def test_set_overwrites(self):
+        m = OpenAddressingMap()
+        m[1] = 1.0
+        m[1] = 2.0
+        assert m[1] == 2.0
+        assert len(m) == 1
+
+    def test_upsert_adds(self):
+        m = OpenAddressingMap()
+        m.upsert_batch(np.array([3, 3, 5]), np.array([1.0, 2.0, 4.0]))
+        assert m[3] == 3.0
+        assert m[5] == 4.0
+
+    def test_get_batch_defaults(self):
+        m = OpenAddressingMap()
+        m[1] = 9.0
+        values, found = m.get_batch(np.array([1, 2]), default=-1.0)
+        np.testing.assert_array_equal(values, [9.0, -1.0])
+        np.testing.assert_array_equal(found, [True, False])
+
+    def test_empty_batches_noop(self):
+        m = OpenAddressingMap()
+        m.upsert_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        m.set_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(m) == 0
+
+    def test_negative_key_rejected(self):
+        m = OpenAddressingMap()
+        with pytest.raises(ValueError):
+            m.upsert_batch(np.array([-1]), np.array([1.0]))
+
+    def test_length_mismatch_rejected(self):
+        m = OpenAddressingMap()
+        with pytest.raises(ValueError):
+            m.upsert_batch(np.array([1, 2]), np.array([1.0]))
+
+    def test_set_batch_last_duplicate_wins(self):
+        m = OpenAddressingMap()
+        m.set_batch(np.array([4, 4, 4]), np.array([1.0, 2.0, 3.0]))
+        assert m[4] == 3.0
+
+    def test_int_values(self):
+        m = OpenAddressingMap(value_dtype=np.int64)
+        m.set_batch(np.array([10, 20]), np.array([100, 200]))
+        values, found = m.get_batch(np.array([10, 20, 30]))
+        assert values.dtype == np.int64
+        np.testing.assert_array_equal(values[:2], [100, 200])
+
+    def test_bad_load_factor(self):
+        with pytest.raises(ValueError):
+            OpenAddressingMap(max_load=1.5)
+
+
+class TestResize:
+    def test_grows_past_initial_capacity(self):
+        m = OpenAddressingMap(initial_capacity=8)
+        keys = np.arange(1000, dtype=np.int64)
+        m.upsert_batch(keys, np.ones(1000))
+        assert len(m) == 1000
+        assert m.capacity >= 1000 / m.max_load
+        values, found = m.get_batch(keys)
+        assert found.all()
+        np.testing.assert_array_equal(values, np.ones(1000))
+
+    def test_resize_counted(self):
+        c = Counters()
+        m = OpenAddressingMap(initial_capacity=8, counters=c)
+        m.upsert_batch(np.arange(500, dtype=np.int64), np.ones(500))
+        assert c.resizes >= 1
+
+    def test_load_factor_bounded(self):
+        m = OpenAddressingMap(initial_capacity=8, max_load=0.7)
+        for start in range(0, 2000, 100):
+            m.upsert_batch(
+                np.arange(start, start + 100, dtype=np.int64), np.ones(100)
+            )
+            assert m.load_factor <= 0.7 + 1e-9
+
+
+class TestAdversarial:
+    def test_all_colliding_hash(self):
+        # A constant hash degenerates to a linear scan but must stay correct.
+        def bad_hash(keys):
+            return np.zeros(np.asarray(keys).shape, dtype=np.uint64)
+
+        m = OpenAddressingMap(hash_fn=bad_hash)
+        keys = np.arange(200, dtype=np.int64)
+        m.upsert_batch(keys, keys.astype(np.float64))
+        values, found = m.get_batch(keys)
+        assert found.all()
+        np.testing.assert_array_equal(values, keys.astype(np.float64))
+
+    def test_probe_counter_grows_under_collisions(self):
+        def bad_hash(keys):
+            return np.zeros(np.asarray(keys).shape, dtype=np.uint64)
+
+        good = Counters()
+        bad = Counters()
+        keys = np.arange(300, dtype=np.int64)
+        OpenAddressingMap(counters=good).upsert_batch(keys, np.ones(300))
+        OpenAddressingMap(hash_fn=bad_hash, counters=bad).upsert_batch(
+            keys, np.ones(300)
+        )
+        assert bad.probes > 5 * good.probes
+
+    def test_interleaved_upsert_lookup(self, rng):
+        m = OpenAddressingMap(initial_capacity=8)
+        model: dict[int, float] = {}
+        for _ in range(20):
+            keys = rng.integers(0, 50, size=30)
+            values = rng.random(30)
+            m.upsert_batch(keys, values)
+            for k, v in zip(keys.tolist(), values.tolist()):
+                model[k] = model.get(k, 0.0) + v
+            got, found = m.get_batch(np.array(sorted(model)))
+            assert found.all()
+            np.testing.assert_allclose(got, [model[k] for k in sorted(model)])
+
+    def test_items_sorted(self):
+        m = OpenAddressingMap()
+        m.set_batch(np.array([30, 10, 20]), np.array([3.0, 1.0, 2.0]))
+        keys, values = m.items_sorted()
+        np.testing.assert_array_equal(keys, [10, 20, 30])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+
+
+class TestQuadraticProbing:
+    def test_correctness_parity_with_linear(self, rng):
+        lin = OpenAddressingMap(8, probing="linear")
+        quad = OpenAddressingMap(8, probing="quadratic")
+        for _ in range(10):
+            keys = rng.integers(0, 300, size=50)
+            values = rng.random(50)
+            lin.upsert_batch(keys, values)
+            quad.upsert_batch(keys, values)
+        assert lin.to_dict() == pytest.approx(quad.to_dict())
+
+    def test_visits_all_slots_under_constant_hash(self):
+        # Triangular quadratic probing over a power-of-two capacity is a
+        # complete probe sequence: even an all-colliding hash terminates.
+        def bad_hash(keys):
+            return np.zeros(np.asarray(keys).shape, dtype=np.uint64)
+
+        m = OpenAddressingMap(8, probing="quadratic", hash_fn=bad_hash)
+        keys = np.arange(100, dtype=np.int64)
+        m.upsert_batch(keys, keys.astype(np.float64))
+        values, found = m.get_batch(keys)
+        assert found.all()
+        np.testing.assert_array_equal(values, keys.astype(np.float64))
+
+    def test_quadratic_reduces_clustered_probes(self):
+        # Keys pre-hashed into one dense run (identity hash, sequential
+        # keys): linear probing suffers primary clustering on *misses*,
+        # quadratic escapes the cluster faster.
+        from repro.hashing.hash_functions import identity_hash
+
+        keys = np.arange(3000, dtype=np.int64)  # one contiguous cluster
+        # Absent keys that hash *into* the cluster (identity & mask wraps
+        # 8192+i back onto slot i): linear probing must walk to the
+        # cluster's end, quadratic escapes in O(sqrt(cluster)) steps.
+        miss_queries = np.arange(8192, 8192 + 3000, dtype=np.int64)
+        probes = {}
+        for probing in ("linear", "quadratic"):
+            c = Counters()
+            m = OpenAddressingMap(
+                8192, probing=probing, hash_fn=identity_hash, counters=c
+            )
+            m.upsert_batch(keys, np.ones(3000))
+            c.probes = 0
+            m.get_batch(miss_queries)
+            probes[probing] = c.probes
+        assert probes["quadratic"] < probes["linear"]
+
+    def test_invalid_probing(self):
+        with pytest.raises(ValueError):
+            OpenAddressingMap(probing="cubic")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 200), min_size=0, max_size=20),
+            st.booleans(),  # True: upsert, False: set
+        ),
+        max_size=12,
+    )
+)
+def test_matches_dict_model(ops):
+    """Property: the table behaves exactly like a Python dict model."""
+    m = OpenAddressingMap(initial_capacity=8)
+    model: dict[int, float] = {}
+    for i, (key_list, is_upsert) in enumerate(ops):
+        keys = np.array(key_list, dtype=np.int64)
+        values = (keys % 7 + i).astype(np.float64)
+        if is_upsert:
+            m.upsert_batch(keys, values)
+            for k, v in zip(key_list, values.tolist()):
+                model[k] = model.get(k, 0.0) + v
+        else:
+            m.set_batch(keys, values)
+            for k, v in zip(key_list, values.tolist()):
+                model[k] = v
+    assert len(m) == len(model)
+    assert m.to_dict() == pytest.approx(model)
+
+
+class TestAssumeUnique:
+    def test_fast_path_matches_general(self):
+        keys = np.array([5, 17, 3, 999], dtype=np.int64)
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        a = OpenAddressingMap()
+        a.set_batch(keys, values)
+        b = OpenAddressingMap()
+        b.set_batch(keys, values, assume_unique=True)
+        assert a.to_dict() == b.to_dict()
+
+    def test_overwrite_existing(self):
+        m = OpenAddressingMap()
+        m.set_batch(np.array([7]), np.array([1.0]), assume_unique=True)
+        m.set_batch(np.array([7]), np.array([9.0]), assume_unique=True)
+        assert m[7] == 9.0
+        assert len(m) == 1

@@ -1,0 +1,119 @@
+"""Unit and property tests for the SliceTable grouped map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import Counters
+from repro.hashing.slice_table import SliceTable
+
+
+def build(keys, idx, values, **kw):
+    return SliceTable(
+        np.array(keys, dtype=np.int64),
+        np.array(idx, dtype=np.int64),
+        np.array(values, dtype=np.float64),
+        **kw,
+    )
+
+
+class TestBasics:
+    def test_grouping(self):
+        t = build([2, 1, 2, 1, 3], [0, 1, 2, 3, 4], [1, 2, 3, 4, 5])
+        assert t.num_keys == 3
+        np.testing.assert_array_equal(t.keys(), [1, 2, 3])
+        idx, vals = t.get(2)
+        assert sorted(idx.tolist()) == [0, 2]
+        assert sorted(vals.tolist()) == [1.0, 3.0]
+
+    def test_missing_key_empty(self):
+        t = build([1], [0], [1.0])
+        idx, vals = t.get(99)
+        assert idx.size == 0 and vals.size == 0
+
+    def test_empty_table(self):
+        t = build([], [], [])
+        assert t.num_keys == 0
+        assert t.nnz == 0
+        found, starts, counts = t.query_batch(np.array([1, 2], dtype=np.int64))
+        assert not found.any()
+
+    def test_group_sizes(self):
+        t = build([5, 5, 5, 7], [0, 1, 2, 3], [1, 1, 1, 1])
+        np.testing.assert_array_equal(t.group_sizes(), [3, 1])
+
+    def test_contains(self):
+        t = build([4], [0], [1.0])
+        assert 4 in t
+        assert 5 not in t
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            build([1, 2], [0], [1.0, 2.0])
+
+
+class TestQueryBatch:
+    def test_spans_slice_payload(self):
+        t = build([1, 2, 2, 3], [10, 20, 21, 30], [1, 2, 3, 4])
+        found, starts, counts = t.query_batch(np.array([2, 9], dtype=np.int64))
+        assert found.tolist() == [True, False]
+        idx, vals = t.payload
+        s, c = int(starts[0]), int(counts[0])
+        assert sorted(idx[s : s + c].tolist()) == [20, 21]
+        assert counts[1] == 0
+
+    def test_spans_for_all_keys_cover_payload(self):
+        t = build([3, 1, 3, 1, 1], [0, 1, 2, 3, 4], [1, 1, 1, 1, 1])
+        starts, counts = t.spans_for_all_keys()
+        assert counts.sum() == t.nnz
+        assert starts[0] == 0
+
+    def test_queries_counted(self):
+        c = Counters()
+        t = build([1, 2], [0, 1], [1.0, 2.0], counters=c)
+        base = c.hash_queries
+        t.query_batch(np.array([1, 2, 3], dtype=np.int64))
+        assert c.hash_queries == base + 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 30), st.floats(-5, 5)),
+        max_size=60,
+    )
+)
+def test_matches_grouped_dict_model(entries):
+    """Property: each key's slice equals the inserted group (as multisets)."""
+    keys = [k for k, _, _ in entries]
+    idx = [i for _, i, _ in entries]
+    vals = [v for _, _, v in entries]
+    t = build(keys, idx, vals)
+
+    model: dict[int, list[tuple[int, float]]] = {}
+    for k, i, v in entries:
+        model.setdefault(k, []).append((i, v))
+
+    assert t.num_keys == len(model)
+    assert t.nnz == len(entries)
+    for k in range(16):
+        got_idx, got_vals = t.get(k)
+        got = sorted(zip(got_idx.tolist(), got_vals.tolist()))
+        expected = sorted(model.get(k, []))
+        assert got == pytest.approx(expected)
+
+
+class TestCountersIntegration:
+    def test_probes_counted_on_construction(self):
+        from repro.analysis.counters import Counters
+
+        c = Counters()
+        build(list(range(200)), list(range(200)), [1.0] * 200, counters=c)
+        assert c.probes > 0  # the lookup table's inserts probe
+
+    def test_payload_views_not_copies(self):
+        t = build([1, 1, 2], [10, 11, 20], [1.0, 2.0, 3.0])
+        idx, vals = t.payload
+        idx2, vals2 = t.payload
+        assert idx is idx2 and vals is vals2

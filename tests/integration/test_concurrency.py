@@ -1,0 +1,146 @@
+"""Concurrency stress tests.
+
+The tile-pair tasks share nothing but the read-only tables, per-worker
+accumulators (thread-local) and the counters; these tests hammer the
+threaded paths to catch state leakage between workers, accumulator
+reuse bugs, and nondeterminism in the *mathematical* result (execution
+order may differ; the tensor must not).
+"""
+
+import numpy as np
+import pytest
+
+from repro import contract
+from repro.core.model import choose_plan
+from repro.core.plan import ContractionSpec
+from repro.core.tiled_co import tiled_co_contract
+from repro.data.random_tensors import random_operand_pair, random_coo
+from repro.machine.specs import DESKTOP
+
+from tests.conftest import reference_product, triples_to_dense
+
+
+class TestThreadedKernel:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_repeated_threaded_runs_stable(self, trial):
+        """Five back-to-back 4-worker runs, different seeds: each must
+        match the dense reference exactly."""
+        left, right = random_operand_pair(
+            60, 40, 60, density_l=0.08, density_r=0.08, seed=100 + trial
+        )
+        expected = reference_product(left, right)
+        spec = ContractionSpec((60, 40), (40, 60), [(1, 0)])
+        plan = choose_plan(spec, left.nnz, right.nnz, DESKTOP, tile_size=8)
+        l, r, v, _ = tiled_co_contract(left, right, plan, n_workers=4)
+        got = triples_to_dense(l, r, v, 60, 60)
+        np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    def test_many_tiny_tasks(self):
+        """Tile size 1: hundreds of minuscule tasks churn the queue and
+        the per-worker accumulator reuse path."""
+        left, right = random_operand_pair(
+            30, 20, 30, density_l=0.15, density_r=0.15, seed=9
+        )
+        expected = reference_product(left, right)
+        spec = ContractionSpec((30, 20), (20, 30), [(1, 0)])
+        plan = choose_plan(spec, left.nnz, right.nnz, DESKTOP, tile_size=1)
+        l, r, v, stats = tiled_co_contract(left, right, plan, n_workers=4)
+        assert stats.num_tasks > 100
+        got = triples_to_dense(l, r, v, 30, 30)
+        np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    def test_workers_exceed_tasks(self):
+        left, right = random_operand_pair(
+            10, 8, 10, density_l=0.2, density_r=0.2, seed=10
+        )
+        spec = ContractionSpec((10, 8), (8, 10), [(1, 0)])
+        plan = choose_plan(spec, left.nnz, right.nnz, DESKTOP, tile_size=16)
+        l, r, v, stats = tiled_co_contract(left, right, plan, n_workers=8)
+        assert stats.num_tasks <= 1
+        got = triples_to_dense(l, r, v, 10, 10)
+        np.testing.assert_allclose(got, reference_product(left, right))
+
+    def test_accumulator_reuse_across_tasks_is_clean(self):
+        """A worker's accumulator is reset between tasks; a leak would
+        bleed values from one output tile into another.  Construct a
+        case where every tile gets the same update pattern so leakage
+        would double values."""
+        # Identity-like operands: L = R = I_16 scaled.
+        eye = np.arange(16, dtype=np.int64)
+        from repro.tensors.coo import COOTensor
+        from repro.core.plan import LinearizedOperand
+
+        left = LinearizedOperand(eye, eye, np.full(16, 2.0), 16, 16)
+        right = LinearizedOperand(eye, eye, np.full(16, 3.0), 16, 16)
+        spec = ContractionSpec((16, 16), (16, 16), [(1, 0)])
+        plan = choose_plan(spec, 16, 16, DESKTOP, tile_size=4)
+        l, r, v, _ = tiled_co_contract(left, right, plan, n_workers=3)
+        assert np.allclose(v, 6.0)
+        assert l.shape[0] == 16
+
+    def test_threaded_public_api_deterministic_output(self):
+        a = random_coo((40, 25, 10), nnz=400, seed=11)
+        outs = [
+            contract(a, a, [(2, 2)], n_workers=w, tile_size=8) for w in (1, 2, 4)
+        ]
+        for other in outs[1:]:
+            # canonical=True sorts: bitwise-identical coordinate arrays.
+            np.testing.assert_array_equal(outs[0].coords, other.coords)
+            np.testing.assert_allclose(outs[0].values, other.values, rtol=1e-12)
+
+
+class TestThreadedConstruction:
+    def test_concurrent_pair_builds_stress(self):
+        from repro.core.tiled_co import build_tiled_tables_pair
+
+        for trial in range(5):
+            left, right = random_operand_pair(
+                64, 32, 64, density_l=0.1, density_r=0.1, seed=200 + trial
+            )
+            hl, hr = build_tiled_tables_pair(left, right, 8, 8, n_workers=4)
+            assert sum(t.nnz for t in hl.tables if t) == left.nnz
+            assert sum(t.nnz for t in hr.tables if t) == right.nnz
+
+
+class TestFailurePropagation:
+    def test_worker_exception_surfaces(self, monkeypatch):
+        """A fault inside one tile task must surface to the caller (not
+        hang the queue or get swallowed)."""
+        from repro.core import accumulators
+
+        left, right = random_operand_pair(
+            40, 20, 40, density_l=0.1, density_r=0.1, seed=31
+        )
+        spec = ContractionSpec((40, 20), (20, 40), [(1, 0)])
+        plan = choose_plan(spec, left.nnz, right.nnz, DESKTOP, tile_size=8)
+
+        original = accumulators.DenseTileAccumulator.update_batch
+        calls = {"n": 0}
+
+        def flaky(self, positions, values):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("injected accumulator fault")
+            return original(self, positions, values)
+
+        monkeypatch.setattr(
+            accumulators.DenseTileAccumulator, "update_batch", flaky
+        )
+        with pytest.raises(RuntimeError, match="injected"):
+            tiled_co_contract(left, right, plan, n_workers=2)
+
+    def test_construction_fault_surfaces(self, monkeypatch):
+        from repro.core import tiled_co as kernel_mod
+
+        left, right = random_operand_pair(
+            40, 20, 40, density_l=0.1, density_r=0.1, seed=32
+        )
+
+        def broken(*args, **kwargs):
+            raise ValueError("injected table fault")
+
+        monkeypatch.setattr(kernel_mod, "build_tiled_tables", broken)
+        from repro.core.tiled_co import build_tiled_tables_pair
+
+        with pytest.raises(ValueError, match="injected"):
+            build_tiled_tables_pair(left, right, 8, 8, n_workers=4)

@@ -1,0 +1,128 @@
+"""Integration tests: full pipeline against dense einsum across mode
+arities, methods, and machine models."""
+
+import numpy as np
+import pytest
+
+from repro import COOTensor, contract, self_contract
+from repro.data.random_tensors import random_coo
+from repro.machine.specs import DESKTOP, MINIATURE, SERVER
+from repro.tensors.dense import dense_contract, dense_self_contract
+
+METHODS = ["fastcc", "sparta", "taco", "ci", "cm", "co"]
+
+CASES = [
+    # (left shape, right shape, pairs) covering orders 2-5 and varying
+    # numbers of contraction modes.
+    ((8, 9), (9, 7), [(1, 0)]),
+    ((9, 8), (7, 9), [(0, 1)]),
+    ((5, 6, 7), (7, 4), [(2, 0)]),
+    ((5, 6, 7), (6, 7, 3), [(1, 0), (2, 1)]),
+    ((4, 5, 6, 3), (3, 6, 8), [(3, 0), (2, 1)]),
+    ((3, 4, 2, 5, 3), (5, 3, 6), [(3, 0), (4, 1)]),
+    ((6, 5), (5, 6), [(0, 1), (1, 0)]),  # scalar output
+]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("case_idx", range(len(CASES)))
+def test_method_matches_einsum(method, case_idx):
+    a_shape, b_shape, pairs = CASES[case_idx]
+    a = random_coo(a_shape, nnz=min(40, a_shape[0] * a_shape[1]), seed=case_idx)
+    b = random_coo(b_shape, nnz=min(35, b_shape[0] * b_shape[1]), seed=100 + case_idx)
+    out = contract(a, b, pairs, method=method)
+    expected = dense_contract(a, b, pairs)
+    np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("machine", [DESKTOP, SERVER, MINIATURE])
+def test_machine_invariance(machine):
+    """The machine model changes the plan, never the result."""
+    a = random_coo((40, 30, 20), nnz=300, seed=7)
+    b = random_coo((20, 30, 25), nnz=250, seed=8)
+    pairs = [(2, 0), (1, 1)]
+    out = contract(a, b, pairs, machine=machine)
+    np.testing.assert_allclose(
+        out.to_dense(), dense_contract(a, b, pairs), rtol=1e-9
+    )
+
+
+class TestDuplicateAndDegenerateInputs:
+    def test_heavy_duplicates(self, rng):
+        # Many duplicate coordinates: all kernels must fold them first.
+        coords = rng.integers(0, 4, size=(2, 200))
+        values = rng.standard_normal(200)
+        a = COOTensor(coords, values, (4, 4))
+        out = contract(a, a, [(1, 0)])
+        expected = a.to_dense() @ a.to_dense()
+        np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-9)
+
+    def test_explicit_zeros(self):
+        a = COOTensor([[0, 1], [0, 1]], [0.0, 2.0], (2, 2))
+        b = COOTensor([[0, 1], [0, 1]], [3.0, 0.0], (2, 2))
+        out = contract(a, b, [(1, 0)])
+        np.testing.assert_allclose(out.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_single_nonzero(self):
+        a = COOTensor([[2], [3]], [5.0], (4, 6))
+        b = COOTensor([[3], [1]], [2.0], (6, 3))
+        out = contract(a, b, [(1, 0)])
+        assert out.nnz == 1
+        assert out.to_dense()[2, 1] == 10.0
+
+    def test_both_empty(self):
+        a = COOTensor.empty((4, 5))
+        b = COOTensor.empty((5, 6))
+        for method in METHODS:
+            out = contract(a, b, [(1, 0)], method=method)
+            assert out.nnz == 0
+
+    def test_extent_one_modes(self):
+        a = random_coo((1, 7, 1), nnz=5, seed=9)
+        b = random_coo((7, 1), nnz=5, seed=10)
+        out = contract(a, b, [(1, 0)])
+        expected = dense_contract(a, b, [(1, 0)])
+        np.testing.assert_allclose(out.to_dense(), expected)
+
+    def test_negative_values(self):
+        a = random_coo((10, 10), nnz=40, seed=11, value_dist="normal")
+        out = self_contract(a, [1])
+        np.testing.assert_allclose(
+            out.to_dense(), dense_self_contract(a, [1]), rtol=1e-9
+        )
+
+
+class TestPaperWorkloadShapes:
+    """Miniature versions of the paper's contraction shapes, all methods."""
+
+    def test_chicago_style_self_contraction(self):
+        t = random_coo((30, 6, 8, 5), nnz=150, seed=12)
+        for modes in ([0], [0, 1], [1, 2, 3]):
+            fast = self_contract(t, modes)
+            np.testing.assert_allclose(
+                fast.to_dense(), dense_self_contract(t, modes), rtol=1e-9
+            )
+
+    def test_dlpno_style_contraction(self):
+        te1 = random_coo((6, 12, 10), nnz=80, seed=13)
+        te2 = random_coo((6, 12, 10), nnz=70, seed=14)
+        out = contract(te1, te2, [(2, 2)])
+        np.testing.assert_allclose(
+            out.to_dense(), dense_contract(te1, te2, [(2, 2)]), rtol=1e-9
+        )
+
+    def test_methods_agree_on_quantum_case(self):
+        from repro.data.quantum import generate_dlpno_operands
+
+        left, right, pairs = generate_dlpno_operands("caffeine", "ovov", seed=2)
+        reference = contract(left, right, pairs, method="fastcc")
+        sparta = contract(left, right, pairs, method="sparta")
+        assert reference.allclose(sparta)
+
+    def test_fastcc_matches_sparta_on_frostt_case(self):
+        from repro.data.registry import get_case
+
+        left, right, pairs = get_case("chic_01").load()
+        fast = contract(left, right, pairs, method="fastcc")
+        sparta = contract(left, right, pairs, method="sparta")
+        assert fast.allclose(sparta)

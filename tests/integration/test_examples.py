@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run clean.
+
+Examples are deliverables; these tests execute the quick ones in a
+fresh interpreter (exactly how a user runs them) and assert success
+plus a sanity marker in the output.  The two sweep-heavy examples
+(`loop_order_analysis`, `tile_size_tuning`) are exercised by the
+benchmark suite's equivalent harnesses instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+QUICK_EXAMPLES = {
+    "quickstart.py": "verified against numpy.einsum",
+    "quantum_chemistry.py": "speedup",
+    "frostt_contractions.py": "FROSTT .tns format",
+    "parallel_scaling.py": "simulated dynamic scheduling",
+    "tensor_networks.py": "planned executions",
+    "graph_analytics.py": "graph engine",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(QUICK_EXAMPLES.items()))
+def test_example_runs(script, marker):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout, (
+        f"{script} output missing marker {marker!r}:\n{result.stdout[-1000:]}"
+    )
+
+
+def test_all_examples_are_covered_or_listed():
+    """Every example file is either smoke-tested here or explicitly
+    exempted (so new examples don't silently skip CI)."""
+    exempt = {"loop_order_analysis.py", "tile_size_tuning.py"}
+    present = {
+        f for f in os.listdir(EXAMPLES_DIR)
+        if f.endswith(".py") and not f.startswith("_")
+    }
+    assert present == set(QUICK_EXAMPLES) | exempt

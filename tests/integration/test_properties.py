@@ -1,0 +1,160 @@
+"""Property-based tests on the full contraction pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import COOTensor, contract
+from repro.tensors.dense import dense_contract
+
+
+@st.composite
+def coo_tensors(draw, max_modes=3, max_extent=6, max_nnz=25):
+    ndim = draw(st.integers(1, max_modes))
+    shape = tuple(draw(st.integers(1, max_extent)) for _ in range(ndim))
+    cells = int(np.prod(shape))
+    nnz = draw(st.integers(0, min(max_nnz, cells)))
+    coords = []
+    for extent in shape:
+        coords.append(draw(st.lists(st.integers(0, extent - 1),
+                                    min_size=nnz, max_size=nnz)))
+    values = draw(st.lists(
+        st.floats(-8, 8, allow_nan=False), min_size=nnz, max_size=nnz))
+    arr = np.array(coords, dtype=np.int64).reshape(ndim, nnz)
+    return COOTensor(arr, np.array(values), shape)
+
+
+@st.composite
+def contraction_problems(draw):
+    """A pair of tensors with at least one matching-extent mode pair."""
+    a = draw(coo_tensors())
+    # Build b to share the first contracted extent.
+    c_extent = a.shape[0]
+    b_ndim = draw(st.integers(1, 3))
+    b_shape = [c_extent] + [draw(st.integers(1, 6)) for _ in range(b_ndim - 1)]
+    cells = int(np.prod(b_shape))
+    nnz = draw(st.integers(0, min(20, cells)))
+    coords = []
+    for extent in b_shape:
+        coords.append(draw(st.lists(st.integers(0, extent - 1),
+                                    min_size=nnz, max_size=nnz)))
+    values = draw(st.lists(
+        st.floats(-8, 8, allow_nan=False), min_size=nnz, max_size=nnz))
+    b = COOTensor(np.array(coords, dtype=np.int64).reshape(b_ndim, nnz),
+                  np.array(values), tuple(b_shape))
+    return a, b, [(0, 0)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=contraction_problems())
+def test_fastcc_equals_einsum(problem):
+    a, b, pairs = problem
+    out = contract(a, b, pairs)
+    expected = dense_contract(a, b, pairs)
+    np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=contraction_problems())
+def test_all_methods_agree(problem):
+    a, b, pairs = problem
+    reference = contract(a, b, pairs, method="fastcc")
+    for method in ("sparta", "taco", "co"):
+        other = contract(a, b, pairs, method=method)
+        assert reference.allclose(other, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=contraction_problems(), tile=st.integers(1, 64))
+def test_tile_size_never_changes_result(problem, tile):
+    a, b, pairs = problem
+    default = contract(a, b, pairs)
+    tiled = contract(a, b, pairs, tile_size=tile)
+    assert default.allclose(tiled, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=contraction_problems())
+def test_accumulator_kind_never_changes_result(problem):
+    a, b, pairs = problem
+    dense = contract(a, b, pairs, accumulator="dense", tile_size=8)
+    sparse = contract(a, b, pairs, accumulator="sparse", tile_size=8)
+    assert dense.allclose(sparse, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(problem=contraction_problems(), scale=st.floats(-4, 4, allow_nan=False))
+def test_bilinearity(problem, scale):
+    """contract(s*a, b) == s * contract(a, b)."""
+    a, b, pairs = problem
+    base = contract(a, b, pairs)
+    scaled = contract(a.scaled(scale), b, pairs)
+    assert scaled.allclose(base.scaled(scale), rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(t=coo_tensors(max_modes=2, max_extent=8))
+def test_symmetry_of_self_contraction(t):
+    """Contracting a matrix with itself over its columns gives a
+    symmetric Gram-like output."""
+    if t.ndim != 2:
+        return
+    out = contract(t, t, [(1, 1)]).to_dense()
+    np.testing.assert_allclose(out, out.T, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=coo_tensors())
+def test_roundtrip_coo_canonicalization(t):
+    """sum_duplicates is a projection: canonical form is a fixed point
+    and preserves tensor equality."""
+    canon = t.sum_duplicates()
+    assert canon.allclose(t)
+    again = canon.sum_duplicates()
+    np.testing.assert_array_equal(canon.coords, again.coords)
+    np.testing.assert_array_equal(canon.values, again.values)
+
+
+@st.composite
+def matrix_chains(draw):
+    """A chain of 2-4 sparse matrices with compatible extents."""
+    n = draw(st.integers(2, 4))
+    extents = [draw(st.integers(1, 8)) for _ in range(n + 1)]
+    mats = []
+    for k in range(n):
+        rows, cols = extents[k], extents[k + 1]
+        cells = rows * cols
+        nnz = draw(st.integers(0, min(12, cells)))
+        coords = np.array(
+            [
+                [draw(st.integers(0, rows - 1)) for _ in range(nnz)],
+                [draw(st.integers(0, cols - 1)) for _ in range(nnz)],
+            ],
+            dtype=np.int64,
+        ).reshape(2, nnz)
+        values = np.array(
+            [draw(st.floats(-4, 4, allow_nan=False)) for _ in range(nnz)]
+        )
+        mats.append(COOTensor(coords, values, (rows, cols)))
+    return mats
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats=matrix_chains())
+def test_einsum_chain_matches_dense(mats):
+    """Property: einsum over random matrix chains equals the dense
+    product, under both binarization orders."""
+    from repro import einsum
+
+    letters = "abcdefgh"
+    subs = ",".join(letters[k] + letters[k + 1] for k in range(len(mats)))
+    expr = f"{subs}->{letters[0]}{letters[len(mats)]}"
+    expected = mats[0].to_dense()
+    for m in mats[1:]:
+        expected = expected @ m.to_dense()
+    for optimize in ("greedy", "left"):
+        out = einsum(expr, *mats, optimize=optimize)
+        np.testing.assert_allclose(
+            out.to_dense(), expected, rtol=1e-8, atol=1e-9
+        )

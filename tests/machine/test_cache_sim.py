@@ -1,0 +1,90 @@
+"""Unit tests for the cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache_sim import CacheSim
+
+
+class TestBasics:
+    def test_cold_misses(self):
+        c = CacheSim(4096, line_bytes=64, ways=4)
+        c.access(np.arange(0, 640, 64))
+        assert c.misses == 10
+        assert c.hits == 0
+
+    def test_repeat_hits(self):
+        c = CacheSim(4096, line_bytes=64, ways=4)
+        c.access(np.array([0, 0, 0, 8, 16]))  # same line
+        assert c.misses == 1
+        assert c.hits == 4
+
+    def test_spatial_locality_within_line(self):
+        c = CacheSim(4096)
+        c.access(np.arange(64))  # one line of byte addresses
+        assert c.misses == 1
+
+    def test_capacity_eviction(self):
+        # Working set twice the cache size, streamed twice: all misses.
+        c = CacheSim(1024, line_bytes=64, ways=16)  # fully assoc., 16 lines
+        trace = np.arange(0, 2048, 64)
+        c.access(trace)
+        c.access(trace)
+        assert c.hits == 0
+        assert c.misses == 64
+
+    def test_fit_in_cache_second_pass_hits(self):
+        c = CacheSim(4096, line_bytes=64, ways=64)  # fully associative
+        trace = np.arange(0, 2048, 64)  # 32 lines, cache holds 64
+        c.access(trace)
+        c.access(trace)
+        assert c.hits == 32
+        assert c.misses == 32
+
+    def test_lru_order(self):
+        # 2-way set; access lines A, B (same set), then A again, then C
+        # (same set): C must evict B, not A.
+        c = CacheSim(2 * 64, line_bytes=64, ways=2)  # 1 set, 2 ways
+        A, B, C = 0, 64, 128
+        c.access(np.array([A, B, A, C, A]))
+        # A: miss, B: miss, A: hit, C: miss (evicts B), A: hit
+        assert c.hits == 2
+        assert c.misses == 3
+
+    def test_miss_rate(self):
+        c = CacheSim(4096)
+        assert c.miss_rate == 0.0
+        c.access(np.array([0]))
+        assert c.miss_rate == 1.0
+
+    def test_reset_stats(self):
+        c = CacheSim(4096)
+        c.access(np.array([0, 0]))
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(0)
+        with pytest.raises(ValueError):
+            CacheSim(64, line_bytes=64, ways=8)  # 1 line < 8 ways
+
+
+class TestTilingLocalityClaim:
+    def test_tiled_updates_beat_untiled(self, rng):
+        """Section 5.3's motivation: random updates into a cache-sized
+        tile mostly hit; the same updates into a huge workspace miss."""
+        cache = 8 * 1024  # 8 KiB cache = 1024 doubles
+        tile_cells = 512  # fits
+        huge_cells = 1 << 20  # does not
+
+        updates = rng.integers(0, tile_cells, size=4000)
+        tiled = CacheSim(cache)
+        tiled.access(updates * 8)
+
+        updates_huge = rng.integers(0, huge_cells, size=4000)
+        untiled = CacheSim(cache)
+        untiled.access(updates_huge * 8)
+
+        assert tiled.miss_rate < 0.2
+        assert untiled.miss_rate > 0.8

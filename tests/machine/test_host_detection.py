@@ -1,0 +1,39 @@
+"""Unit tests for current-host machine detection."""
+
+import pytest
+
+from repro.machine.specs import DESKTOP, MachineSpec, from_current_host
+
+
+class TestFromCurrentHost:
+    def test_produces_valid_spec(self):
+        spec = from_current_host()
+        assert isinstance(spec, MachineSpec)
+        assert spec.n_cores >= 1
+        assert spec.l3_bytes > 0
+        assert spec.dense_tile_size() >= 1
+
+    def test_fallback_used_when_sysfs_missing(self, monkeypatch):
+        import os
+
+        def no_listdir(path):
+            raise OSError("no sysfs")
+
+        monkeypatch.setattr(os, "listdir", no_listdir)
+        spec = from_current_host(fallback=DESKTOP)
+        assert spec is DESKTOP
+
+    def test_default_fallback_scales_with_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "listdir", lambda p: (_ for _ in ()).throw(OSError()))
+        spec = from_current_host()
+        assert spec.l3_bytes == 2 * 1024 * 1024 * spec.n_cores
+
+    def test_usable_for_planning(self):
+        from repro.core.model import choose_plan
+        from repro.core.plan import ContractionSpec
+
+        spec = ContractionSpec((64, 32), (32, 48), [(1, 0)])
+        plan = choose_plan(spec, 500, 500, from_current_host())
+        assert plan.accumulator in ("dense", "sparse")

@@ -1,0 +1,80 @@
+"""Unit tests for the machine models — including the paper's published
+tile sizes (Section 6.2)."""
+
+import pytest
+
+from repro.machine.specs import DESKTOP, MINIATURE, SERVER, MachineSpec
+
+
+class TestPaperPlatforms:
+    def test_desktop_parameters(self):
+        assert DESKTOP.n_cores == 8
+        assert DESKTOP.l3_bytes == 16 * 1024 * 1024
+        assert DESKTOP.l2_bytes_per_core == 512 * 1024
+
+    def test_server_parameters(self):
+        assert SERVER.n_cores == 64
+        assert SERVER.l3_bytes == 256 * 1024 * 1024
+
+    def test_desktop_dense_tile_is_512(self):
+        # Section 6.2: sqrt(2 MiB / 8 B) = 512 exactly.
+        assert DESKTOP.dense_tile_size() == 512
+
+    def test_server_dense_tile_rounds_724_down_to_512(self):
+        # Section 6.2: sqrt(4 MiB / 8 B) = 724, rounded down to 512.
+        assert SERVER.dense_tile_size() == 512
+
+    def test_l3_share(self):
+        assert DESKTOP.l3_bytes_per_core == 2 * 1024 * 1024
+        assert SERVER.l3_bytes_per_core == 4 * 1024 * 1024
+
+
+class TestSparseTileSize:
+    def test_inverse_sqrt_density(self):
+        t_dense = DESKTOP.sparse_tile_size(1e-2)
+        t_sparser = DESKTOP.sparse_tile_size(1e-4)
+        # 100x sparser -> ~10x larger tile (then power-of-two rounding).
+        assert t_sparser >= 8 * t_dense
+
+    def test_power_of_two(self):
+        t = DESKTOP.sparse_tile_size(3.7e-5)
+        assert t & (t - 1) == 0
+
+    def test_rounding_up(self):
+        import math
+
+        density = 1e-3
+        exact = math.sqrt(DESKTOP.l3_bytes / (17.7 * density * DESKTOP.n_cores))
+        assert DESKTOP.sparse_tile_size(density) >= exact
+
+    def test_zero_density_huge(self):
+        assert DESKTOP.sparse_tile_size(0.0) >= 1 << 60
+
+    def test_paper_nips_tile_magnitudes(self):
+        # Section 6.3 reports million-scale sparse tiles for the NIPS
+        # contractions (1048576 and 262144 on the desktop).  The formula
+        # at the paper's NIPS parameters (p = 1.83e-6, C = 14036 and
+        # C = 14036 * 17) lands within one power of two of those.
+        import math
+
+        p = 1.83e-6
+        delta_2 = -math.expm1(14036 * math.log1p(-p * p))
+        t2 = DESKTOP.sparse_tile_size(delta_2)
+        assert 1 << 20 <= t2 <= 1 << 22
+        delta_23 = -math.expm1(14036 * 17 * math.log1p(-p * p))
+        t23 = DESKTOP.sparse_tile_size(delta_23)
+        assert 1 << 18 <= t23 <= 1 << 20
+
+
+class TestValidation:
+    def test_bad_cores(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", n_cores=0, l3_bytes=1024)
+
+    def test_bad_cache(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", n_cores=1, l3_bytes=0)
+
+    def test_miniature_sane(self):
+        t = MINIATURE.dense_tile_size()
+        assert 1 <= t <= MINIATURE.l3_words

@@ -1,0 +1,101 @@
+"""Unit tests for the chunked COO builder (memory pool)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.memory_pool import COOBuilder
+
+
+def batch(n, offset=0):
+    l = np.arange(offset, offset + n, dtype=np.int64)
+    return l, l + 1, l.astype(np.float64) * 0.5
+
+
+class TestAppend:
+    def test_single_batch(self):
+        b = COOBuilder(chunk_rows=16)
+        b.append_batch(*batch(5))
+        l, r, v = b.finalize()
+        np.testing.assert_array_equal(l, np.arange(5))
+        np.testing.assert_array_equal(r, np.arange(5) + 1)
+
+    def test_spill_across_chunks(self):
+        b = COOBuilder(chunk_rows=4)
+        b.append_batch(*batch(10))
+        assert b.stats.chunks_allocated == 3
+        l, r, v = b.finalize()
+        np.testing.assert_array_equal(l, np.arange(10))
+
+    def test_batch_larger_than_chunk(self):
+        b = COOBuilder(chunk_rows=3)
+        b.append_batch(*batch(20))
+        l, _, _ = b.finalize()
+        assert l.shape[0] == 20
+        np.testing.assert_array_equal(l, np.arange(20))
+
+    def test_many_small_appends(self):
+        b = COOBuilder(chunk_rows=8)
+        for i in range(50):
+            b.append_batch(*batch(1, offset=i))
+        l, _, v = b.finalize()
+        np.testing.assert_array_equal(l, np.arange(50))
+        assert b.stats.rows_appended == 50
+        assert b.stats.append_calls == 50
+
+    def test_empty_append(self):
+        b = COOBuilder()
+        b.append_batch(*batch(0))
+        l, r, v = b.finalize()
+        assert l.size == 0
+
+    def test_mismatched_lengths(self):
+        b = COOBuilder()
+        with pytest.raises(ValueError):
+            b.append_batch(np.arange(3), np.arange(2), np.arange(3, dtype=float))
+
+    def test_bad_chunk_rows(self):
+        with pytest.raises(ValueError):
+            COOBuilder(chunk_rows=0)
+
+    def test_rows_property(self):
+        b = COOBuilder(chunk_rows=4)
+        b.append_batch(*batch(7))
+        assert b.rows == 7
+
+
+class TestChunkAccounting:
+    def test_exact_fill_allocates_lazily(self):
+        # Filling a chunk exactly must not allocate an extra empty chunk.
+        b = COOBuilder(chunk_rows=4)
+        b.append_batch(*batch(4))
+        assert b.stats.chunks_allocated == 1
+        b.append_batch(*batch(1))
+        assert b.stats.chunks_allocated == 2
+
+    def test_amortized_one_allocation_per_chunk(self):
+        b = COOBuilder(chunk_rows=100)
+        for _ in range(10):
+            b.append_batch(*batch(95))
+        assert b.stats.chunks_allocated == 10  # ceil(950 / 100)
+
+
+class TestMerge:
+    def test_merge_preserves_all_rows(self):
+        builders = []
+        for w in range(4):
+            b = COOBuilder(chunk_rows=8)
+            b.append_batch(*batch(10, offset=100 * w))
+            builders.append(b)
+        l, r, v = COOBuilder.merge(builders)
+        assert l.shape[0] == 40
+        assert set(l.tolist()) == {100 * w + i for w in range(4) for i in range(10)}
+
+    def test_merge_empty_builders(self):
+        l, r, v = COOBuilder.merge([COOBuilder(), COOBuilder()])
+        assert l.size == 0
+
+    def test_merge_mixed(self):
+        a = COOBuilder()
+        a.append_batch(*batch(3))
+        l, _, _ = COOBuilder.merge([a, COOBuilder()])
+        assert l.shape[0] == 3

@@ -1,0 +1,201 @@
+"""Unit and property tests for the dynamic-scheduling simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulerError
+from repro.parallel.scheduler_sim import scaling_curve, simulate_dynamic_schedule
+
+
+class TestBasics:
+    def test_single_worker_is_sum(self):
+        costs = [1.0, 2.0, 3.0]
+        r = simulate_dynamic_schedule(costs, 1)
+        assert r.makespan == pytest.approx(6.0)
+        assert r.efficiency == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        r = simulate_dynamic_schedule([1.0] * 8, 4)
+        assert r.makespan == pytest.approx(2.0)
+        assert r.efficiency == pytest.approx(1.0)
+
+    def test_heavy_task_bounds_makespan(self):
+        # One task of 10 dominates no matter how many workers.
+        r = simulate_dynamic_schedule([10.0] + [0.1] * 50, 64)
+        assert r.makespan == pytest.approx(10.0, rel=0.01)
+
+    def test_fewer_tasks_than_workers(self):
+        r = simulate_dynamic_schedule([2.0, 3.0], 8)
+        assert r.makespan == pytest.approx(3.0)
+
+    def test_empty_tasks(self):
+        r = simulate_dynamic_schedule([], 4)
+        assert r.makespan == 0.0
+        assert r.efficiency == 1.0
+
+    def test_assignment_valid(self):
+        r = simulate_dynamic_schedule([1.0] * 10, 3)
+        assert set(r.assignment.tolist()) <= {0, 1, 2}
+        assert r.worker_loads.sum() == pytest.approx(10.0)
+
+    def test_dynamic_order_matters(self):
+        # Greedy dynamic scheduling takes tasks in order: a trailing heavy
+        # task yields a worse makespan than a leading one (no lookahead).
+        lead = simulate_dynamic_schedule([8.0] + [1.0] * 8, 2)
+        trail = simulate_dynamic_schedule([1.0] * 8 + [8.0], 2)
+        assert lead.makespan <= trail.makespan
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            simulate_dynamic_schedule([1.0], 0)
+        with pytest.raises(SchedulerError):
+            simulate_dynamic_schedule([-1.0], 2)
+        with pytest.raises(SchedulerError):
+            simulate_dynamic_schedule(np.ones((2, 2)), 2)
+
+
+class TestScalingCurve:
+    def test_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(0.5, 2.0, size=200)
+        curve = scaling_curve(costs, [1, 2, 4, 8, 16])
+        times = list(curve.values())
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_serial_overhead_floors_speedup(self):
+        costs = [1.0] * 64
+        curve = scaling_curve(costs, [1, 64], serial_overhead=10.0)
+        speedup = curve[1] / curve[64]
+        assert speedup < 7.0  # Amdahl bound: 74/11
+
+    def test_per_thread_overhead_can_invert(self):
+        costs = [0.01] * 4
+        curve = scaling_curve(costs, [1, 64], per_thread_overhead=0.01)
+        assert curve[64] > curve[1]
+
+
+class TestStaticSchedule:
+    def test_block_assignment(self):
+        from repro.parallel.scheduler_sim import simulate_static_schedule
+
+        r = simulate_static_schedule([1.0] * 8, 4, policy="block")
+        np.testing.assert_array_equal(r.assignment, [0, 0, 1, 1, 2, 2, 3, 3])
+        assert r.makespan == pytest.approx(2.0)
+
+    def test_cyclic_assignment(self):
+        from repro.parallel.scheduler_sim import simulate_static_schedule
+
+        r = simulate_static_schedule([1.0] * 8, 4, policy="cyclic")
+        np.testing.assert_array_equal(r.assignment, [0, 1, 2, 3, 0, 1, 2, 3])
+
+    def test_dynamic_beats_static_on_skewed_costs(self):
+        """The paper's Section 4.2 claim: run-time mapping keeps load
+        imbalance lower than static partitioning for skewed task costs."""
+        from repro.parallel.scheduler_sim import (
+            simulate_dynamic_schedule,
+            simulate_static_schedule,
+        )
+
+        rng = np.random.default_rng(7)
+        # Heavy-tailed tile costs: a few tiles dominate.
+        costs = rng.pareto(1.5, size=200) + 0.01
+        for policy in ("block", "cyclic"):
+            static = simulate_static_schedule(costs, 8, policy=policy)
+            dynamic = simulate_dynamic_schedule(costs, 8)
+            assert dynamic.makespan <= static.makespan + 1e-12
+        # And strictly better for at least the block policy.
+        block = simulate_static_schedule(costs, 8, policy="block")
+        assert simulate_dynamic_schedule(costs, 8).makespan < block.makespan
+
+    def test_empty(self):
+        from repro.parallel.scheduler_sim import simulate_static_schedule
+
+        assert simulate_static_schedule([], 4).makespan == 0.0
+
+    def test_validation(self):
+        from repro.parallel.scheduler_sim import simulate_static_schedule
+
+        with pytest.raises(SchedulerError):
+            simulate_static_schedule([1.0], 2, policy="random")
+        with pytest.raises(SchedulerError):
+            simulate_static_schedule([1.0], 0)
+
+
+class TestWorkStealing:
+    def test_single_worker_is_sum(self):
+        from repro.parallel.scheduler_sim import simulate_work_stealing
+
+        r = simulate_work_stealing([1.0, 2.0, 3.0], 1)
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_empty(self):
+        from repro.parallel.scheduler_sim import simulate_work_stealing
+
+        assert simulate_work_stealing([], 4).makespan == 0.0
+
+    def test_all_tasks_run_once(self):
+        from repro.parallel.scheduler_sim import simulate_work_stealing
+
+        rng = np.random.default_rng(2)
+        costs = rng.uniform(0.1, 1.0, 50)
+        r = simulate_work_stealing(costs, 6)
+        assert (r.assignment >= 0).all()
+        assert r.worker_loads.sum() >= costs.sum() - 1e-9
+
+    def test_stealing_balances_skewed_deal(self):
+        from repro.parallel.scheduler_sim import simulate_work_stealing
+
+        # Round-robin dealing puts all heavy tasks on worker 0's deque
+        # positions; stealing must still approach the balance bound.
+        costs = [1.0] * 64
+        r = simulate_work_stealing(costs, 8)
+        assert r.makespan == pytest.approx(8.0, rel=0.05)
+
+    def test_close_to_shared_queue(self):
+        from repro.parallel.scheduler_sim import (
+            simulate_dynamic_schedule,
+            simulate_work_stealing,
+        )
+
+        rng = np.random.default_rng(3)
+        costs = rng.uniform(0.05, 2.0, 300)
+        for k in (4, 16, 64):
+            shared = simulate_dynamic_schedule(costs, k).makespan
+            stealing = simulate_work_stealing(costs, k).makespan
+            assert stealing <= shared + 2.0  # within one max task
+            assert stealing >= costs.sum() / k - 1e-9
+
+    def test_steal_overhead_counted(self):
+        from repro.parallel.scheduler_sim import simulate_work_stealing
+
+        costs = [1.0] * 16
+        free = simulate_work_stealing(costs, 4, steal_overhead=0.0)
+        taxed = simulate_work_stealing(costs, 4, steal_overhead=0.5)
+        assert taxed.makespan >= free.makespan
+
+    def test_validation(self):
+        from repro.parallel.scheduler_sim import simulate_work_stealing
+
+        with pytest.raises(SchedulerError):
+            simulate_work_stealing([1.0], 0)
+        with pytest.raises(SchedulerError):
+            simulate_work_stealing([-1.0], 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    costs=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=60),
+    workers=st.integers(1, 16),
+)
+def test_invariants(costs, workers):
+    """Properties: work conservation and the greedy makespan bounds."""
+    r = simulate_dynamic_schedule(costs, workers)
+    total = sum(costs)
+    assert r.total_work == pytest.approx(total)
+    # Lower bounds: critical path (max task) and perfect balance.
+    assert r.makespan >= max(costs) - 1e-9
+    assert r.makespan >= total / workers - 1e-9
+    # Graham's bound for greedy list scheduling.
+    assert r.makespan <= total / workers + max(costs) + 1e-9

@@ -1,0 +1,100 @@
+"""Unit tests for the dynamic task queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel.taskqueue import TaskQueue
+
+
+class TestInline:
+    def test_runs_all_tasks(self):
+        results = []
+        tasks = [lambda i=i: results.append(i) or i for i in range(5)]
+        records = TaskQueue(1).run(tasks)
+        assert results == list(range(5))
+        assert [r.result for r in records] == list(range(5))
+
+    def test_records_ordered_by_task_id(self):
+        records = TaskQueue(1).run([lambda i=i: i for i in range(4)])
+        assert [r.task_id for r in records] == [0, 1, 2, 3]
+
+    def test_cost_positive(self):
+        records = TaskQueue(1).run([lambda: time.sleep(0.005)])
+        assert records[0].cost >= 0.004
+
+    def test_empty_task_list(self):
+        assert TaskQueue(1).run([]) == []
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            TaskQueue(1).run([boom])
+
+
+class TestThreaded:
+    def test_all_tasks_complete(self):
+        done = []
+        lock = threading.Lock()
+
+        def make(i):
+            def task():
+                with lock:
+                    done.append(i)
+                return i
+
+            return task
+
+        records = TaskQueue(4).run([make(i) for i in range(50)])
+        assert sorted(done) == list(range(50))
+        assert sorted(r.result for r in records) == list(range(50))
+
+    def test_uses_multiple_workers(self):
+        workers = set()
+        lock = threading.Lock()
+
+        def task():
+            with lock:
+                workers.add(threading.get_ident())
+            time.sleep(0.01)
+
+        TaskQueue(4).run([task] * 16)
+        assert len(workers) >= 2
+
+    def test_exception_propagates_and_stops(self):
+        ran = []
+        lock = threading.Lock()
+
+        def good(i):
+            def t():
+                with lock:
+                    ran.append(i)
+                time.sleep(0.001)
+
+            return t
+
+        def boom():
+            raise ValueError("threaded boom")
+
+        with pytest.raises(ValueError, match="threaded boom"):
+            TaskQueue(2).run([boom] + [good(i) for i in range(200)])
+        # The queue abandons remaining work after a failure.
+        assert len(ran) < 200
+
+    def test_more_workers_than_tasks(self):
+        records = TaskQueue(8).run([lambda: 1, lambda: 2])
+        assert sorted(r.result for r in records) == [1, 2]
+
+    def test_worker_ids_recorded(self):
+        records = TaskQueue(3).run([lambda: None] * 9)
+        assert all(0 <= r.worker < 3 for r in records)
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SchedulerError):
+            TaskQueue(0)

@@ -1,0 +1,248 @@
+"""Unit tests for the COO tensor format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensors.coo import COOTensor
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = COOTensor([[0, 1, 2], [3, 2, 1]], [1.0, 2.0, 3.0], (3, 4))
+        assert t.ndim == 2
+        assert t.nnz == 3
+        assert t.shape == (3, 4)
+
+    def test_1d_coords_promoted(self):
+        t = COOTensor([0, 2, 4], [1.0, 1.0, 1.0], (5,))
+        assert t.ndim == 1
+        assert t.nnz == 3
+
+    def test_empty(self):
+        t = COOTensor.empty((4, 5, 6))
+        assert t.nnz == 0
+        assert t.shape == (4, 5, 6)
+        assert t.to_dense().sum() == 0.0
+
+    def test_from_tuples(self):
+        t = COOTensor.from_tuples([(0, 1, 5.0), (2, 3, -1.0)], (3, 4))
+        dense = t.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[2, 3] == -1.0
+
+    def test_from_tuples_empty(self):
+        t = COOTensor.from_tuples([], (3, 4))
+        assert t.nnz == 0
+
+    def test_from_tuples_wrong_arity(self):
+        with pytest.raises(ShapeError):
+            COOTensor.from_tuples([(0, 1, 2, 5.0)], (3, 4))
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.random((4, 5))
+        dense[dense < 0.5] = 0.0
+        t = COOTensor.from_dense(dense)
+        np.testing.assert_array_equal(t.to_dense(), dense)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ShapeError):
+            COOTensor([[0, 5]], [1.0, 1.0], (3,))
+
+    def test_negative_coord_rejected(self):
+        with pytest.raises(ShapeError):
+            COOTensor([[-1]], [1.0], (3,))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ShapeError):
+            COOTensor([[0, 1]], [1.0], (3,))
+
+    def test_wrong_mode_count_rejected(self):
+        with pytest.raises(ShapeError):
+            COOTensor([[0], [0]], [1.0], (3,))
+
+    def test_non_integral_coords_rejected(self):
+        with pytest.raises(ShapeError):
+            COOTensor(np.array([[0.5]]), [1.0], (3,))
+
+    def test_integral_float_coords_accepted(self):
+        t = COOTensor(np.array([[1.0, 2.0]]), [1.0, 2.0], (3,))
+        assert t.coords.dtype == np.int64
+
+
+class TestProperties:
+    def test_density(self):
+        t = COOTensor([[0, 1], [0, 1]], [1.0, 1.0], (2, 2))
+        assert t.density == 0.5
+
+    def test_size(self):
+        t = COOTensor.empty((3, 4, 5))
+        assert t.size == 60
+
+    def test_iteration(self):
+        t = COOTensor([[0, 1], [2, 3]], [1.5, 2.5], (2, 4))
+        items = list(t)
+        assert items == [((0, 2), 1.5), ((1, 3), 2.5)]
+
+    def test_norm(self):
+        t = COOTensor([[0, 1]], [3.0, 4.0], (2,))
+        assert t.norm() == pytest.approx(5.0)
+
+    def test_norm_with_duplicates(self):
+        # duplicates sum to (3+4)=7 at one coordinate
+        t = COOTensor([[0, 0]], [3.0, 4.0], (2,))
+        assert t.norm() == pytest.approx(7.0)
+
+
+class TestSumDuplicates:
+    def test_combines(self):
+        t = COOTensor([[0, 0, 1], [1, 1, 0]], [1.0, 2.0, 5.0], (2, 2))
+        s = t.sum_duplicates()
+        assert s.nnz == 2
+        assert s.to_dense()[0, 1] == 3.0
+
+    def test_sorted_output(self):
+        t = COOTensor([[2, 0, 1]], [1.0, 2.0, 3.0], (3,))
+        s = t.sum_duplicates()
+        np.testing.assert_array_equal(s.coords[0], [0, 1, 2])
+
+    def test_drop_zeros(self):
+        t = COOTensor([[0, 0, 1]], [1.0, -1.0, 2.0], (2,))
+        s = t.sum_duplicates(drop_zeros=True)
+        assert s.nnz == 1
+        kept = t.sum_duplicates(drop_zeros=False)
+        assert kept.nnz == 2  # explicit zero retained
+
+    def test_empty(self):
+        s = COOTensor.empty((3, 3)).sum_duplicates()
+        assert s.nnz == 0
+
+    def test_idempotent(self, small_tensor):
+        once = small_tensor.sum_duplicates()
+        twice = once.sum_duplicates()
+        np.testing.assert_array_equal(once.coords, twice.coords)
+        np.testing.assert_array_equal(once.values, twice.values)
+
+
+class TestTransforms:
+    def test_sorted_by_default(self, small_tensor):
+        s = small_tensor.sorted_by()
+        lin = s.linearized()
+        assert np.all(np.diff(lin) >= 0)
+
+    def test_sorted_by_custom_order(self):
+        t = COOTensor([[1, 0], [0, 1]], [1.0, 2.0], (2, 2))
+        s = t.sorted_by([1, 0])
+        # sorted by mode 1 first: (1,0) has mode1=0, (0,1) has mode1=1
+        np.testing.assert_array_equal(s.coords[1], [0, 1])
+
+    def test_sorted_by_bad_order(self, small_tensor):
+        with pytest.raises(ShapeError):
+            small_tensor.sorted_by([0, 0, 1])
+
+    def test_permute_modes(self, small_tensor):
+        p = small_tensor.permute_modes([2, 0, 1])
+        assert p.shape == (11, 9, 7)
+        np.testing.assert_array_equal(
+            p.to_dense(), np.transpose(small_tensor.to_dense(), (2, 0, 1))
+        )
+
+    def test_permute_identity(self, small_tensor):
+        p = small_tensor.permute_modes([0, 1, 2])
+        np.testing.assert_array_equal(p.to_dense(), small_tensor.to_dense())
+
+    def test_permute_bad(self, small_tensor):
+        with pytest.raises(ShapeError):
+            small_tensor.permute_modes([0, 1])
+
+    def test_scaled(self, small_tensor):
+        s = small_tensor.scaled(2.0)
+        np.testing.assert_allclose(s.to_dense(), 2.0 * small_tensor.to_dense())
+
+    def test_copy_independent(self, small_tensor):
+        c = small_tensor.copy()
+        c.values[:] = 0.0
+        assert small_tensor.values.any()
+
+
+class TestComparison:
+    def test_allclose_ignores_order(self):
+        a = COOTensor([[0, 1]], [1.0, 2.0], (2,))
+        b = COOTensor([[1, 0]], [2.0, 1.0], (2,))
+        assert a.allclose(b)
+
+    def test_allclose_ignores_duplicates(self):
+        a = COOTensor([[0, 0]], [1.0, 2.0], (2,))
+        b = COOTensor([[0]], [3.0], (2,))
+        assert a.allclose(b)
+
+    def test_allclose_detects_difference(self):
+        a = COOTensor([[0]], [1.0], (2,))
+        b = COOTensor([[0]], [1.1], (2,))
+        assert not a.allclose(b)
+
+    def test_allclose_shape_mismatch(self):
+        a = COOTensor([[0]], [1.0], (2,))
+        b = COOTensor([[0]], [1.0], (3,))
+        assert not a.allclose(b)
+
+    def test_allclose_explicit_zero_vs_missing(self):
+        a = COOTensor([[0, 1]], [1.0, 0.0], (2,))
+        b = COOTensor([[0]], [1.0], (2,))
+        assert a.allclose(b)
+
+
+class TestDense:
+    def test_to_dense_guard(self):
+        t = COOTensor.empty((10_000, 10_000, 10_000))
+        with pytest.raises(MemoryError):
+            t.to_dense()
+
+    def test_to_dense_sums_duplicates(self):
+        t = COOTensor([[0, 0]], [1.0, 2.0], (2,))
+        assert t.to_dense()[0] == 3.0
+
+    def test_zero_dim_tensor(self):
+        t = COOTensor(np.empty((0, 2), dtype=np.int64), [1.0, 4.0], ())
+        assert t.ndim == 0
+        assert float(t.to_dense()) == 5.0
+        s = t.sum_duplicates()
+        assert s.nnz == 1
+        assert s.values[0] == 5.0
+
+
+class TestMergeModes:
+    def test_matrix_reshape(self):
+        t = COOTensor([[1, 2], [0, 3], [2, 1]], [1.0, 2.0], (3, 4, 5))
+        m = t.merge_modes([[0, 1], [2]])
+        assert m.shape == (12, 5)
+        np.testing.assert_array_equal(
+            m.to_dense(), t.to_dense().reshape(12, 5)
+        )
+
+    def test_full_flatten(self):
+        t = COOTensor([[1], [2]], [7.0], (3, 4))
+        flat = t.merge_modes([[0, 1]])
+        assert flat.shape == (12,)
+        assert flat.to_dense()[1 * 4 + 2] == 7.0
+
+    def test_permuting_merge(self):
+        # Groups may reorder modes: ((2,), (0, 1)) = transpose + reshape.
+        t = COOTensor([[1], [2], [3]], [1.5], (3, 4, 5))
+        m = t.merge_modes([[2], [0, 1]])
+        assert m.shape == (5, 12)
+        assert m.to_dense()[3, 1 * 4 + 2] == 1.5
+
+    def test_identity_groups(self):
+        t = COOTensor([[0, 1], [1, 0]], [1.0, 2.0], (2, 2))
+        m = t.merge_modes([[0], [1]])
+        np.testing.assert_array_equal(m.to_dense(), t.to_dense())
+
+    def test_bad_partition(self):
+        t = COOTensor.empty((2, 3))
+        import pytest as _pytest
+
+        with _pytest.raises(ShapeError):
+            t.merge_modes([[0]])
+        with _pytest.raises(ShapeError):
+            t.merge_modes([[0, 0], [1]])

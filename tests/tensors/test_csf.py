@@ -1,0 +1,130 @@
+"""Unit tests for the CSF format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.random_tensors import random_coo
+from repro.errors import ShapeError
+from repro.tensors.coo import COOTensor
+from repro.tensors.csf import CSFTensor
+
+
+class TestConstruction:
+    def test_roundtrip_2d(self):
+        t = random_coo((8, 9), nnz=20, seed=1)
+        csf = CSFTensor.from_coo(t)
+        assert csf.to_coo().allclose(t)
+
+    def test_roundtrip_3d(self):
+        t = random_coo((5, 6, 7), nnz=40, seed=2)
+        csf = CSFTensor.from_coo(t)
+        assert csf.to_coo().allclose(t)
+
+    def test_roundtrip_4d(self):
+        t = random_coo((4, 3, 5, 6), nnz=50, seed=3)
+        csf = CSFTensor.from_coo(t)
+        assert csf.to_coo().allclose(t)
+
+    def test_roundtrip_permuted_order(self):
+        t = random_coo((5, 6, 7), nnz=30, seed=4)
+        csf = CSFTensor.from_coo(t, mode_order=(2, 0, 1))
+        assert csf.mode_order == (2, 0, 1)
+        assert csf.to_coo().allclose(t)
+
+    def test_empty(self):
+        t = COOTensor.empty((3, 4))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nnz == 0
+        assert csf.to_coo().nnz == 0
+
+    def test_duplicates_summed(self):
+        t = COOTensor([[0, 0], [1, 1]], [1.0, 2.0], (2, 2))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nnz == 1
+        assert csf.values[0] == 3.0
+
+    def test_bad_mode_order(self):
+        t = COOTensor.empty((3, 4))
+        with pytest.raises(ShapeError):
+            CSFTensor.from_coo(t, mode_order=(0, 0))
+
+
+class TestStructure:
+    def test_node_compression(self):
+        # Two nonzeros sharing the mode-0 index -> one root node.
+        t = COOTensor([[1, 1], [0, 2]], [1.0, 2.0], (3, 3))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nodes_at(0) == 1
+        assert csf.nodes_at(1) == 2
+
+    def test_node_counts_monotonic(self):
+        t = random_coo((6, 6, 6), nnz=60, seed=5)
+        csf = CSFTensor.from_coo(t)
+        counts = [csf.nodes_at(d) for d in range(3)]
+        assert counts == sorted(counts)
+        assert counts[-1] == csf.nnz
+
+    def test_children_spans_partition_leaves(self):
+        t = random_coo((5, 8), nnz=25, seed=6)
+        csf = CSFTensor.from_coo(t)
+        total = 0
+        for root in range(csf.nodes_at(0)):
+            span = csf.children(0, root)
+            assert span.stop > span.start
+            total += span.stop - span.start
+        assert total == csf.nnz
+
+    def test_fids_sorted_within_fibers(self):
+        t = random_coo((5, 30), nnz=60, seed=7)
+        csf = CSFTensor.from_coo(t)
+        for root in range(csf.nodes_at(0)):
+            ids, _ = csf.root_slice(root)
+            assert np.all(np.diff(ids) > 0)
+
+    def test_root_slice_values(self):
+        t = COOTensor([[2, 2, 0], [1, 5, 3]], [1.0, 2.0, 3.0], (3, 6))
+        csf = CSFTensor.from_coo(t)
+        # Roots sorted: 0 then 2.
+        ids0, vals0 = csf.root_slice(0)
+        np.testing.assert_array_equal(ids0, [3])
+        np.testing.assert_array_equal(vals0, [3.0])
+        ids1, vals1 = csf.root_slice(1)
+        np.testing.assert_array_equal(ids1, [1, 5])
+        np.testing.assert_array_equal(vals1, [1.0, 2.0])
+
+    def test_root_slice_rejects_high_order(self):
+        t = random_coo((3, 3, 3), nnz=5, seed=8)
+        csf = CSFTensor.from_coo(t)
+        with pytest.raises(ShapeError):
+            csf.root_slice(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ndim=st.integers(1, 4),
+    data=st.data(),
+)
+def test_roundtrip_property(ndim, data):
+    """Property: CSF(COO).to_coo() == COO.sum_duplicates(), for any
+    tensor and any mode order."""
+    shape = tuple(data.draw(st.integers(1, 6)) for _ in range(ndim))
+    nnz = data.draw(st.integers(0, 25))
+    coords = np.array(
+        [[data.draw(st.integers(0, e - 1)) for _ in range(nnz)] for e in shape],
+        dtype=np.int64,
+    ).reshape(ndim, nnz)
+    values = np.array(
+        [data.draw(st.floats(-5, 5, allow_nan=False)) for _ in range(nnz)]
+    )
+    t = COOTensor(coords, values, shape)
+    perm = data.draw(st.permutations(range(ndim)))
+    csf = CSFTensor.from_coo(t, mode_order=tuple(perm))
+    back = csf.to_coo()
+    assert back.allclose(t, atol=1e-9)
+    # Structural invariants, via the validator.
+    from repro.tensors.validate import validate_csf
+
+    report = validate_csf(csf)
+    assert report.ok, report.problems

@@ -1,0 +1,59 @@
+"""Unit tests for the dense einsum reference."""
+
+import numpy as np
+import pytest
+
+from repro.data.random_tensors import random_coo
+from repro.errors import ShapeError
+from repro.tensors.dense import dense_contract, dense_self_contract
+
+
+class TestDenseContract:
+    def test_matrix_multiply(self):
+        a = random_coo((4, 5), nnz=10, seed=1)
+        b = random_coo((5, 3), nnz=8, seed=2)
+        out = dense_contract(a, b, [(1, 0)])
+        np.testing.assert_allclose(out, a.to_dense() @ b.to_dense())
+
+    def test_two_contracted_modes(self):
+        a = random_coo((3, 4, 5), nnz=20, seed=3)
+        b = random_coo((4, 5, 6), nnz=20, seed=4)
+        out = dense_contract(a, b, [(1, 0), (2, 1)])
+        expected = np.einsum("abc,bcd->ad", a.to_dense(), b.to_dense())
+        np.testing.assert_allclose(out, expected)
+
+    def test_output_mode_order(self):
+        a = random_coo((3, 4), nnz=6, seed=5)
+        b = random_coo((4, 5, 2), nnz=10, seed=6)
+        out = dense_contract(a, b, [(1, 0)])
+        assert out.shape == (3, 5, 2)
+
+    def test_full_contraction_scalar(self):
+        a = random_coo((3, 4), nnz=6, seed=7)
+        out = dense_contract(a, a, [(0, 0), (1, 1)])
+        assert out.shape == ()
+        assert float(out) == pytest.approx(float((a.to_dense() ** 2).sum()))
+
+    def test_extent_mismatch(self):
+        a = random_coo((3, 4), nnz=2, seed=8)
+        b = random_coo((5, 2), nnz=2, seed=9)
+        with pytest.raises(ShapeError):
+            dense_contract(a, b, [(1, 0)])
+
+    def test_repeated_mode_rejected(self):
+        a = random_coo((3, 3), nnz=2, seed=10)
+        with pytest.raises(ShapeError):
+            dense_contract(a, a, [(0, 0), (0, 1)])
+
+
+class TestSelfContract:
+    def test_matches_manual(self):
+        t = random_coo((4, 3, 5), nnz=15, seed=11)
+        out = dense_self_contract(t, [1])
+        expected = np.einsum("abc,dbe->acde", t.to_dense(), t.to_dense())
+        np.testing.assert_allclose(out, expected)
+
+    def test_symmetric_output(self):
+        t = random_coo((4, 6), nnz=10, seed=12)
+        out = dense_self_contract(t, [1])
+        np.testing.assert_allclose(out, out.T)

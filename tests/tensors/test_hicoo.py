@@ -1,0 +1,113 @@
+"""Unit and property tests for the HiCOO format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.random_tensors import clustered_coo, random_coo
+from repro.errors import ShapeError
+from repro.tensors.coo import COOTensor
+from repro.tensors.hicoo import HiCOOTensor
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", [(80,), (30, 50), (20, 16, 24)])
+    def test_roundtrip(self, shape):
+        t = random_coo(shape, nnz=60, seed=1)
+        h = HiCOOTensor.from_coo(t, block_bits=3)
+        assert h.to_coo().allclose(t)
+
+    def test_empty(self):
+        h = HiCOOTensor.from_coo(COOTensor.empty((8, 8)))
+        assert h.nnz == 0
+        assert h.n_blocks == 0
+        assert h.to_coo().nnz == 0
+
+    def test_duplicates_summed(self):
+        t = COOTensor([[3, 3], [5, 5]], [1.0, 2.0], (8, 8))
+        h = HiCOOTensor.from_coo(t, block_bits=2)
+        assert h.nnz == 1
+        assert h.to_coo().to_dense()[3, 5] == 3.0
+
+    def test_block_bits_validation(self):
+        t = random_coo((8, 8), nnz=4, seed=2)
+        with pytest.raises(ShapeError):
+            HiCOOTensor.from_coo(t, block_bits=0)
+
+
+class TestStructure:
+    def test_block_partitioning(self):
+        t = random_coo((64, 64), nnz=200, seed=3)
+        h = HiCOOTensor.from_coo(t, block_bits=4)
+        assert np.diff(h.bptr).sum() == h.nnz
+        # Every element's offsets fit in the block.
+        assert h.ecoords.max() < h.block_size
+
+    def test_block_coords_unique(self):
+        t = random_coo((64, 64), nnz=200, seed=4)
+        h = HiCOOTensor.from_coo(t, block_bits=4)
+        lin = h.bcoords[0] * (64 >> 4) + h.bcoords[1]
+        assert len(np.unique(lin)) == h.n_blocks
+
+    def test_block_accessor_consistent(self):
+        t = random_coo((32, 32), nnz=50, seed=5)
+        h = HiCOOTensor.from_coo(t, block_bits=3)
+        total = 0
+        for bc, ec, vals in h.blocks():
+            assert ec.shape[1] == vals.shape[0]
+            total += vals.shape[0]
+        assert total == h.nnz
+
+    def test_offset_dtype_narrow(self):
+        t = random_coo((64, 64), nnz=20, seed=6)
+        h = HiCOOTensor.from_coo(t, block_bits=4)
+        assert h.ecoords.dtype == np.uint8
+        h16 = HiCOOTensor.from_coo(t, block_bits=12)
+        assert h16.ecoords.dtype == np.uint16
+
+
+class TestCompression:
+    def test_clustered_tensor_compresses(self):
+        # Spatial locality: many nonzeros per block -> block coords
+        # amortize, 1-byte element offsets dominate.
+        t = clustered_coo((4000, 4000), nnz=5000, seed=7, n_clusters=4,
+                          spread=0.01)
+        h = HiCOOTensor.from_coo(t, block_bits=7)
+        assert h.compression_ratio() > 3.0
+
+    def test_scattered_tensor_compresses_less(self):
+        scattered = random_coo((1 << 20, 1 << 20), nnz=3000, seed=8)
+        h = HiCOOTensor.from_coo(scattered, block_bits=7)
+        clustered = clustered_coo((1 << 20, 1 << 20), nnz=3000, seed=9,
+                                  n_clusters=2, spread=0.0001)
+        hc = HiCOOTensor.from_coo(clustered, block_bits=7)
+        assert hc.compression_ratio() > h.compression_ratio()
+
+    def test_nbytes_accounting(self):
+        t = random_coo((64, 64), nnz=100, seed=10)
+        h = HiCOOTensor.from_coo(t, block_bits=4)
+        assert h.nbytes == h.index_nbytes + h.values.nbytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    ndim=st.integers(1, 3),
+    block_bits=st.integers(1, 6),
+)
+def test_roundtrip_property(data, ndim, block_bits):
+    shape = tuple(data.draw(st.integers(1, 40)) for _ in range(ndim))
+    cells = int(np.prod(shape))
+    nnz = data.draw(st.integers(0, min(30, cells)))
+    coords = np.array(
+        [[data.draw(st.integers(0, e - 1)) for _ in range(nnz)] for e in shape],
+        dtype=np.int64,
+    ).reshape(ndim, nnz)
+    values = np.array(
+        [data.draw(st.floats(-5, 5, allow_nan=False)) for _ in range(nnz)]
+    )
+    t = COOTensor(coords, values, shape)
+    h = HiCOOTensor.from_coo(t, block_bits=block_bits)
+    assert h.to_coo().allclose(t, atol=1e-9)
+    assert np.diff(h.bptr).min(initial=1) >= 1  # no empty blocks stored

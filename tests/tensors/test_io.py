@@ -1,0 +1,70 @@
+"""Unit tests for FROSTT .tns I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.random_tensors import random_coo
+from repro.errors import FormatError
+from repro.tensors.io import read_tns, write_tns
+
+
+class TestReadTns:
+    def test_basic(self):
+        text = "1 1 2.5\n2 3 -1.0\n"
+        t = read_tns(io.StringIO(text))
+        assert t.shape == (2, 3)
+        assert t.to_dense()[0, 0] == 2.5
+        assert t.to_dense()[1, 2] == -1.0
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\n1 1 1.0\n  \n# more\n2 2 2.0\n"
+        t = read_tns(io.StringIO(text))
+        assert t.nnz == 2
+
+    def test_explicit_shape(self):
+        t = read_tns(io.StringIO("1 1 1.0\n"), shape=(5, 5))
+        assert t.shape == (5, 5)
+
+    def test_zero_based_rejected(self):
+        with pytest.raises(FormatError):
+            read_tns(io.StringIO("0 1 1.0\n"))
+
+    def test_inconsistent_arity(self):
+        with pytest.raises(FormatError):
+            read_tns(io.StringIO("1 1 1.0\n1 1 1 1.0\n"))
+
+    def test_unparseable(self):
+        with pytest.raises(FormatError):
+            read_tns(io.StringIO("1 x 1.0\n"))
+
+    def test_empty_file(self):
+        with pytest.raises(FormatError):
+            read_tns(io.StringIO(""))
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        t = random_coo((7, 5, 9), nnz=30, seed=1)
+        buf = io.StringIO()
+        write_tns(t, buf)
+        back = read_tns(io.StringIO(buf.getvalue()), shape=t.shape)
+        assert back.allclose(t)
+
+    def test_file_roundtrip(self, tmp_path):
+        t = random_coo((4, 6), nnz=10, seed=2)
+        path = tmp_path / "t.tns"
+        write_tns(t, path)
+        back = read_tns(path, shape=t.shape)
+        assert back.allclose(t)
+
+    def test_values_exact(self, tmp_path):
+        # repr-based writing must round-trip doubles exactly
+        t = random_coo((10,), nnz=5, seed=3)
+        path = tmp_path / "v.tns"
+        write_tns(t, path)
+        back = read_tns(path, shape=t.shape)
+        a = t.sum_duplicates()
+        b = back.sum_duplicates()
+        np.testing.assert_array_equal(a.values, b.values)

@@ -1,0 +1,83 @@
+"""Unit tests for mode linearization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensors.linearize import ModeLinearizer, delinearize, linearize
+
+
+class TestModeLinearizer:
+    def test_row_major_strides(self):
+        lin = ModeLinearizer((3, 4, 5))
+        assert lin.strides == (20, 5, 1)
+        assert lin.size == 60
+
+    def test_encode_single(self):
+        lin = ModeLinearizer((3, 4))
+        flat = lin.encode(np.array([[1], [2]]))
+        assert flat[0] == 1 * 4 + 2
+
+    def test_roundtrip(self, rng):
+        extents = (5, 7, 3, 2)
+        lin = ModeLinearizer(extents)
+        coords = np.vstack([rng.integers(0, e, size=50) for e in extents])
+        flat = lin.encode(coords)
+        np.testing.assert_array_equal(lin.decode(flat), coords)
+
+    def test_roundtrip_exhaustive_small(self):
+        lin = ModeLinearizer((2, 3, 2))
+        flat = np.arange(12)
+        coords = lin.decode(flat)
+        np.testing.assert_array_equal(lin.encode(coords), flat)
+
+    def test_bijectivity(self):
+        lin = ModeLinearizer((4, 6))
+        coords = np.stack(np.meshgrid(np.arange(4), np.arange(6), indexing="ij"))
+        flat = lin.encode(coords.reshape(2, -1))
+        assert len(np.unique(flat)) == 24
+        assert flat.min() == 0 and flat.max() == 23
+
+    def test_empty_extents(self):
+        lin = ModeLinearizer(())
+        assert lin.size == 1
+        flat = lin.encode(np.empty((0, 5), dtype=np.int64))
+        np.testing.assert_array_equal(flat, np.zeros(5, dtype=np.int64))
+        coords = lin.decode(np.zeros(3, dtype=np.int64))
+        assert coords.shape == (0, 3)
+
+    def test_single_mode(self):
+        lin = ModeLinearizer((10,))
+        flat = lin.encode(np.array([[3, 7]]))
+        np.testing.assert_array_equal(flat, [3, 7])
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            ModeLinearizer((3, 0))
+
+    def test_wrong_row_count(self):
+        lin = ModeLinearizer((3, 4))
+        with pytest.raises(ShapeError):
+            lin.encode(np.zeros((3, 2), dtype=np.int64))
+
+    def test_decode_requires_1d(self):
+        lin = ModeLinearizer((3, 4))
+        with pytest.raises(ShapeError):
+            lin.decode(np.zeros((2, 2), dtype=np.int64))
+
+    def test_matches_numpy_ravel(self, rng):
+        extents = (6, 5, 4)
+        lin = ModeLinearizer(extents)
+        coords = np.vstack([rng.integers(0, e, size=30) for e in extents])
+        expected = np.ravel_multi_index(tuple(coords), extents)
+        np.testing.assert_array_equal(lin.encode(coords), expected)
+
+
+class TestFunctionalForms:
+    def test_linearize(self):
+        flat = linearize(np.array([[1], [1]]), (2, 2))
+        assert flat[0] == 3
+
+    def test_delinearize(self):
+        coords = delinearize(np.array([3]), (2, 2))
+        np.testing.assert_array_equal(coords, [[1], [1]])

@@ -1,0 +1,108 @@
+"""Unit tests for the structural validators."""
+
+import numpy as np
+import pytest
+
+from repro.data.random_tensors import random_coo
+from repro.errors import FormatError
+from repro.tensors.coo import COOTensor
+from repro.tensors.csf import CSFTensor
+from repro.tensors.validate import validate_coo, validate_csf
+
+
+class TestValidateCoo:
+    def test_valid_tensor(self):
+        t = random_coo((10, 12), nnz=30, seed=1)
+        report = validate_coo(t)
+        assert report.ok
+        assert report.stats["nnz"] == 30
+
+    def test_out_of_bounds_detected(self):
+        t = random_coo((10, 12), nnz=5, seed=2)
+        t.coords[0, 0] = 99  # corrupt in place
+        report = validate_coo(t)
+        assert not report.ok
+        assert any("mode 0" in p for p in report.problems)
+
+    def test_negative_detected(self):
+        t = random_coo((10, 12), nnz=5, seed=3)
+        t.coords[1, 2] = -1
+        report = validate_coo(t)
+        assert not report.ok
+
+    def test_nan_values_detected(self):
+        t = random_coo((10, 12), nnz=5, seed=4)
+        t.values[3] = np.nan
+        report = validate_coo(t)
+        assert not report.ok
+        assert any("non-finite" in p for p in report.problems)
+
+    def test_duplicates_counted_and_optionally_rejected(self):
+        t = COOTensor([[0, 0, 1]], [1.0, 2.0, 3.0], (2,))
+        report = validate_coo(t)
+        assert report.ok
+        assert report.stats["duplicate_entries"] == 1
+        strict = validate_coo(t, require_unique=True)
+        assert not strict.ok
+
+    def test_sortedness_check(self):
+        t = COOTensor([[1, 0]], [1.0, 2.0], (2,))
+        assert validate_coo(t).ok
+        assert not validate_coo(t, require_sorted=True).ok
+        assert validate_coo(t.sorted_by(), require_sorted=True).ok
+
+    def test_explicit_zero_check(self):
+        t = COOTensor([[0]], [0.0], (2,))
+        assert validate_coo(t).ok
+        assert not validate_coo(t, allow_zero_values=False).ok
+
+    def test_raise_if_invalid(self):
+        t = random_coo((10, 12), nnz=5, seed=5)
+        t.values[0] = np.inf
+        with pytest.raises(FormatError):
+            validate_coo(t).raise_if_invalid()
+
+    def test_empty_tensor(self):
+        assert validate_coo(COOTensor.empty((3, 4))).ok
+
+
+class TestValidateCsf:
+    def test_valid(self):
+        t = random_coo((8, 9, 7), nnz=40, seed=6)
+        csf = CSFTensor.from_coo(t)
+        report = validate_csf(csf)
+        assert report.ok
+        assert report.stats["nodes_per_level"][-1] == csf.nnz
+
+    def test_corrupted_pointer_detected(self):
+        t = random_coo((8, 9), nnz=20, seed=7)
+        csf = CSFTensor.from_coo(t)
+        csf.fptr[0][1] = csf.fptr[0][2] + 1  # break monotonicity
+        report = validate_csf(csf)
+        assert not report.ok
+
+    def test_unsorted_fiber_detected(self):
+        t = COOTensor([[0, 0], [1, 4]], [1.0, 2.0], (2, 6))
+        csf = CSFTensor.from_coo(t)
+        csf.fids[1][:] = csf.fids[1][::-1]  # reverse the fiber
+        report = validate_csf(csf)
+        assert not report.ok
+        assert any("sorted" in p for p in report.problems)
+
+    def test_value_misalignment_detected(self):
+        t = random_coo((5, 6), nnz=10, seed=8)
+        csf = CSFTensor.from_coo(t)
+        csf.values = csf.values[:-1]
+        report = validate_csf(csf)
+        assert not report.ok
+
+    def test_bad_mode_order_detected(self):
+        t = random_coo((5, 6), nnz=10, seed=9)
+        csf = CSFTensor.from_coo(t)
+        csf.mode_order = (0, 0)
+        report = validate_csf(csf)
+        assert not report.ok
+
+    def test_empty_csf(self):
+        csf = CSFTensor.from_coo(COOTensor.empty((3, 4)))
+        assert validate_csf(csf).ok

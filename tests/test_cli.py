@@ -1,0 +1,94 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.data.random_tensors import random_coo
+from repro.tensors.io import read_tns, write_tns
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "chic_01"])
+        assert args.method == "fastcc"
+        assert args.workers == 1
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "chic_01", "--method", "gpu"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "desktop-i7-11700F" in out
+        assert "chic_01" in out
+
+    def test_plan(self, capsys):
+        rc = main([
+            "plan", "--L", "1000", "--R", "1000", "--C", "100",
+            "--nnz-l", "5000", "--nnz-r", "5000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "decision:" in out
+
+    def test_run_small_case(self, capsys):
+        assert main(["run", "uber_123", "--method", "fastcc"]) == 0
+        out = capsys.readouterr().out
+        assert "output: nnz=" in out
+
+    def test_run_unknown_case(self):
+        with pytest.raises(KeyError):
+            main(["run", "nonexistent_case"])
+
+    def test_contract_files(self, tmp_path, capsys):
+        from repro.tensors.coo import COOTensor
+        import numpy as np
+
+        # .tns files carry no shape header: the reader infers extents
+        # from the max coordinate, so pin the corners explicitly.
+        a = random_coo((6, 8), nnz=12, seed=1)
+        a = COOTensor(
+            np.hstack([a.coords, [[5], [7]]]),
+            np.concatenate([a.values, [0.5]]), (6, 8),
+        )
+        b = random_coo((8, 5), nnz=10, seed=2)
+        b = COOTensor(
+            np.hstack([b.coords, [[7], [4]]]),
+            np.concatenate([b.values, [0.5]]), (8, 5),
+        )
+        pa, pb = tmp_path / "a.tns", tmp_path / "b.tns"
+        out_path = tmp_path / "o.tns"
+        write_tns(a, pa)
+        write_tns(b, pb)
+        rc = main([
+            "contract", str(pa), str(pb),
+            "--pairs", "1:0", "--output", str(out_path),
+        ])
+        assert rc == 0
+        result = read_tns(out_path)
+        import numpy as np
+
+        expected = a.to_dense() @ b.to_dense()
+        got = np.zeros_like(expected)
+        got[: result.shape[0], : result.shape[1]] = result.to_dense()
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+
+class TestDnfHandling:
+    def test_dnf_exits_cleanly(self, capsys):
+        rc = main(["run", "NIPS_2", "--accumulator", "dense"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "DNF" in out
+
+    def test_server_machine_flag(self, capsys):
+        rc = main(["run", "uber_123", "--machine", "server"])
+        assert rc == 0
+        assert "server-tr-3990x" in capsys.readouterr().out

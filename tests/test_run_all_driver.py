@@ -1,0 +1,60 @@
+"""Unit tests for the benchmark run-all driver (selection logic only —
+the harnesses themselves are exercised by their own tests)."""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import run_all  # noqa: E402
+
+
+class TestHarnessList:
+    def test_all_listed_files_exist(self):
+        for name in run_all.HARNESSES:
+            assert os.path.isfile(os.path.join(BENCH_DIR, f"{name}.py")), name
+
+    def test_every_bench_file_is_listed(self):
+        present = {
+            f[:-3]
+            for f in os.listdir(BENCH_DIR)
+            if f.startswith("bench_") and f.endswith(".py")
+        }
+        assert present == set(run_all.HARNESSES)
+
+    def test_all_harnesses_have_main(self):
+        import importlib
+
+        for name in run_all.HARNESSES:
+            module = importlib.import_module(name)
+            assert callable(getattr(module, "main", None)), name
+
+
+class TestDriver:
+    def test_only_selection(self, tmp_path, capsys):
+        rc = run_all.main(["--out", str(tmp_path), "--only", "table2_datasets"])
+        assert rc == 0
+        assert (tmp_path / "table2_datasets.txt").exists()
+        out = capsys.readouterr().out
+        assert "1/1 harnesses succeeded" in out
+
+    def test_unknown_selection_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_all.main(["--out", str(tmp_path), "--only", "nonexistent"])
+
+    def test_failure_recorded_not_raised(self, tmp_path, monkeypatch, capsys):
+        import importlib
+
+        module = importlib.import_module("bench_table2_datasets")
+
+        def boom():
+            raise RuntimeError("injected harness fault")
+
+        monkeypatch.setattr(module, "main", boom)
+        rc = run_all.main(["--out", str(tmp_path), "--only", "table2_datasets"])
+        assert rc == 1
+        content = (tmp_path / "table2_datasets.txt").read_text()
+        assert "FAILED" in content

@@ -1,0 +1,76 @@
+"""Unit tests for the array helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.util.arrays import (
+    as_index_array,
+    as_value_array,
+    ceil_div,
+    next_power_of_two,
+    prev_power_of_two,
+)
+
+
+class TestAsIndexArray:
+    def test_int_passthrough(self):
+        a = as_index_array([1, 2, 3])
+        assert a.dtype == np.int64
+
+    def test_integral_floats(self):
+        a = as_index_array(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(a, [1, 2])
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ShapeError):
+            as_index_array(np.array([1.5]))
+
+    def test_smaller_int_dtypes(self):
+        a = as_index_array(np.array([1], dtype=np.int8))
+        assert a.dtype == np.int64
+
+    def test_copy_flag(self):
+        src = np.array([1, 2], dtype=np.int64)
+        out = as_index_array(src, copy=True)
+        out[0] = 99
+        assert src[0] == 1
+
+    def test_contiguity(self):
+        src = np.arange(10, dtype=np.int64)[::2]
+        out = as_index_array(src)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestAsValueArray:
+    def test_dtype(self):
+        assert as_value_array([1, 2]).dtype == np.float64
+
+
+class TestIntHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @pytest.mark.parametrize("n,expected", [(0, 1), (1, 1), (2, 2), (3, 4),
+                                            (4, 4), (1000, 1024)])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 2), (4, 4),
+                                            (1000, 512), (1024, 1024)])
+    def test_prev_power_of_two(self, n, expected):
+        assert prev_power_of_two(n) == expected
+
+    def test_prev_power_of_two_rejects_zero(self):
+        with pytest.raises(ValueError):
+            prev_power_of_two(0)
+
+    def test_duality(self):
+        for n in (1, 2, 5, 17, 300):
+            assert prev_power_of_two(n) <= n <= next_power_of_two(n)

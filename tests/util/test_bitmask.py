@@ -1,0 +1,97 @@
+"""Unit and property tests for the packed bitmask."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitmask import PackedBitmask
+
+
+class TestBasics:
+    def test_initially_clear(self):
+        bm = PackedBitmask(100)
+        assert not bm.test(np.arange(100)).any()
+        assert bm.count() == 0
+
+    def test_set_and_test(self):
+        bm = PackedBitmask(128)
+        fresh = bm.test_and_set(np.array([0, 63, 64, 127]))
+        assert fresh.all()
+        assert bm.test(np.array([0, 63, 64, 127])).all()
+        assert not bm.test(np.array([1, 62, 65])).any()
+
+    def test_second_set_not_fresh(self):
+        bm = PackedBitmask(64)
+        bm.test_and_set(np.array([5]))
+        fresh = bm.test_and_set(np.array([5, 6]))
+        np.testing.assert_array_equal(fresh, [False, True])
+
+    def test_duplicates_in_batch_fresh_once(self):
+        bm = PackedBitmask(64)
+        fresh = bm.test_and_set(np.array([9, 9, 9, 3, 9]))
+        assert fresh.sum() == 2  # one for 9, one for 3
+        assert fresh[0]  # the first occurrence of 9
+        assert not fresh[1] and not fresh[2] and not fresh[4]
+
+    def test_clear(self):
+        bm = PackedBitmask(64)
+        bm.test_and_set(np.array([1, 2, 3]))
+        bm.clear(np.array([2]))
+        np.testing.assert_array_equal(
+            bm.test(np.array([1, 2, 3])), [True, False, True]
+        )
+
+    def test_clear_all(self):
+        bm = PackedBitmask(256)
+        bm.test_and_set(np.arange(0, 256, 3))
+        bm.clear_all()
+        assert bm.count() == 0
+
+    def test_count(self):
+        bm = PackedBitmask(1000)
+        bm.test_and_set(np.arange(0, 1000, 7))
+        assert bm.count() == len(range(0, 1000, 7))
+
+    def test_bounds_checked(self):
+        bm = PackedBitmask(10)
+        with pytest.raises(IndexError):
+            bm.test(np.array([10]))
+        with pytest.raises(IndexError):
+            bm.test_and_set(np.array([-1]))
+
+    def test_empty_batch(self):
+        bm = PackedBitmask(10)
+        assert bm.test_and_set(np.array([], dtype=np.int64)).size == 0
+
+    def test_memory_footprint_is_one_bit_per_cell(self):
+        # The paper's T_L*T_R/8 bytes (rounded to words).
+        bm = PackedBitmask(512 * 512)
+        assert bm.nbytes == 512 * 512 // 8
+
+    def test_zero_bits(self):
+        bm = PackedBitmask(0)
+        assert bm.count() == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.integers(0, 127), max_size=30), max_size=6
+    )
+)
+def test_matches_bool_array_model(batches):
+    """Property: packed semantics equal a plain bool-array reference."""
+    bm = PackedBitmask(128)
+    model = np.zeros(128, dtype=bool)
+    for batch in batches:
+        pos = np.array(batch, dtype=np.int64)
+        fresh = bm.test_and_set(pos)
+        # Reference: sequential test-and-set.
+        expected_fresh = []
+        for p in batch:
+            expected_fresh.append(not model[p])
+            model[p] = True
+        np.testing.assert_array_equal(fresh, expected_fresh)
+    np.testing.assert_array_equal(bm.to_bool_array(), model)
+    assert bm.count() == int(model.sum())

@@ -1,0 +1,48 @@
+"""Unit tests for the timing helpers."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer, median_time
+
+
+class TestTimer:
+    def test_single_lap(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        assert len(t.laps) == 1
+
+    def test_accumulates(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                time.sleep(0.002)
+        assert len(t.laps) == 3
+        assert t.elapsed == pytest.approx(sum(t.laps))
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.laps == []
+
+
+class TestMedianTime:
+    def test_returns_median(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        out = median_time(fn, repeats=5)
+        assert len(calls) == 5
+        assert out >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median_time(lambda: None, repeats=0)
