@@ -14,6 +14,7 @@ DESIGN.md's substitution table).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -38,6 +39,16 @@ __all__ = [
     "FROSTT_ORDER",
     "QUANTUM_ORDER",
 ]
+
+def quick_mode() -> bool:
+    """Whether ``run_all.py --quick`` (or the env var) is in effect."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def effective_repeats(repeats: int) -> int:
+    """Clamp a harness's repeat count to 1 under quick mode."""
+    return 1 if quick_mode() else max(1, repeats)
+
 
 #: Table 3 row order.
 FROSTT_ORDER = [
@@ -98,7 +109,7 @@ def time_fastcc(
         accumulator=accumulator, tile_size=tile_size,
     )
     best = None
-    for _ in range(max(1, repeats)):
+    for _ in range(effective_repeats(repeats)):
         t0 = time.perf_counter()
         _, _, values, stats = tiled_co_contract(left_op, right_op, plan)
         dt = time.perf_counter() - t0
@@ -143,7 +154,7 @@ def time_method(case_name: str, method: str, *, repeats: int = 1) -> float:
             contract_untiled(method, left_op, right_op)
 
     best = float("inf")
-    for _ in range(max(1, repeats)):
+    for _ in range(effective_repeats(repeats)):
         t0 = time.perf_counter()
         run()
         best = min(best, time.perf_counter() - t0)

@@ -36,6 +36,7 @@ HARNESSES = [
     "bench_model_accuracy",
     "bench_format_memory",
     "bench_validation_matrix",
+    "bench_runtime_cache",
 ]
 
 
@@ -63,10 +64,16 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="results")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of harness names (without bench_)")
+    parser.add_argument("--quick", action="store_true",
+                        help="clamp every harness's repeats to 1 (smoke "
+                             "mode for CI)")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     os.makedirs(args.out, exist_ok=True)
+    if args.quick:
+        # Harnesses read this through benchmarks.common.quick_mode().
+        os.environ["REPRO_BENCH_QUICK"] = "1"
 
     selected = HARNESSES
     if args.only:

@@ -35,11 +35,12 @@ from repro.errors import (
     WorkspaceLimitError,
 )
 from repro.machine.specs import DESKTOP, SERVER, MachineSpec
+from repro.runtime import BatchExecutor, ContractionRuntime, PlanCache
 from repro.tensors.coo import COOTensor
 from repro.tensors.csf import CSFTensor
 from repro.analysis.counters import Counters
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "contract",
@@ -55,6 +56,9 @@ __all__ = [
     "COOTensor",
     "CSFTensor",
     "Counters",
+    "ContractionRuntime",
+    "BatchExecutor",
+    "PlanCache",
     "MachineSpec",
     "DESKTOP",
     "SERVER",

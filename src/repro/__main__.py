@@ -13,6 +13,11 @@ Subcommands
 ``contract FILE_A FILE_B``
     Contract two FROSTT ``.tns`` files over given mode pairs and write
     the result as ``.tns``.
+``batch CASE [CASE ...]``
+    Run a pipeline of registry cases through the adaptive runtime
+    (``repro.runtime``): plans are cached by structural signature,
+    tiled tables are reused across steps sharing an operand, and the
+    aggregate hit-rate/speedup metrics are printed at the end.
 """
 
 from __future__ import annotations
@@ -111,6 +116,56 @@ def _cmd_contract(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.machine.specs import DESKTOP, SERVER
+    from repro.runtime import BatchExecutor, BatchItem, ContractionRuntime
+
+    machine = SERVER if args.machine == "server" else DESKTOP
+    runtime = ContractionRuntime(
+        machine=machine,
+        cache_path=args.cache_file,
+        n_workers=args.workers,
+        calibrate=not args.no_calibrate,
+        # Size the operand cache so a full pass over the distinct cases
+        # fits — otherwise --repeat evicts every table before reuse.
+        operand_cache_size=max(8, 2 * len(set(args.cases))),
+    )
+    items = []
+    for _ in range(max(1, args.repeat)):
+        for name in args.cases:
+            left, right, pairs = _batch_operands(name)
+            items.append(BatchItem(left, right, tuple(pairs), name=name))
+
+    executor = BatchExecutor(runtime)
+    t0 = time.perf_counter()
+    report = executor.run(items)
+    dt = time.perf_counter() - t0
+    print(f"batch of {len(items)} contractions on {machine.name} "
+          f"({dt:.4f}s wall):")
+    print(report.summary())
+    if runtime.calibrator is not None and runtime.calibrator.samples:
+        runtime.calibrator.fit()
+        before, after = runtime.calibrator.improvement()
+        print(f"cost-model calibration over {len(runtime.calibrator.samples)} "
+              f"runs: relative error {before:.2f} -> {after:.2f}")
+    if args.cache_file:
+        runtime.flush()
+        print(f"plan cache persisted to {args.cache_file} "
+              f"({len(runtime.plan_cache)} entries)")
+    return 0
+
+
+def _batch_operands(name: str):
+    """Load one registry case, memoized so repeated steps share the
+    *same* tensor objects (what makes table reuse kick in)."""
+    from repro.data.registry import get_case
+
+    cache = _batch_operands.__dict__.setdefault("cache", {})
+    if name not in cache:
+        cache[name] = get_case(name).load()
+    return cache[name]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FaSTCC sparse tensor contraction CLI"
@@ -139,6 +194,22 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--machine", default="desktop",
                       choices=["desktop", "server"])
 
+    batch = sub.add_parser(
+        "batch", help="run registry cases through the adaptive runtime"
+    )
+    batch.add_argument("cases", nargs="+",
+                       help="registry case names, executed in order")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="repeat the whole pipeline N times")
+    batch.add_argument("--machine", default="desktop",
+                       choices=["desktop", "server"])
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument("--cache-file", default=None,
+                       help="JSON plan-cache file (loaded if present, "
+                            "saved on exit)")
+    batch.add_argument("--no-calibrate", action="store_true",
+                       help="skip cost-model calibration")
+
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
     con.add_argument("file_b")
@@ -157,6 +228,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "plan": _cmd_plan,
         "contract": _cmd_contract,
+        "batch": _cmd_batch,
     }[args.command]
     return handler(args)
 

@@ -13,6 +13,10 @@ which tallies exactly the quantities the paper's Section 3.4 analyzes:
 * ``probes`` / ``resizes`` — open-addressing internals, for the hashing
   ablation.
 * ``output_nnz`` — nonzeros appended to the output COO list.
+* ``plan_cache_hits`` / ``plan_cache_misses`` — adaptive-runtime plan
+  reuse (``repro.runtime``): a hit means Algorithm 7 was skipped.
+* ``table_reuse_hits`` / ``table_builds`` — tiled-table reuse across
+  batched contractions sharing an operand vs. fresh constructions.
 
 Counting is cheap (scalar adds on batch boundaries) and does not perturb
 the vectorized kernels.
@@ -41,6 +45,10 @@ class Counters:
     resizes: int = 0
     output_nnz: int = 0
     tasks: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    table_reuse_hits: int = 0
+    table_builds: int = 0
 
     def note_workspace(self, cells: int) -> None:
         """Record a workspace allocation; keeps the peak."""

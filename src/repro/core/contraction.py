@@ -46,6 +46,7 @@ def contract(
     machine: MachineSpec = DESKTOP,
     accumulator: str = "auto",
     tile_size: int | None = None,
+    plan: Plan | None = None,
     n_workers: int = 1,
     counters: Counters | None = None,
     return_stats: bool = False,
@@ -72,6 +73,11 @@ def contract(
         tile kind (FaSTCC only).
     tile_size:
         Overrides the model's tile size (FaSTCC only).
+    plan:
+        A precomputed :class:`~repro.core.plan.Plan` (e.g. from a
+        :class:`~repro.runtime.PlanCache`); skips Algorithm 7 entirely.
+        Its index-space extents must match this contraction's spec.
+        Mutually exclusive with ``accumulator``/``tile_size`` overrides.
     n_workers:
         Worker threads for the tile-pair task queue (FaSTCC only).
         Instrumented runs (``counters`` given) should use 1 for exact
@@ -114,14 +120,27 @@ def contract(
     right_op = spec.linearize_right(right).sum_duplicates()
     linearize_seconds = time.perf_counter() - t0
 
-    plan = choose_plan(
-        spec,
-        left_op.nnz,
-        right_op.nnz,
-        machine,
-        accumulator=accumulator,
-        tile_size=tile_size,
-    )
+    if plan is not None:
+        if accumulator != "auto" or tile_size is not None:
+            raise ValueError(
+                "a precomputed plan is mutually exclusive with "
+                "accumulator/tile_size overrides"
+            )
+        if (plan.spec.L, plan.spec.R, plan.spec.C) != (spec.L, spec.R, spec.C):
+            raise ValueError(
+                f"plan was made for (L={plan.spec.L}, R={plan.spec.R}, "
+                f"C={plan.spec.C}) but this contraction has (L={spec.L}, "
+                f"R={spec.R}, C={spec.C})"
+            )
+    else:
+        plan = choose_plan(
+            spec,
+            left_op.nnz,
+            right_op.nnz,
+            machine,
+            accumulator=accumulator,
+            tile_size=tile_size,
+        )
 
     if method == "fastcc":
         l_idx, r_idx, values, stats = tiled_co_contract(

@@ -210,6 +210,7 @@ def tiled_co_contract(
     builder_chunk_rows: int = 1 << 16,
     trace=None,
     schedule: str = "heavy_first",
+    tables: "tuple[TiledTables, TiledTables] | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, ContractionStats]:
     """Run Algorithm 6 on linearized operands.
 
@@ -223,6 +224,11 @@ def tiled_co_contract(
     accumulates) — the LPT heuristic that tightens greedy dynamic
     scheduling's makespan when a few heavy tiles dominate;
     ``"fifo"`` keeps grid order (Algorithm 5's nested loops verbatim).
+
+    ``tables`` injects prebuilt :class:`TiledTables` for both operands
+    (from :func:`build_tiled_tables_pair`), skipping the construction
+    phase entirely — the runtime layer's table-reuse path for batched
+    contractions that share an operand.  Tile sizes must match the plan.
     """
     if schedule not in ("heavy_first", "fifo"):
         raise ValueError(f"schedule must be heavy_first|fifo, got {schedule!r}")
@@ -236,10 +242,25 @@ def tiled_co_contract(
 
     # Step 1: parallel construction of the tiled hash tables, with the
     # thread pool split between the two operands (paper Section 4.2).
+    # Prebuilt tables (the runtime's reuse path) skip this phase.
     t0 = time.perf_counter()
-    hl, hr = build_tiled_tables_pair(
-        left, right, tile_l, tile_r, n_workers=n_workers, counters=counters
-    )
+    if tables is not None:
+        hl, hr = tables
+        if hl.tile != tile_l or hr.tile != tile_r:
+            raise ValueError(
+                f"prebuilt tables tiled {hl.tile}x{hr.tile} but the plan "
+                f"wants {tile_l}x{tile_r}"
+            )
+        if hl.nnz != left.nnz or hr.nnz != right.nnz:
+            raise ValueError(
+                "prebuilt tables do not match the operands: "
+                f"table nnz ({hl.nnz}, {hr.nnz}) vs operand nnz "
+                f"({left.nnz}, {right.nnz})"
+            )
+    else:
+        hl, hr = build_tiled_tables_pair(
+            left, right, tile_l, tile_r, n_workers=n_workers, counters=counters
+        )
     stats.phase_seconds["build_tables"] = time.perf_counter() - t0
 
     expected_tile_nnz = max(8, int(plan.est_output_density * tile_l * tile_r) + 1)

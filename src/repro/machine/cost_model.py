@@ -11,12 +11,20 @@ These predictions are validated against measured counters in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 from repro.machine.specs import MachineSpec
 from repro.util.arrays import ceil_div
 
-__all__ = ["ProblemShape", "CostEstimate", "AccessCostModel"]
+__all__ = [
+    "ProblemShape",
+    "CostEstimate",
+    "AccessCostModel",
+    "CostWeights",
+    "DEFAULT_WEIGHTS",
+    "fit_cost_weights",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +64,118 @@ class CostEstimate:
     accumulator_cells: float
 
 
+@dataclass(frozen=True)
+class CostWeights:
+    """Per-event costs, in cycles, that turn access counts into time.
+
+    The defaults are the hard-coded machine assumptions the paper's
+    platform comparison uses; :func:`fit_cost_weights` refits them from
+    measured runs so the time proxy converges toward the observed
+    machine (the runtime layer's calibration loop).
+    """
+
+    query_cost: float = 30.0
+    element_cost: float = 1.0
+    update_hit_cost: float = 2.0
+    update_miss_cost: float = 60.0
+    ghz: float = 3.0
+
+    def __post_init__(self):
+        for name in ("query_cost", "element_cost", "update_hit_cost",
+                     "update_miss_cost", "ghz"):
+            if getattr(self, name) < 0 or (name == "ghz" and self.ghz <= 0):
+                raise ValueError(f"{name} must be positive, got "
+                                 f"{getattr(self, name)}")
+
+    def scaled(self, alpha: float) -> "CostWeights":
+        """Uniformly rescale every per-event cost by ``alpha``."""
+        return replace(
+            self,
+            query_cost=self.query_cost * alpha,
+            element_cost=self.element_cost * alpha,
+            update_hit_cost=self.update_hit_cost * alpha,
+            update_miss_cost=self.update_miss_cost * alpha,
+        )
+
+    def seconds(
+        self, queries: float, data_volume: float, updates: float, *,
+        workspace_fits: bool,
+    ) -> float:
+        """Time proxy for one execution's access counts."""
+        update_cost = self.update_hit_cost if workspace_fits else self.update_miss_cost
+        cycles = (
+            queries * self.query_cost
+            + data_volume * self.element_cost
+            + updates * update_cost
+        )
+        return cycles / (self.ghz * 1e9)
+
+
+#: The uncalibrated machine assumptions (class constants of
+#: :class:`AccessCostModel`, packaged).
+DEFAULT_WEIGHTS = CostWeights()
+
+
+def fit_cost_weights(
+    samples: Sequence[tuple[float, float, float, bool]],
+    seconds: Sequence[float],
+    *,
+    base: CostWeights = DEFAULT_WEIGHTS,
+) -> CostWeights:
+    """Refit the cost weights from measured executions.
+
+    ``samples`` holds one ``(queries, data_volume, accum_updates,
+    workspace_fits)`` tuple per measured run and ``seconds`` the matching
+    wall-clock kernel times.  With few or degenerate samples the fit
+    falls back to a single least-squares scale factor applied to
+    ``base`` — always well-posed, and already enough to absorb the
+    host-vs-model speed gap.  With >= 4 samples a clipped least squares
+    refits the three per-event costs independently (the hit/miss update
+    costs keep the base ratio, since one run only ever exercises one of
+    the two regimes).
+    """
+    import numpy as np
+
+    if len(samples) != len(seconds) or not samples:
+        raise ValueError("need equally many (non-zero) samples and seconds")
+    feats = np.array(
+        [[q, v, u if fits else 0.0, 0.0 if fits else u]
+         for q, v, u, fits in samples],
+        dtype=np.float64,
+    )
+    meas = np.asarray(seconds, dtype=np.float64) * (base.ghz * 1e9)  # cycles
+
+    base_vec = np.array([base.query_cost, base.element_cost,
+                         base.update_hit_cost, base.update_miss_cost])
+    predicted = feats @ base_vec
+    denom = float(predicted @ predicted)
+    alpha = float(predicted @ meas) / denom if denom > 0 else 1.0
+    alpha = max(alpha, 1e-12)
+    scaled = base.scaled(alpha)
+
+    if len(samples) < 4:
+        return scaled
+    # Full refit: solve for (query, element, update) with the update
+    # column folding hit/miss through the base ratio, then split back.
+    miss_ratio = base.update_miss_cost / max(base.update_hit_cost, 1e-12)
+    design = np.column_stack(
+        [feats[:, 0], feats[:, 1], feats[:, 2] + feats[:, 3] * miss_ratio]
+    )
+    try:
+        coef, _, rank, _ = np.linalg.lstsq(design, meas, rcond=None)
+    except np.linalg.LinAlgError:  # pragma: no cover - defensive
+        return scaled
+    if rank < 3 or np.any(~np.isfinite(coef)) or np.any(coef <= 0):
+        return scaled
+    return replace(
+        base,
+        query_cost=float(coef[0]),
+        element_cost=float(coef[1]),
+        update_hit_cost=float(coef[2]),
+        update_miss_cost=float(coef[2] * miss_ratio),
+    )
+
+
 class AccessCostModel:
     """Table 1 / Section 5.3 closed forms, optionally weighted by a machine.
 
@@ -65,9 +185,20 @@ class AccessCostModel:
     machine-independent.
     """
 
-    def __init__(self, shape: ProblemShape, machine: MachineSpec | None = None):
+    def __init__(
+        self,
+        shape: ProblemShape,
+        machine: MachineSpec | None = None,
+        weights: CostWeights | None = None,
+    ):
         self.shape = shape
         self.machine = machine
+        self.weights = weights if weights is not None else CostWeights(
+            query_cost=self.QUERY_COST,
+            element_cost=self.ELEMENT_COST,
+            update_hit_cost=self.UPDATE_HIT_COST,
+            update_miss_cost=self.UPDATE_MISS_COST,
+        )
 
     # -- untiled schemes (Table 1) -------------------------------------
 
@@ -134,23 +265,30 @@ class AccessCostModel:
     UPDATE_HIT_COST = 2.0
     UPDATE_MISS_COST = 60.0
 
+    def workspace_fits(self, estimate: CostEstimate) -> bool:
+        """Whether the scheme's accumulator fits one core's L3 share."""
+        if self.machine is None:
+            raise ValueError("a MachineSpec is required for fit checks")
+        ws_bytes = estimate.accumulator_cells * self.machine.word_bytes
+        return ws_bytes <= self.machine.l3_bytes_per_core
+
     def estimated_seconds(
-        self, estimate: CostEstimate, accum_updates: float, *, ghz: float = 3.0
+        self, estimate: CostEstimate, accum_updates: float, *,
+        ghz: float | None = None,
     ) -> float:
         """Convert counts into a crude time proxy for platform comparison.
 
         Accumulator updates are charged the DRAM-miss cost when the
         workspace exceeds the machine's per-core L3 share — the effect
         Section 3.4 identifies as the CO scheme's untiled weakness.
+        The per-event costs come from ``self.weights`` (the class
+        constants unless a calibrated :class:`CostWeights` was given).
         """
-        if self.machine is None:
-            raise ValueError("a MachineSpec is required for time estimates")
-        ws_words = estimate.accumulator_cells
-        fits = ws_words * self.machine.word_bytes <= self.machine.l3_bytes_per_core
-        update_cost = self.UPDATE_HIT_COST if fits else self.UPDATE_MISS_COST
-        cycles = (
-            estimate.queries * self.QUERY_COST
-            + estimate.data_volume * self.ELEMENT_COST
-            + accum_updates * update_cost
+        fits = self.workspace_fits(estimate)
+        weights = self.weights
+        if ghz is not None and ghz != weights.ghz:
+            weights = replace(weights, ghz=ghz)
+        return weights.seconds(
+            estimate.queries, estimate.data_volume, accum_updates,
+            workspace_fits=fits,
         )
-        return cycles / (ghz * 1e9)

@@ -1,0 +1,448 @@
+"""The adaptive contraction runtime: cached plans, reused tables,
+batched execution, and measurement-driven calibration.
+
+``contract()`` recomputes everything on every call: it linearizes both
+operands, runs Algorithm 7, builds both operands' tiled hash tables,
+and only then contracts.  In a serving workload the same structural
+problem — and frequently the very same operand tensor — recurs over and
+over (the DLPNO pipeline contracts ``TE_vv`` against two different
+partners back to back), so the runtime keeps three caches:
+
+* a :class:`~repro.runtime.plan_cache.PlanCache` keyed by the problem's
+  structural signature (skips Algorithm 7 on recurrence, optionally
+  persisted across processes);
+* an operand cache holding each recently-seen tensor's linearized form
+  and tiled tables per (role, tile size) — a repeat call, or a batched
+  neighbor sharing the operand, skips linearization *and* table
+  construction;
+* a :class:`~repro.runtime.calibrator.CostCalibrator` fed by every
+  instrumented run, refitting the cost model toward the observed host.
+
+All reuse is observable through the standard
+:class:`~repro.analysis.counters.Counters` fields
+(``plan_cache_hits``/``misses``, ``table_reuse_hits``/``table_builds``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.counters import Counters
+from repro.core.contraction import contract
+from repro.core.model import choose_plan
+from repro.core.plan import ContractionSpec, LinearizedOperand, Plan
+from repro.core.tiled_co import (
+    ContractionStats,
+    TiledTables,
+    build_tiled_tables,
+    tiled_co_contract,
+)
+from repro.machine.specs import DESKTOP, MachineSpec
+from repro.runtime.calibrator import CostCalibrator
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.signature import signature_for
+from repro.tensors.coo import COOTensor
+
+__all__ = [
+    "ContractionRuntime",
+    "BatchExecutor",
+    "BatchItem",
+    "BatchReport",
+    "RunRecord",
+]
+
+
+class _OperandEntry:
+    """Cached derived state of one live tensor."""
+
+    __slots__ = ("tensor", "linearized", "tables", "seconds_saved_source")
+
+    def __init__(self, tensor: COOTensor):
+        self.tensor = tensor
+        # lin_key -> (LinearizedOperand, linearize_seconds)
+        self.linearized: dict = {}
+        # (lin_key, tile) -> (TiledTables, build_seconds)
+        self.tables: dict = {}
+
+
+class _OperandCache:
+    """LRU over recently-seen operand tensors, by identity.
+
+    Keys are ``id(tensor)``; each entry pins a strong reference to its
+    tensor so a recycled address can never alias a dead one.  Hitting
+    requires ``entry.tensor is tensor`` — identity, not equality: COO
+    comparison would cost as much as the linearization being skipped.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[int, _OperandEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, tensor: COOTensor) -> _OperandEntry:
+        key = id(tensor)
+        entry = self._entries.get(key)
+        if entry is not None and entry.tensor is tensor:
+            self._entries.move_to_end(key)
+            return entry
+        entry = _OperandEntry(tensor)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def _lin_key(role: str, spec: ContractionSpec) -> tuple:
+    """What the linearized form of one operand depends on.
+
+    The left mapping is a function of the left shape and the sequence of
+    contracted left modes; ditto on the right (the contraction-index
+    linearizer's extents are the paired extents, equal on both sides by
+    construction).  Two contractions agreeing on this key produce
+    byte-identical linearizations for that operand.
+    """
+    if role == "L":
+        return ("L", spec.left_shape, tuple(a for a, _ in spec.pairs))
+    return ("R", spec.right_shape, tuple(b for _, b in spec.pairs))
+
+
+@dataclass
+class RunRecord:
+    """What the runtime did for one contraction call."""
+
+    name: str
+    seconds: float
+    output_nnz: int
+    plan_source: str  # "planner" | "cache"
+    accumulator: str
+    tile: int
+    tables_reused: tuple[bool, bool]
+    seconds_saved: float  # measured cost of the skipped phases
+    phase_seconds: dict = field(default_factory=dict)
+
+
+class ContractionRuntime:
+    """Adaptive wrapper around :func:`repro.core.contraction.contract`.
+
+    Parameters
+    ----------
+    machine:
+        Platform model used for planning (and calibrated against).
+    plan_cache:
+        A shared :class:`PlanCache`; built fresh when omitted
+        (``cache_path``/``cache_size`` configure the private one).
+    cache_path:
+        JSON persistence file for the private plan cache.
+    calibrate:
+        Feed every run into the cost calibrator (cheap; on by default).
+    n_workers:
+        Worker threads handed to the kernel.
+    operand_cache_size:
+        How many distinct operand tensors keep their linearized forms
+        and tiled tables alive.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = DESKTOP,
+        *,
+        plan_cache: PlanCache | None = None,
+        cache_path=None,
+        cache_size: int = 128,
+        calibrate: bool = True,
+        n_workers: int = 1,
+        operand_cache_size: int = 8,
+    ):
+        self.machine = machine
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(maxsize=cache_size, path=cache_path)
+        )
+        self.calibrator = CostCalibrator(machine=machine) if calibrate else None
+        self.n_workers = int(n_workers)
+        self.counters = Counters()
+        self.records: list[RunRecord] = []
+        self._operands = _OperandCache(maxsize=operand_cache_size)
+
+    # -- cache-aware pipeline pieces ------------------------------------
+
+    def _linearized(
+        self, tensor: COOTensor, role: str, spec: ContractionSpec
+    ) -> tuple[LinearizedOperand, float]:
+        """The deduplicated linearized operand, cached per tensor."""
+        entry = self._operands.entry(tensor)
+        key = _lin_key(role, spec)
+        hit = entry.linearized.get(key)
+        if hit is not None:
+            return hit[0], 0.0
+        t0 = time.perf_counter()
+        lin = (
+            spec.linearize_left(tensor) if role == "L" else spec.linearize_right(tensor)
+        )
+        lin = lin.sum_duplicates()
+        dt = time.perf_counter() - t0
+        entry.linearized[key] = (lin, dt)
+        return lin, dt
+
+    def _tables(
+        self,
+        tensor: COOTensor,
+        role: str,
+        spec: ContractionSpec,
+        operand: LinearizedOperand,
+        tile: int,
+        counters: Counters,
+    ) -> tuple[TiledTables, bool, float]:
+        """Tiled tables for one operand at one tile size, cached.
+
+        Returns ``(tables, reused, seconds_saved)`` where
+        ``seconds_saved`` is the measured construction (plus
+        linearization) cost this call skipped.
+        """
+        entry = self._operands.entry(tensor)
+        key = (_lin_key(role, spec), int(tile))
+        hit = entry.tables.get(key)
+        if hit is not None:
+            counters.table_reuse_hits += 1
+            tables, build_seconds = hit
+            lin_seconds = entry.linearized[key[0]][1]
+            return tables, True, build_seconds + lin_seconds
+        t0 = time.perf_counter()
+        tables = build_tiled_tables(
+            operand, tile, n_workers=self.n_workers, counters=counters
+        )
+        dt = time.perf_counter() - t0
+        entry.tables[key] = (tables, dt)
+        counters.table_builds += 1
+        return tables, False, 0.0
+
+    # -- the public call ------------------------------------------------
+
+    def contract(
+        self,
+        left: COOTensor,
+        right: COOTensor,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        name: str = "",
+        accumulator: str = "auto",
+        tile_size: int | None = None,
+        counters: Counters | None = None,
+        return_stats: bool = False,
+        canonical: bool = True,
+    ):
+        """Contract through the plan/table caches (FaSTCC method only).
+
+        Mirrors :func:`repro.core.contraction.contract`'s interface and
+        output; the difference is where the plan and the tiled tables
+        come from.
+        """
+        call_counters = Counters()
+        t_call = time.perf_counter()
+
+        sig = signature_for(
+            left, right, pairs, self.machine,
+            accumulator=accumulator, tile_size=tile_size,
+        )
+        cached = self.plan_cache.get(sig)
+        spec = ContractionSpec(left.shape, right.shape, pairs)
+
+        left_op, lin_l_s = self._linearized(left, "L", spec)
+        right_op, lin_r_s = self._linearized(right, "R", spec)
+
+        if cached is not None:
+            plan = cached.materialize(spec)
+            call_counters.plan_cache_hits += 1
+            plan_source = "cache"
+        else:
+            plan = choose_plan(
+                spec, left_op.nnz, right_op.nnz, self.machine,
+                accumulator=accumulator, tile_size=tile_size,
+            )
+            self.plan_cache.put(sig, plan)
+            call_counters.plan_cache_misses += 1
+            plan_source = "planner"
+
+        hl, reused_l, saved_l = self._tables(
+            left, "L", spec, left_op, plan.tile_l, call_counters
+        )
+        hr, reused_r, saved_r = self._tables(
+            right, "R", spec, right_op, plan.tile_r, call_counters
+        )
+
+        l_idx, r_idx, values, stats = tiled_co_contract(
+            left_op, right_op, plan,
+            n_workers=self.n_workers, counters=call_counters,
+            tables=(hl, hr),
+        )
+
+        t0 = time.perf_counter()
+        out = spec.delinearize_output(l_idx, r_idx, values)
+        if canonical:
+            out = out.sum_duplicates()
+        stats.phase_seconds["delinearize"] = time.perf_counter() - t0
+        stats.phase_seconds["linearize"] = lin_l_s + lin_r_s
+        stats.output_nnz = out.nnz
+
+        if self.calibrator is not None:
+            self.calibrator.observe(plan, stats, call_counters)
+
+        record = RunRecord(
+            name=name,
+            seconds=time.perf_counter() - t_call,
+            output_nnz=out.nnz,
+            plan_source=plan_source,
+            accumulator=plan.accumulator,
+            tile=plan.tile_l,
+            tables_reused=(reused_l, reused_r),
+            seconds_saved=saved_l + saved_r,
+            phase_seconds=dict(stats.phase_seconds),
+        )
+        self.records.append(record)
+        self.counters.merge(call_counters)
+        if counters is not None:
+            counters.merge(call_counters)
+
+        if return_stats:
+            return out, stats
+        return out
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear_operand_cache(self) -> None:
+        """Drop cached linearizations and tables (plans are kept)."""
+        self._operands.clear()
+
+    def flush(self):
+        """Persist the plan cache to its configured path, if any."""
+        return self.plan_cache.flush()
+
+    def metrics(self) -> dict:
+        """Aggregate runtime metrics (counter-derived, JSON-friendly)."""
+        c = self.counters
+        plan_total = c.plan_cache_hits + c.plan_cache_misses
+        table_total = c.table_reuse_hits + c.table_builds
+        measured = sum(r.seconds for r in self.records)
+        saved = sum(r.seconds_saved for r in self.records)
+        return {
+            "calls": len(self.records),
+            "plan_cache_hits": c.plan_cache_hits,
+            "plan_cache_misses": c.plan_cache_misses,
+            "plan_hit_rate": c.plan_cache_hits / plan_total if plan_total else 0.0,
+            "table_reuse_hits": c.table_reuse_hits,
+            "table_builds": c.table_builds,
+            "table_reuse_rate": (
+                c.table_reuse_hits / table_total if table_total else 0.0
+            ),
+            "measured_seconds": measured,
+            "seconds_saved": saved,
+            "estimated_speedup": (
+                (measured + saved) / measured if measured > 0 else 1.0
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One contraction in a batched sequence."""
+
+    left: COOTensor
+    right: COOTensor
+    pairs: tuple[tuple[int, int], ...]
+    name: str = ""
+
+    @classmethod
+    def coerce(cls, item) -> "BatchItem":
+        if isinstance(item, BatchItem):
+            return item
+        left, right, pairs = item
+        return cls(left, right, tuple((int(a), int(b)) for a, b in pairs))
+
+
+@dataclass
+class BatchReport:
+    """Per-item records plus aggregate reuse metrics for one batch."""
+
+    records: list[RunRecord]
+    metrics: dict
+    outputs: list[COOTensor]
+
+    def summary(self) -> str:
+        m = self.metrics
+        lines = []
+        for r in self.records:
+            reuse = "+".join(
+                side for side, hit in zip("LR", r.tables_reused) if hit
+            ) or "-"
+            lines.append(
+                f"  {r.name or '(unnamed)':<12} plan={r.plan_source:<7} "
+                f"acc={r.accumulator:<6} tables_reused={reuse:<3} "
+                f"nnz={r.output_nnz:<9} {r.seconds:8.4f}s"
+                + (f" (saved {r.seconds_saved:.4f}s)" if r.seconds_saved else "")
+            )
+        lines.append(
+            f"plan cache: {m['plan_cache_hits']} hits / "
+            f"{m['plan_cache_misses']} misses "
+            f"(hit rate {m['plan_hit_rate']:.0%})"
+        )
+        lines.append(
+            f"tiled tables: {m['table_reuse_hits']} reused / "
+            f"{m['table_builds']} built "
+            f"(reuse rate {m['table_reuse_rate']:.0%})"
+        )
+        lines.append(
+            f"batch time {m['measured_seconds']:.4f}s, work skipped "
+            f"{m['seconds_saved']:.4f}s (estimated speedup "
+            f"{m['estimated_speedup']:.2f}x)"
+        )
+        return "\n".join(lines)
+
+
+class BatchExecutor:
+    """Run a sequence of contractions through one shared runtime.
+
+    Consecutive items that share an operand tensor (the DLPNO pipeline's
+    shape: ``TE_vv`` feeds both the ``vvoo`` and ``vvov`` integrals)
+    reuse its linearized form and tiled tables; recurring structural
+    problems reuse their plans.  The report carries per-item records and
+    the aggregate hit-rate/speedup metrics.
+    """
+
+    def __init__(self, runtime: ContractionRuntime | None = None, **runtime_kw):
+        self.runtime = (
+            runtime if runtime is not None else ContractionRuntime(**runtime_kw)
+        )
+
+    def run(self, items: Sequence) -> BatchReport:
+        items = [BatchItem.coerce(it) for it in items]
+        start = len(self.runtime.records)
+        outputs = []
+        for k, item in enumerate(items):
+            out = self.runtime.contract(
+                item.left, item.right, item.pairs,
+                name=item.name or f"step{k}",
+            )
+            outputs.append(out)
+        records = self.runtime.records[start:]
+        return BatchReport(
+            records=records, metrics=self.runtime.metrics(), outputs=outputs
+        )
+
+
+# Re-exported convenience: a one-shot reference run without any caching,
+# used by benchmarks to compare against the runtime path.
+def cold_contract(left, right, pairs, *, machine=DESKTOP, **kw):
+    """Plain ``contract`` call (no runtime caches); benchmark baseline."""
+    return contract(left, right, pairs, machine=machine, **kw)

@@ -1,0 +1,196 @@
+"""LRU plan cache with optional JSON persistence.
+
+Maps :class:`~repro.runtime.signature.ProblemSignature` keys to frozen
+Algorithm 7 decisions.  A hit skips planning entirely; entries survive
+across processes through :meth:`PlanCache.save` / the ``path`` argument
+(a serving process warms from the previous run's decisions on startup).
+
+A cache file that fails to parse — truncated write, hand-edit, version
+skew — must never take the service down: loading falls back to an empty
+(cold) cache and records the problem in :attr:`PlanCache.load_error`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+
+from repro.core.plan import ContractionSpec, Plan
+from repro.runtime.signature import ProblemSignature
+
+__all__ = ["CachedPlan", "PlanCache"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """The spec-independent part of a :class:`~repro.core.plan.Plan`.
+
+    Everything Algorithm 7 decided, minus the ``ContractionSpec`` (which
+    is rebuilt from the live operands on every call — specs hold mode
+    linearizers, not decisions).
+    """
+
+    accumulator: str
+    tile_l: int
+    tile_r: int
+    machine_name: str
+    p_l: float = 0.0
+    p_r: float = 0.0
+    est_output_density: float = 0.0
+    expected_tile_nnz: float = 0.0
+
+    @classmethod
+    def from_plan(cls, plan: Plan) -> "CachedPlan":
+        return cls(
+            accumulator=plan.accumulator,
+            tile_l=int(plan.tile_l),
+            tile_r=int(plan.tile_r),
+            machine_name=plan.machine_name,
+            p_l=float(plan.p_l),
+            p_r=float(plan.p_r),
+            est_output_density=float(plan.est_output_density),
+            expected_tile_nnz=float(plan.expected_tile_nnz),
+        )
+
+    def materialize(self, spec: ContractionSpec) -> Plan:
+        """Attach a live spec, yielding an executable :class:`Plan`."""
+        return Plan(
+            spec=spec,
+            accumulator=self.accumulator,
+            tile_l=self.tile_l,
+            tile_r=self.tile_r,
+            machine_name=self.machine_name,
+            p_l=self.p_l,
+            p_r=self.p_r,
+            est_output_density=self.est_output_density,
+            expected_tile_nnz=self.expected_tile_nnz,
+            notes={"source": "plan_cache"},
+        )
+
+
+class PlanCache:
+    """LRU map from problem signatures to cached plan decisions.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry capacity; the least-recently-*used* entry is evicted first
+        (both hits and inserts refresh recency).
+    path:
+        Optional JSON file.  When given, the cache warms itself from the
+        file at construction (silently starting cold if the file is
+        missing or corrupt) and :meth:`flush` writes back to it.
+    """
+
+    def __init__(self, maxsize: int = 128, path: str | os.PathLike | None = None):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.path = os.fspath(path) if path is not None else None
+        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.load_error: str | None = None
+        if self.path is not None and os.path.exists(self.path):
+            self._load(self.path)
+
+    # -- core mapping ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: ProblemSignature) -> bool:
+        return signature.key in self._entries
+
+    def keys(self) -> list[str]:
+        """Cached keys, least recently used first."""
+        return list(self._entries)
+
+    def get(self, signature: ProblemSignature) -> CachedPlan | None:
+        """Look up a cached decision; refreshes LRU recency on hit."""
+        entry = self._entries.get(signature.key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature.key)
+        self.hits += 1
+        return entry
+
+    def put(self, signature: ProblemSignature, plan: Plan | CachedPlan) -> CachedPlan:
+        """Insert (or refresh) a decision, evicting LRU entries at capacity."""
+        cached = plan if isinstance(plan, CachedPlan) else CachedPlan.from_plan(plan)
+        key = signature.key
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = cached
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return cached
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: str | os.PathLike | None = None) -> str:
+        """Write the cache to JSON (atomic rename); returns the path."""
+        target = os.fspath(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and the cache has no default path")
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [[k, asdict(v)] for k, v in self._entries.items()],
+        }
+        tmp = f"{target}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        os.replace(tmp, target)
+        return target
+
+    def flush(self) -> str | None:
+        """Persist to the default path, if one was configured."""
+        return self.save() if self.path is not None else None
+
+    def _load(self, path: str) -> None:
+        """Warm from a JSON file; corruption degrades to a cold cache."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("version") != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported cache format version {payload.get('version')!r}"
+                )
+            entries = OrderedDict()
+            for key, fields in payload["entries"]:
+                entries[str(key)] = CachedPlan(**fields)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # json.JSONDecodeError subclasses ValueError; a bad field
+            # set raises TypeError from the dataclass constructor.
+            self.load_error = f"{type(exc).__name__}: {exc}"
+            return
+        self._entries = entries
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanCache(entries={len(self)}, maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

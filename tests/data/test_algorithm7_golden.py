@@ -1,0 +1,109 @@
+"""Golden regression tests for Algorithm 7's published plan decisions.
+
+``algorithm7_plans.json`` freezes, for every registry case and both
+paper machines, the planner's decision (accumulator kind, tile sizes)
+and the linearized problem parameters it saw.  The paper's Table 3 is a
+function of exactly these decisions, so any change that silently alters
+them — a cost-model calibration leaking into planning, a tile-size
+formula tweak, a generator drift — fails here loudly instead of
+corrupting published comparisons.
+
+Deliberate planner changes regenerate the file::
+
+    PYTHONPATH=src python tests/data/test_algorithm7_golden.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.model import choose_plan
+from repro.core.plan import ContractionSpec
+from repro.data.registry import all_cases
+from repro.machine.specs import DESKTOP, SERVER
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "algorithm7_plans.json")
+MACHINES = {"desktop": DESKTOP, "server": SERVER}
+
+
+def compute_entry(case_name: str) -> dict:
+    """The planner's current decision for one registry case."""
+    case = all_cases()[case_name]
+    left, right, pairs = case.load()
+    spec = ContractionSpec(left.shape, right.shape, pairs)
+    left_op = spec.linearize_left(left).sum_duplicates()
+    right_op = spec.linearize_right(right).sum_duplicates()
+    entry = {
+        "problem": {
+            "L": spec.L, "R": spec.R, "C": spec.C,
+            "nnz_l": left_op.nnz, "nnz_r": right_op.nnz,
+        },
+    }
+    for label, machine in MACHINES.items():
+        plan = choose_plan(spec, left_op.nnz, right_op.nnz, machine)
+        entry[label] = {
+            "accumulator": plan.accumulator,
+            "tile_l": plan.tile_l,
+            "tile_r": plan.tile_r,
+        }
+    return entry
+
+
+def load_golden() -> dict:
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden()
+
+
+def test_golden_covers_every_registry_case(golden):
+    assert sorted(golden) == sorted(all_cases())
+
+
+@pytest.mark.parametrize("case_name", sorted(all_cases()))
+def test_planner_reproduces_golden_decision(case_name, golden):
+    entry = compute_entry(case_name)
+    frozen = golden[case_name]
+    assert entry["problem"] == frozen["problem"], (
+        f"{case_name}: generated problem parameters drifted — the golden "
+        "decisions no longer describe the same workload"
+    )
+    for label in MACHINES:
+        assert entry[label] == frozen[label], (
+            f"{case_name} on {label}: Algorithm 7's decision changed. "
+            "If intentional, regenerate with "
+            "`PYTHONPATH=src python tests/data/test_algorithm7_golden.py --regen` "
+            "and explain the plan change in the commit."
+        )
+
+
+def test_golden_agrees_with_paper_model_column(golden):
+    """The frozen desktop decisions match Table 3's D/S column (known
+    exception: none — all 16 agree at the reproduction scale)."""
+    for name, case in all_cases().items():
+        published = case.paper.get("model")
+        if not published:
+            continue
+        expected = "dense" if published == "D" else "sparse"
+        assert golden[name]["desktop"]["accumulator"] == expected, name
+
+
+def main() -> None:  # pragma: no cover - regeneration utility
+    import sys
+
+    if "--regen" not in sys.argv:
+        print(__doc__)
+        return
+    payload = {name: compute_entry(name) for name in sorted(all_cases())}
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload)} cases)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

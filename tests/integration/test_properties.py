@@ -140,6 +140,125 @@ def matrix_chains(draw):
     return mats
 
 
+# ---------------------------------------------------------------------------
+# Differential einsum fuzzer: seeded random expressions vs numpy.einsum.
+#
+# Each seed generates one random tensor-network expression with 2-4
+# operands, chained so the network stays connected, mixing all three
+# supported index roles: contracted (shared by two operands, absent from
+# the output), summed out (one operand, absent from the output), and
+# kept (one operand, present in the output, in randomized output order).
+# The whole expression is evaluated through repro's sparse einsum and
+# through numpy.einsum on the densified operands; results must agree to
+# float tolerance.  Both machine specs are swept (the plan differs —
+# tile sizes, accumulator — but the answer must not).
+# ---------------------------------------------------------------------------
+
+FUZZ_CASES_PER_MACHINE = 110  # 220 total: >= the 200-case floor
+
+
+def _random_einsum_problem(seed):
+    """Generate (subscripts, operands) for one fuzz case."""
+    rng = np.random.default_rng(0xE15 + seed)
+    n_ops = int(rng.integers(2, 5))
+    letters = iter("abcdefghijklmnopqrstuvwxyz")
+    extents = {}
+
+    def fresh_index():
+        ch = next(letters)
+        extents[ch] = int(rng.integers(1, 6))
+        return ch
+
+    # Chain links: index k appears in operands k and k+1 (contracted).
+    links = [fresh_index() for _ in range(n_ops - 1)]
+    subs = []
+    for k in range(n_ops):
+        sub = []
+        if k > 0:
+            sub.append(links[k - 1])
+        if k < n_ops - 1:
+            sub.append(links[k])
+        for _ in range(int(rng.integers(0, 3))):
+            sub.append(fresh_index())
+        rng.shuffle(sub)
+        subs.append("".join(sub))
+
+    singles = [ch for sub in subs for ch in sub if ch not in links]
+    # Singles split into kept (output) and summed-out; keep at least one
+    # index so the output is a real tensor (scalar outputs are out of
+    # scope for the sparse COO result type).
+    if not singles:
+        extra = fresh_index()
+        subs[-1] += extra
+        singles = [extra]
+    n_keep = int(rng.integers(1, len(singles) + 1))
+    kept = list(rng.choice(singles, size=n_keep, replace=False))
+    rng.shuffle(kept)
+    out_sub = "".join(kept)
+    expr = ",".join(subs) + "->" + out_sub
+
+    operands = []
+    for sub in subs:
+        shape = tuple(extents[ch] for ch in sub)
+        cells = int(np.prod(shape))
+        nnz = int(rng.integers(0, min(cells, 12) + 1))
+        coords = np.array(
+            [rng.integers(0, extents[ch], size=nnz) for ch in sub],
+            dtype=np.int64,
+        ).reshape(len(sub), nnz)
+        values = rng.uniform(-2.0, 2.0, size=nnz)
+        operands.append(COOTensor(coords, values, shape))
+    return expr, operands
+
+
+@pytest.mark.parametrize("machine_name", ["desktop", "server"])
+@pytest.mark.parametrize("batch", range(10))
+def test_differential_einsum_fuzz(machine_name, batch):
+    """Seeded differential sweep against the numpy.einsum oracle."""
+    from repro import einsum
+    from repro.machine.specs import DESKTOP, SERVER
+
+    machine = DESKTOP if machine_name == "desktop" else SERVER
+    per_batch = FUZZ_CASES_PER_MACHINE // 10
+    for k in range(per_batch):
+        seed = batch * per_batch + k
+        expr, operands = _random_einsum_problem(seed)
+        expected = np.einsum(expr, *[t.to_dense() for t in operands])
+        out = einsum(expr, *operands, machine=machine)
+        np.testing.assert_allclose(
+            out.to_dense(), expected, rtol=1e-8, atol=1e-10,
+            err_msg=f"seed={seed} expr={expr} machine={machine.name}",
+        )
+
+
+def test_fuzz_sweep_covers_all_subscript_forms():
+    """The generator must actually exercise contracted, summed-out and
+    kept indices (guards against a silently degenerate sweep)."""
+    saw_contracted = saw_summed = saw_kept = 0
+    multi_operand = 0
+    for seed in range(FUZZ_CASES_PER_MACHINE):
+        expr, operands = _random_einsum_problem(seed)
+        lhs, out = expr.split("->")
+        subs = lhs.split(",")
+        if len(subs) > 2:
+            multi_operand += 1
+        counts = {}
+        for sub in subs:
+            for ch in sub:
+                counts[ch] = counts.get(ch, 0) + 1
+        for ch, n in counts.items():
+            if n == 2:
+                saw_contracted += 1
+            elif ch in out:
+                saw_kept += 1
+            else:
+                saw_summed += 1
+    assert saw_contracted > 50
+    assert saw_summed > 50
+    assert saw_kept > 50
+    assert multi_operand > 30
+
+
 @settings(max_examples=30, deadline=None)
 @given(mats=matrix_chains())
 def test_einsum_chain_matches_dense(mats):

@@ -21,6 +21,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "chic_01", "--method", "gpu"])
 
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "uber_123", "G-ovov"])
+        assert args.cases == ["uber_123", "G-ovov"]
+        assert args.repeat == 1
+        assert args.machine == "desktop"
+        assert args.cache_file is None
+
+    def test_batch_needs_at_least_one_case(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -79,6 +90,39 @@ class TestCommands:
         got = np.zeros_like(expected)
         got[: result.shape[0], : result.shape[1]] = result.to_dense()
         np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+
+class TestBatchCommand:
+    def test_two_step_pipeline_reports_cache_hits(self, capsys):
+        """A repeated registry step must hit the plan cache and reuse
+        tables, and the summary must say so."""
+        rc = main(["batch", "uber_123", "uber_123"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan cache: 1 hits / 1 misses" in out
+        assert "hit rate 50%" in out
+        assert "tables_reused=L+R" in out
+        assert "tiled tables: 2 reused / 2 built" in out
+        assert "estimated speedup" in out
+        assert "cost-model calibration over 2 runs" in out
+
+    def test_repeat_flag_multiplies_steps(self, capsys):
+        rc = main(["batch", "uber_123", "--repeat", "3", "--no-calibrate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch of 3 contractions" in out
+        assert "plan cache: 2 hits / 1 misses" in out
+        assert "calibration" not in out
+
+    def test_cache_file_round_trip(self, tmp_path, capsys):
+        """Plans persisted by one invocation pre-warm the next."""
+        cache = tmp_path / "plans.json"
+        assert main(["batch", "uber_123", "--cache-file", str(cache)]) == 0
+        assert cache.exists()
+        capsys.readouterr()
+        assert main(["batch", "uber_123", "--cache-file", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: 1 hits / 0 misses" in out
 
 
 class TestDnfHandling:

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.data",
     "repro.analysis",
     "repro.util",
+    "repro.runtime",
 ]
 
 
