@@ -18,6 +18,14 @@ Subcommands
     (``repro.runtime``): plans are cached by structural signature,
     tiled tables are reused across steps sharing an operand, and the
     aggregate hit-rate/speedup metrics are printed at the end.
+``check``
+    Static analysis (:mod:`repro.staticcheck`) without running any
+    kernel.  The default audits every registry case under both paper
+    machines and all three Table 3 accumulator columns, reporting
+    predicted guard outcomes (the NIPS mode-2 dense DNF appears as
+    ``FSTC010``); ``--expr``/``--shapes`` lints one einsum request;
+    ``--self`` AST-lints the ``repro`` source tree.  Exit status is 1
+    when any error-severity finding is reported.
 """
 
 from __future__ import annotations
@@ -166,6 +174,145 @@ def _batch_operands(name: str):
     return cache[name]
 
 
+def _parse_shapes(text: str) -> list[tuple[int, ...]]:
+    return [
+        tuple(int(d) for d in token.split("x"))
+        for token in text.split(",") if token
+    ]
+
+
+#: Hazard analysis materializes the occupied tile-pair list; past this
+#: many *potential* pairs we only report the guard verdict (which the
+#: plan lint already covers) instead of enumerating millions of tasks.
+_HAZARD_PAIR_LIMIT = 1 << 18
+
+
+def _cmd_check(args) -> int:
+    from repro.staticcheck import (
+        lint_expression,
+        max_exit_status,
+        render_diagnostics,
+    )
+
+    if args.self_check:
+        from repro.staticcheck import lint_tree
+
+        diags = lint_tree()
+        print(render_diagnostics(diags))
+        return max_exit_status(diags)
+
+    if args.expr is not None:
+        from repro.machine.specs import DESKTOP, SERVER
+
+        if args.shapes is None:
+            print("check --expr requires --shapes", file=sys.stderr)
+            return 2
+        machine = SERVER if args.machine == "server" else DESKTOP
+        nnz = (
+            [int(n) for n in args.nnz.split(",")] if args.nnz else None
+        )
+        report = lint_expression(
+            args.expr, _parse_shapes(args.shapes),
+            nnz=nnz, machine=machine,
+            accumulator=(
+                "auto" if args.accumulator == "all" else args.accumulator
+            ),
+            tile_size=args.tile,
+            dtypes=args.dtypes.split(",") if args.dtypes else None,
+            location=f"expr {args.expr!r}",
+        )
+        if report.prediction is not None:
+            p = report.prediction
+            print(f"predicted plan on {machine.name}: {p.accumulator} "
+                  f"accumulator, tile {p.tile_l}x{p.tile_r}, grid "
+                  f"{p.grid_l}x{p.grid_r} (<= {p.est_nonempty_pairs} tasks)")
+        print(f"verdict: {report.verdict}")
+        print(render_diagnostics(report.diagnostics))
+        return max_exit_status(report.diagnostics)
+
+    return _check_audit(args)
+
+
+def _check_audit(args) -> int:
+    """Registry-wide static audit (the Table 3 reproduction)."""
+    from repro.staticcheck import audit_registry, max_exit_status
+    from repro.staticcheck.audit import occupied_tile_pairs
+    from repro.staticcheck.graph_lint import (
+        analyze_task_graph,
+        write_sets_for_pairs,
+    )
+
+    machines = (
+        ("desktop", "server") if args.machine == "both" else (args.machine,)
+    )
+    accumulators = (
+        ("auto", "dense", "sparse") if args.accumulator == "all"
+        else (args.accumulator,)
+    )
+    audits = audit_registry(
+        cases=args.cases or None,
+        machines=machines, accumulators=accumulators,
+    )
+
+    diags = []
+    header = f"{'case':<12}" + "".join(
+        f"{m}/{a:<8}" for m in machines for a in accumulators
+    )
+    print(header)
+    for audit in audits:
+        cells = []
+        for m in machines:
+            for a in accumulators:
+                v = audit.verdict(m, a)
+                cells.append("DNF" if v == "dnf" else v)
+        print(f"{audit.case:<12}" + "".join(f"{c:<{len(m) + 9}}"
+              for c, m in zip(cells, [m for m in machines
+                                      for _ in accumulators])))
+        diags.extend(audit.diagnostics)
+        if args.hazards:
+            diags.extend(_audit_hazards(
+                audit, machines, analyze_task_graph,
+                write_sets_for_pairs, occupied_tile_pairs,
+                n_workers=args.workers,
+            ))
+
+    from repro.staticcheck import render_diagnostics
+
+    if diags:
+        print()
+        print(render_diagnostics(diags))
+    else:
+        print("\nno findings")
+    return max_exit_status(diags)
+
+
+def _audit_hazards(
+    audit, machines, analyze_task_graph, write_sets_for_pairs,
+    occupied_tile_pairs, *, n_workers,
+):
+    """Hazard-check each machine's chosen (auto) dispatch list."""
+    out = []
+    for m in machines:
+        report = audit.reports.get((m, "auto"))
+        if report is None or report.prediction is None:
+            continue
+        p = report.prediction
+        if p.est_nonempty_pairs > _HAZARD_PAIR_LIMIT:
+            print(f"  [{audit.case}/{m}] skipping hazard enumeration: "
+                  f"up to {p.est_nonempty_pairs} pairs (> "
+                  f"{_HAZARD_PAIR_LIMIT}); guard verdicts above still apply")
+            continue
+        pairs = occupied_tile_pairs(audit.problem, p.tile_l, p.tile_r)
+        found = analyze_task_graph(
+            write_sets_for_pairs(pairs), n_workers=n_workers
+        )
+        out.extend(
+            d.with_location(f"case {audit.case} [{m}] {d.location}")
+            for d in found
+        )
+    return out
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FaSTCC sparse tensor contraction CLI"
@@ -210,6 +357,34 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-calibrate", action="store_true",
                        help="skip cost-model calibration")
 
+    check = sub.add_parser(
+        "check", help="static analysis: audit cases, lint an expression, "
+                      "or lint the source tree"
+    )
+    check.add_argument("cases", nargs="*",
+                       help="registry cases to audit (default: all)")
+    check.add_argument("--machine", default="both",
+                       choices=["desktop", "server", "both"])
+    check.add_argument("--accumulator", default="all",
+                       choices=["auto", "dense", "sparse", "all"])
+    check.add_argument("--hazards", action="store_true",
+                       help="also hazard-check each case's tile-task "
+                            "write sets")
+    check.add_argument("--workers", type=int, default=1,
+                       help="worker count assumed by the hazard analysis")
+    check.add_argument("--expr", default=None,
+                       help="einsum subscripts to lint (e.g. 'ij,jk->ik')")
+    check.add_argument("--shapes", default=None,
+                       help="per-operand shapes, e.g. '100x200,200x50'")
+    check.add_argument("--nnz", default=None,
+                       help="per-operand nonzero counts, e.g. '1000,2000'")
+    check.add_argument("--dtypes", default=None,
+                       help="per-operand dtypes, e.g. 'float64,float64'")
+    check.add_argument("--tile", type=int, default=None,
+                       help="tile-size override to lint")
+    check.add_argument("--self", dest="self_check", action="store_true",
+                       help="AST-lint the repro source tree")
+
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
     con.add_argument("file_b")
@@ -229,6 +404,7 @@ def main(argv=None) -> int:
         "plan": _cmd_plan,
         "contract": _cmd_contract,
         "batch": _cmd_batch,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+__all__ = ["Counters", "ensure_counters"]
+
 
 @dataclass
 class Counters:

@@ -28,11 +28,11 @@ import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.plan import LinearizedOperand
-from repro.errors import WorkspaceLimitError
+from repro.errors import ConfigError, WorkspaceLimitError
 from repro.hashing.open_addressing import OpenAddressingMap
 from repro.hashing.slice_table import SliceTable
 from repro.util.arrays import INDEX_DTYPE
-from repro.util.groups import grouped_cartesian, group_boundaries, segment_sum
+from repro.util.groups import group_boundaries, grouped_cartesian
 
 __all__ = ["contract_untiled", "ci_contract", "cm_contract", "co_contract"]
 
@@ -55,7 +55,7 @@ def contract_untiled(
     """Dispatch to one of the three untiled reference schemes."""
     fn = {"ci": ci_contract, "cm": cm_contract, "co": co_contract}.get(scheme)
     if fn is None:
-        raise ValueError(f"scheme must be ci|cm|co, got {scheme!r}")
+        raise ConfigError(f"scheme must be ci|cm|co, got {scheme!r}")
     if scheme == "co":
         return fn(left, right, counters=counters, workspace=workspace)
     return fn(left, right, counters=counters)

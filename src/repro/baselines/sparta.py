@@ -31,11 +31,10 @@ import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.plan import LinearizedOperand
-from repro.errors import WorkspaceLimitError
+from repro.errors import ConfigError, ShapeError, WorkspaceLimitError
 from repro.hashing.chaining import ChainingMultiMap
 from repro.hashing.open_addressing import OpenAddressingMap
 from repro.util.arrays import INDEX_DTYPE
-from repro.util.groups import group_boundaries
 
 __all__ = ["sparta_contract", "SPARTA_DENSE_WS_GUARD"]
 
@@ -55,7 +54,7 @@ def sparta_contract(
     Returns ``(l_idx, r_idx, values)`` with unique coordinates.
     """
     if left.con_extent != right.con_extent:
-        raise ValueError("contraction extents differ")
+        raise ShapeError("contraction extents differ")
     counters = ensure_counters(counters)
 
     # Build the chaining tables.  Keys are the access indices of the CM
@@ -74,7 +73,7 @@ def sparta_contract(
     hr.insert_batch(right.con, np.arange(n_right, dtype=INDEX_DTYPE))
 
     if workspace not in ("auto", "dense", "hash"):
-        raise ValueError(f"workspace must be auto|dense|hash, got {workspace!r}")
+        raise ConfigError(f"workspace must be auto|dense|hash, got {workspace!r}")
     use_dense = workspace == "dense" or (
         workspace == "auto" and right.ext_extent <= SPARTA_DENSE_WS_GUARD
     )

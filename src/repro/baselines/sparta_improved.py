@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.plan import LinearizedOperand
-from repro.errors import WorkspaceLimitError
+from repro.errors import ShapeError, WorkspaceLimitError
 from repro.hashing.slice_table import SliceTable
 from repro.util.arrays import INDEX_DTYPE
 from repro.util.groups import grouped_cartesian
@@ -41,7 +41,7 @@ def sparta_improved_contract(
     Returns ``(l_idx, r_idx, values)`` with unique coordinates.
     """
     if left.con_extent != right.con_extent:
-        raise ValueError("contraction extents differ")
+        raise ShapeError("contraction extents differ")
     if right.ext_extent > DENSE_WS_GUARD:
         raise WorkspaceLimitError(
             f"CM workspace of extent {right.ext_extent} exceeds guard"

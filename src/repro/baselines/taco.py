@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.plan import LinearizedOperand
+from repro.errors import ShapeError
 from repro.tensors.coo import COOTensor
 from repro.tensors.csf import CSFTensor
 from repro.util.arrays import INDEX_DTYPE
@@ -54,7 +55,7 @@ def taco_contract(
     scales with the CI data volume rather than with Python overhead.
     """
     if left.con_extent != right.con_extent:
-        raise ValueError("contraction extents differ")
+        raise ShapeError("contraction extents differ")
     counters = ensure_counters(counters)
     counters.note_workspace(1)  # CI needs only a scalar accumulator
 

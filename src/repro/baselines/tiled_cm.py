@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.plan import LinearizedOperand
+from repro.errors import ConfigError, ShapeError
 from repro.hashing.slice_table import SliceTable
 from repro.util.arrays import INDEX_DTYPE, ceil_div
 from repro.util.groups import grouped_cartesian
@@ -46,9 +47,9 @@ def tiled_cm_contract(
     Returns ``(l_idx, r_idx, values)`` with unique coordinates.
     """
     if left.con_extent != right.con_extent:
-        raise ValueError("contraction extents differ")
+        raise ShapeError("contraction extents differ")
     if tile_r < 1:
-        raise ValueError(f"tile_r must be >= 1, got {tile_r}")
+        raise ConfigError(f"tile_r must be >= 1, got {tile_r}")
     counters = ensure_counters(counters)
 
     hl = SliceTable(left.ext, left.con, left.values, counters=counters)

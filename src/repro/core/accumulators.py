@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
-from repro.errors import WorkspaceLimitError
+from repro.errors import ConfigError, ShapeError, WorkspaceLimitError
 from repro.hashing.open_addressing import OpenAddressingMap
 from repro.util.arrays import INDEX_DTYPE, VALUE_DTYPE
 
@@ -72,7 +72,7 @@ class DenseTileAccumulator:
                 "sparse accumulator"
             )
         if bitmask not in ("bool", "packed"):
-            raise ValueError(f"bitmask must be bool|packed, got {bitmask!r}")
+            raise ConfigError(f"bitmask must be bool|packed, got {bitmask!r}")
         self.tile_l = int(tile_l)
         self.tile_r = int(tile_r)
         self.buf = np.zeros(cells, dtype=VALUE_DTYPE)
@@ -108,7 +108,7 @@ class DenseTileAccumulator:
         positions = np.asarray(positions, dtype=INDEX_DTYPE)
         values = np.asarray(values, dtype=VALUE_DTYPE)
         if positions.shape != values.shape:
-            raise ValueError("positions and values must be equal length")
+            raise ShapeError("positions and values must be equal length")
         if positions.size == 0:
             return
         self.counters.accum_updates += positions.shape[0]
@@ -240,4 +240,4 @@ def make_accumulator(
             tile_l, tile_r, expected_nnz=expected_nnz, counters=counters,
             trace=trace,
         )
-    raise ValueError(f"unknown accumulator kind {kind!r}")
+    raise ConfigError(f"unknown accumulator kind {kind!r}")

@@ -27,6 +27,7 @@ from repro.analysis.counters import Counters, ensure_counters
 from repro.core.model import choose_plan
 from repro.core.plan import ContractionSpec, Plan
 from repro.core.tiled_co import ContractionStats, tiled_co_contract
+from repro.errors import ConfigError, PlanError
 from repro.machine.specs import DESKTOP, MachineSpec
 from repro.tensors.coo import COOTensor
 
@@ -97,7 +98,7 @@ def contract(
     COOTensor, or ``(COOTensor, ContractionStats)`` with ``return_stats``.
     """
     if method not in _METHODS:
-        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        raise ConfigError(f"method must be one of {_METHODS}, got {method!r}")
     counters = ensure_counters(counters)
     spec = ContractionSpec(left.shape, right.shape, pairs)
 
@@ -122,12 +123,12 @@ def contract(
 
     if plan is not None:
         if accumulator != "auto" or tile_size is not None:
-            raise ValueError(
+            raise ConfigError(
                 "a precomputed plan is mutually exclusive with "
                 "accumulator/tile_size overrides"
             )
         if (plan.spec.L, plan.spec.R, plan.spec.C) != (spec.L, spec.R, spec.C):
-            raise ValueError(
+            raise PlanError(
                 f"plan was made for (L={plan.spec.L}, R={plan.spec.R}, "
                 f"C={plan.spec.C}) but this contraction has (L={spec.L}, "
                 f"R={spec.R}, C={spec.C})"

@@ -50,10 +50,11 @@ class ContractExpression:
                 f"expression expects {len(self.shapes)} operands, "
                 f"got {len(operands)}"
             )
-        for t, shape in zip(operands, self.shapes):
-            if t.shape != shape:
+        for k, (t, shape) in enumerate(zip(operands, self.shapes)):
+            if tuple(t.shape) != shape:
                 raise ShapeError(
-                    f"operand shape {t.shape} != declared {shape}"
+                    f"operand {k} has shape {tuple(t.shape)} but the "
+                    f"expression was compiled for {shape}"
                 )
         if self.plan is not None:
             # Two-operand fast path: reuse the precomputed plan's

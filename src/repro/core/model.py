@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.plan import ContractionSpec, Plan
+from repro.errors import ConfigError, ShapeError
 from repro.machine.specs import MachineSpec
 from repro.util.arrays import next_power_of_two
 
@@ -53,7 +54,7 @@ def estimate_output_density(
     small as 1e-30 survive double precision.
     """
     if min(L, R, C) < 1:
-        raise ValueError("extents must be >= 1")
+        raise ShapeError("extents must be >= 1")
     p_l = nnz_l / (L * C)
     p_r = nnz_r / (C * R)
     x = p_l * p_r
@@ -130,7 +131,7 @@ def choose_plan(
     choice = choose_accumulator(spec.L, spec.R, spec.C, nnz_l, nnz_r, machine)
     acc = choice.accumulator if accumulator == "auto" else accumulator
     if acc not in ("dense", "sparse"):
-        raise ValueError(f"accumulator must be auto|dense|sparse, got {accumulator!r}")
+        raise ConfigError(f"accumulator must be auto|dense|sparse, got {accumulator!r}")
     if tile_size is None:
         if acc == choice.accumulator:
             tile = choice.tile_size
@@ -141,7 +142,7 @@ def choose_plan(
             tile = min(tile, next_power_of_two(max(spec.L, spec.R)))
     else:
         if tile_size < 1:
-            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+            raise ConfigError(f"tile_size must be >= 1, got {tile_size}")
         tile = int(tile_size)
     # Tiles never need to exceed the index extents they partition.
     tile_l = max(1, min(tile, spec.L))

@@ -24,9 +24,9 @@ import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.plan import ContractionSpec
+from repro.errors import ConfigError
 from repro.hashing.slice_table import SliceTable
 from repro.tensors.coo import COOTensor
-from repro.util.arrays import INDEX_DTYPE
 from repro.util.groups import group_boundaries, grouped_cartesian
 
 __all__ = [
@@ -93,7 +93,7 @@ def semiring_contract(
     """
     if isinstance(semiring, str):
         if semiring not in _NAMED:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown semiring {semiring!r}; have {sorted(_NAMED)}"
             )
         semiring = _NAMED[semiring]

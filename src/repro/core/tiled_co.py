@@ -33,10 +33,11 @@ import numpy as np
 from repro.analysis.counters import Counters, ensure_counters
 from repro.core.accumulators import DEFAULT_DENSE_CELL_GUARD, make_accumulator
 from repro.core.plan import LinearizedOperand, Plan
+from repro.errors import ConfigError, PlanError, ShapeError, WorkspaceLimitError
 from repro.hashing.slice_table import SliceTable
 from repro.parallel.memory_pool import COOBuilder
 from repro.parallel.taskqueue import TaskQueue
-from repro.util.arrays import INDEX_DTYPE, ceil_div
+from repro.util.arrays import ceil_div
 from repro.util.groups import grouped_cartesian
 
 __all__ = [
@@ -88,7 +89,7 @@ def build_tiled_tables(
     ownership.
     """
     if tile < 1:
-        raise ValueError(f"tile must be >= 1, got {tile}")
+        raise ConfigError(f"tile must be >= 1, got {tile}")
     counters = ensure_counters(counters)
     num_tiles = max(1, ceil_div(operand.ext_extent, tile))
     tables: list[SliceTable | None] = [None] * num_tiles
@@ -211,6 +212,7 @@ def tiled_co_contract(
     trace=None,
     schedule: str = "heavy_first",
     tables: "tuple[TiledTables, TiledTables] | None" = None,
+    check_hazards: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, ContractionStats]:
     """Run Algorithm 6 on linearized operands.
 
@@ -229,11 +231,17 @@ def tiled_co_contract(
     (from :func:`build_tiled_tables_pair`), skipping the construction
     phase entirely — the runtime layer's table-reuse path for batched
     contractions that share an operand.  Tile sizes must match the plan.
+
+    ``check_hazards`` hands the dispatch list's per-task write sets to
+    the task queue, which statically verifies the disjoint-tile
+    invariant (:mod:`repro.staticcheck.graph_lint`) before executing —
+    raising :class:`~repro.errors.SchedulerError` instead of racing if a
+    tile pair is ever repeated.
     """
     if schedule not in ("heavy_first", "fifo"):
-        raise ValueError(f"schedule must be heavy_first|fifo, got {schedule!r}")
+        raise ConfigError(f"schedule must be heavy_first|fifo, got {schedule!r}")
     if left.con_extent != right.con_extent:
-        raise ValueError(
+        raise ShapeError(
             f"contraction extents differ: {left.con_extent} vs {right.con_extent}"
         )
     counters = ensure_counters(counters)
@@ -247,12 +255,12 @@ def tiled_co_contract(
     if tables is not None:
         hl, hr = tables
         if hl.tile != tile_l or hr.tile != tile_r:
-            raise ValueError(
+            raise PlanError(
                 f"prebuilt tables tiled {hl.tile}x{hr.tile} but the plan "
                 f"wants {tile_l}x{tile_r}"
             )
         if hl.nnz != left.nnz or hr.nnz != right.nnz:
-            raise ValueError(
+            raise PlanError(
                 "prebuilt tables do not match the operands: "
                 f"table nnz ({hl.nnz}, {hr.nnz}) vs operand nnz "
                 f"({left.nnz}, {right.nnz})"
@@ -341,8 +349,6 @@ def tiled_co_contract(
 
         return task
 
-    from repro.errors import WorkspaceLimitError
-
     nonempty_l = hl.nonempty_tiles()
     nonempty_r = hr.nonempty_tiles()
     n_pairs = len(nonempty_l) * len(nonempty_r)
@@ -368,7 +374,10 @@ def tiled_co_contract(
     stats.task_pairs = pairs_order
 
     t0 = time.perf_counter()
-    records = TaskQueue(n_workers).run(tasks)
+    write_sets = (
+        [frozenset([p]) for p in pairs_order] if check_hazards else None
+    )
+    records = TaskQueue(n_workers).run(tasks, write_sets=write_sets)
     stats.phase_seconds["contract"] = time.perf_counter() - t0
     stats.task_costs = np.array([r.cost for r in records], dtype=np.float64)
 

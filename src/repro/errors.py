@@ -9,6 +9,18 @@ exhausting memory.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "CapacityError",
+    "PlanError",
+    "ConfigError",
+    "WorkspaceLimitError",
+    "SchedulerError",
+    "StaticCheckError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -39,5 +51,24 @@ class WorkspaceLimitError(ReproError, MemoryError):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """An argument selecting a mode, policy, or parameter is invalid.
+
+    Covers bad enumeration values (``method``, ``accumulator``,
+    ``schedule`` …) and out-of-range configuration numbers; kept a
+    :class:`ValueError` subclass so pre-existing callers that caught
+    ``ValueError`` keep working.
+    """
+
+
 class SchedulerError(ReproError, RuntimeError):
     """The task queue or scheduling simulator was misused."""
+
+
+class StaticCheckError(ReproError, ValueError):
+    """The :mod:`repro.staticcheck` API itself was misused.
+
+    Raised for malformed checker *inputs* (unknown diagnostic codes,
+    unparsable lint targets) — never for findings, which are reported as
+    :class:`repro.staticcheck.Diagnostic` records instead.
+    """

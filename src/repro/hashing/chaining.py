@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
+from repro.errors import ShapeError
 from repro.hashing.hash_functions import splitmix64
 from repro.util.arrays import INDEX_DTYPE, as_index_array, next_power_of_two
 from repro.util.groups import group_boundaries
@@ -75,7 +76,7 @@ class ChainingMultiMap:
         keys = as_index_array(keys)
         values = np.asarray(values, dtype=self._values.dtype)
         if keys.shape != values.shape or keys.ndim != 1:
-            raise ValueError("keys and values must be equal-length 1-D arrays")
+            raise ShapeError("keys and values must be equal-length 1-D arrays")
         n = keys.shape[0]
         if n == 0:
             return
@@ -117,7 +118,7 @@ class ChainingMultiMap:
         """
         keys = as_index_array(keys)
         if keys.ndim != 1:
-            raise ValueError("key batches must be 1-D")
+            raise ShapeError("key batches must be 1-D")
         self.counters.hash_queries += keys.shape[0]
         mask = np.uint64(self.num_buckets - 1)
         cursor = self._heads[(self._hash(keys) & mask).astype(INDEX_DTYPE)]

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 __all__ = ["splitmix64", "fibonacci_hash", "identity_hash", "mask_for_capacity"]
 
 # 2^64 / phi, the golden-ratio multiplier of Fibonacci hashing.
@@ -43,7 +45,7 @@ def fibonacci_hash(keys: np.ndarray, bits: int) -> np.ndarray:
     well distributed; used where the caller wants a single multiply.
     """
     if not 0 < bits <= 64:
-        raise ValueError(f"bits must be in (0, 64], got {bits}")
+        raise ConfigError(f"bits must be in (0, 64], got {bits}")
     z = np.asarray(keys).astype(np.uint64, copy=True)
     z *= _FIB_MULT
     return z >> np.uint64(64 - bits)
@@ -57,5 +59,5 @@ def identity_hash(keys: np.ndarray) -> np.ndarray:
 def mask_for_capacity(capacity: int) -> np.uint64:
     """Slot mask for a power-of-two table capacity."""
     if capacity <= 0 or capacity & (capacity - 1):
-        raise ValueError(f"capacity must be a positive power of two, got {capacity}")
+        raise ConfigError(f"capacity must be a positive power of two, got {capacity}")
     return np.uint64(capacity - 1)

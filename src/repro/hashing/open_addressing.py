@@ -26,7 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigError, FormatError, ShapeError
 from repro.hashing.hash_functions import splitmix64
 from repro.util.arrays import INDEX_DTYPE, as_index_array, next_power_of_two
 from repro.util.groups import segment_sum
@@ -74,9 +74,9 @@ class OpenAddressingMap:
         probing: str = "linear",
     ):
         if not 0.0 < max_load < 1.0:
-            raise ValueError(f"max_load must be in (0, 1), got {max_load}")
+            raise ConfigError(f"max_load must be in (0, 1), got {max_load}")
         if probing not in ("linear", "quadratic"):
-            raise ValueError(f"probing must be linear|quadratic, got {probing!r}")
+            raise ConfigError(f"probing must be linear|quadratic, got {probing!r}")
         capacity = max(_MIN_CAPACITY, next_power_of_two(initial_capacity))
         self._keys = np.full(capacity, EMPTY_KEY, dtype=INDEX_DTYPE)
         self._values = np.zeros(capacity, dtype=value_dtype)
@@ -135,9 +135,9 @@ class OpenAddressingMap:
     def _check_keys(self, keys: np.ndarray) -> np.ndarray:
         keys = as_index_array(keys)
         if keys.ndim != 1:
-            raise ValueError("key batches must be 1-D")
+            raise ShapeError("key batches must be 1-D")
         if keys.size and keys.min() < 0:
-            raise ValueError("keys must be nonnegative (negative is the sentinel)")
+            raise FormatError("keys must be nonnegative (negative is the sentinel)")
         return keys
 
     def _locate(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -245,7 +245,7 @@ class OpenAddressingMap:
         keys = self._check_keys(keys)
         values = np.asarray(values, dtype=self._values.dtype)
         if keys.shape != values.shape:
-            raise ValueError("keys and values must have equal length")
+            raise ShapeError("keys and values must have equal length")
         if keys.size == 0:
             return
         ukeys, uvals = segment_sum(keys, values)
@@ -265,7 +265,7 @@ class OpenAddressingMap:
         keys = self._check_keys(keys)
         values = np.asarray(values, dtype=self._values.dtype)
         if keys.shape != values.shape:
-            raise ValueError("keys and values must have equal length")
+            raise ShapeError("keys and values must have equal length")
         if keys.size == 0:
             return
         if assume_unique:
@@ -310,7 +310,7 @@ class OpenAddressingMap:
     def __getitem__(self, key: int):
         values, found = self.get_batch(np.array([key]))
         if not found[0]:
-            raise KeyError(key)
+            raise KeyError(key)  # staticcheck: ignore[FSTC102] mapping protocol
         return values[0]
 
     def __setitem__(self, key: int, value) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
+from repro.errors import ShapeError
 from repro.hashing.open_addressing import OpenAddressingMap
 from repro.util.arrays import INDEX_DTYPE, as_index_array, as_value_array
 from repro.util.groups import group_boundaries
@@ -56,7 +57,7 @@ class SliceTable:
         idx = as_index_array(idx)
         values = as_value_array(values)
         if not (keys.shape == idx.shape == values.shape) or keys.ndim != 1:
-            raise ValueError("keys, idx and values must be equal-length 1-D arrays")
+            raise ShapeError("keys, idx and values must be equal-length 1-D arrays")
         self.counters = ensure_counters(counters)
         self.nnz = int(keys.shape[0])
 

@@ -14,7 +14,7 @@ accumulation, which is quadratic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -33,9 +33,8 @@ from typing import Sequence
 from repro.analysis.counters import Counters
 from repro.core.contraction import contract
 from repro.core.model import choose_plan
-from repro.core.plan import ContractionSpec, LinearizedOperand, Plan
+from repro.core.plan import ContractionSpec, LinearizedOperand
 from repro.core.tiled_co import (
-    ContractionStats,
     TiledTables,
     build_tiled_tables,
     tiled_co_contract,

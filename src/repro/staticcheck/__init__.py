@@ -1,0 +1,70 @@
+"""Static analysis for contraction requests, task graphs, and the code base.
+
+Three passes, all pre-execution (nothing here allocates a workspace or
+runs a kernel):
+
+* :mod:`repro.staticcheck.expr_lint` — given subscripts (or linearized
+  problem parameters), declared shapes/nnz and a machine model, predict
+  the plan Algorithm 7 would pick and every guard outcome — including
+  the paper's Table 3 ``DNF`` regime — as ``FSTC0xx`` diagnostics;
+* :mod:`repro.staticcheck.ast_lint` — ``FSTC1xx`` source rules keeping
+  the vectorized hot paths honest (no per-nonzero Python loops in
+  kernels, :mod:`repro.errors` exception discipline, determinism,
+  ``__all__`` declarations);
+* :mod:`repro.staticcheck.graph_lint` — ``FSTC2xx`` hazard analysis of
+  tile-task write sets (write-write conflicts, order-dependent
+  reductions) before a schedule runs.
+
+The CLI front end is ``python -m repro check``; see
+``docs/staticcheck.md`` for the code catalogue.
+"""
+
+from repro.staticcheck.ast_lint import lint_file, lint_source, lint_tree
+from repro.staticcheck.audit import audit_case, audit_registry, case_problem
+from repro.staticcheck.diagnostics import (
+    CODES,
+    Diagnostic,
+    has_errors,
+    make_diagnostic,
+    max_exit_status,
+    render_diagnostics,
+)
+from repro.staticcheck.expr_lint import (
+    ExpressionReport,
+    PlanPrediction,
+    lint_expression,
+    lint_problem,
+    predict_plan,
+)
+from repro.staticcheck.graph_lint import (
+    TileTask,
+    analyze_task_graph,
+    assert_disjoint_writes,
+    hazards_for_stats,
+    write_sets_for_pairs,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "ExpressionReport",
+    "PlanPrediction",
+    "TileTask",
+    "analyze_task_graph",
+    "assert_disjoint_writes",
+    "audit_case",
+    "audit_registry",
+    "case_problem",
+    "has_errors",
+    "hazards_for_stats",
+    "lint_expression",
+    "lint_file",
+    "lint_problem",
+    "lint_source",
+    "lint_tree",
+    "make_diagnostic",
+    "max_exit_status",
+    "predict_plan",
+    "render_diagnostics",
+    "write_sets_for_pairs",
+]

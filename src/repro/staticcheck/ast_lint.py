@@ -1,0 +1,285 @@
+"""AST lint pass over the ``repro`` source tree itself.
+
+The NumPy-vectorized hot paths stay fast only while nobody quietly
+reintroduces a per-nonzero Python loop, a bare ``ValueError``, or a
+wall-clock call inside a kernel; this pass encodes those invariants as
+checkable rules and runs in CI (``python -m repro check --self``).
+
+Rules
+-----
+``FSTC101``
+    *Kernel modules* (the FaSTCC hot path: ``core/tiled_co``,
+    ``core/accumulators``, ``core/contraction``, ``core/semiring`` and
+    everything under ``hashing/``) must not contain a ``for`` statement
+    whose trip count is data-dependent — ``range(...)`` over an ``nnz``
+    /``len()``/``.shape[k]`` expression, or iteration over
+    ``.tolist()``/``zip(...)`` of payload arrays.  Reference baselines
+    under ``baselines/`` deliberately loop per slice and are exempt.
+``FSTC102``
+    *Hot modules* (``core/``, ``hashing/``, ``baselines/``,
+    ``tensors/``) raise only :mod:`repro.errors` subclasses — never bare
+    ``ValueError``/``RuntimeError``/``MemoryError``/``KeyError``/
+    ``Exception``.
+``FSTC103``
+    Kernel modules must be deterministic and wall-clock free:
+    ``time.time``/``time.monotonic``, bare ``random.*`` and legacy
+    ``np.random.*`` (anything but an explicitly seeded ``default_rng``)
+    are flagged.  ``time.perf_counter`` is allowed — phase timing is
+    part of the measured contract.
+``FSTC104``
+    Every public module under ``src/repro/`` declares ``__all__``
+    (dunder modules like ``__main__`` are exempt).
+
+A finding is suppressed by a pragma comment on its line (or on the
+``def``/``for`` header line)::
+
+    for pl, pr in zip(...):  # staticcheck: ignore[FSTC101] reference loop
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_tree",
+    "default_root",
+    "KERNEL_MODULES",
+    "HOT_PACKAGES",
+]
+
+#: Packages whose modules are "hot": exception discipline applies.
+HOT_PACKAGES = ("core", "hashing", "baselines", "tensors")
+
+#: Modules forming the FaSTCC kernel proper: loop and determinism rules
+#: apply (paths relative to the ``repro`` package root, no extension).
+KERNEL_MODULES = (
+    "core/tiled_co",
+    "core/accumulators",
+    "core/contraction",
+    "core/semiring",
+    "hashing/open_addressing",
+    "hashing/chaining",
+    "hashing/slice_table",
+    "hashing/hash_functions",
+)
+
+#: Builtin exception names FSTC102 refuses in hot modules.
+_BANNED_RAISES = ("ValueError", "RuntimeError", "MemoryError", "KeyError", "Exception")
+
+_PRAGMA = re.compile(r"#\s*staticcheck:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+def default_root() -> str:
+    """The installed ``repro`` package directory (for ``--self``)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _rel_module(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    rel = rel.replace(os.sep, "/")
+    return rel[:-3] if rel.endswith(".py") else rel
+
+
+def _suppressed(lines: list[str], lineno: int, code: str) -> bool:
+    if 1 <= lineno <= len(lines):
+        match = _PRAGMA.search(lines[lineno - 1])
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",")}
+            return code in codes
+    return False
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render a Name/Attribute chain like ``np.random.rand`` (best effort)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _mentions_data_length(node: ast.AST) -> bool:
+    """Does an expression's size derive from per-element data?
+
+    True for anything mentioning ``nnz``, ``len(...)``, or an indexed
+    ``.shape`` access — the signatures of a per-nonzero trip count.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "nnz" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute):
+            if "nnz" in sub.attr.lower():
+                return True
+        if isinstance(sub, ast.Call):
+            if isinstance(sub.func, ast.Name) and sub.func.id == "len":
+                return True
+        if isinstance(sub, ast.Subscript):
+            if isinstance(sub.value, ast.Attribute) and sub.value.attr == "shape":
+                return True
+    return False
+
+
+def _iter_is_per_element(iter_node: ast.AST) -> str | None:
+    """Classify a ``for`` iterable as per-element; returns a description."""
+    if isinstance(iter_node, ast.Call):
+        func = iter_node.func
+        if isinstance(func, ast.Name) and func.id == "range":
+            if any(_mentions_data_length(a) for a in iter_node.args):
+                return "range() over a data-dependent count"
+        if isinstance(func, ast.Name) and func.id == "zip":
+            for arg in iter_node.args:
+                if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Attribute) \
+                        and arg.func.attr == "tolist":
+                    return "zip() over array .tolist() payloads"
+        if isinstance(func, ast.Attribute) and func.attr == "tolist":
+            return "iteration over an array's .tolist()"
+    return None
+
+
+def lint_source(
+    source: str,
+    *,
+    filename: str = "<string>",
+    module: str = "",
+    hot: bool = False,
+    kernel: bool = False,
+    public: bool = True,
+) -> list[Diagnostic]:
+    """Lint one module's source text.
+
+    ``module`` is the package-relative path (``core/tiled_co``); ``hot``
+    /``kernel``/``public`` select which rule groups apply (computed from
+    the path by :func:`lint_file`).
+    """
+    diags: list[Diagnostic] = []
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [make_diagnostic(
+            "FSTC104", f"module does not parse: {exc}",
+            location=f"{filename}:{exc.lineno or 0}",
+        )]
+    lines = source.splitlines()
+
+    def loc(node: ast.AST) -> str:
+        return f"{filename}:{getattr(node, 'lineno', 0)}"
+
+    if public:
+        has_all = any(
+            isinstance(n, (ast.Assign, ast.AnnAssign))
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in (n.targets if isinstance(n, ast.Assign) else [n.target])
+            )
+            for n in tree.body
+        )
+        if not has_all and not _suppressed(lines, 1, "FSTC104"):
+            diags.append(make_diagnostic(
+                "FSTC104",
+                f"public module {module or filename!r} does not declare __all__",
+                hint="list the intended exports explicitly",
+                location=f"{filename}:1",
+            ))
+
+    if hot:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = ""
+                if isinstance(exc, ast.Call):
+                    name = _dotted(exc.func)
+                elif isinstance(exc, (ast.Name, ast.Attribute)):
+                    name = _dotted(exc)
+                if name in _BANNED_RAISES and not _suppressed(
+                    lines, node.lineno, "FSTC102"
+                ):
+                    diags.append(make_diagnostic(
+                        "FSTC102",
+                        f"raise {name} in a hot module; raise a repro.errors "
+                        "subclass instead",
+                        hint="ShapeError/PlanError/ConfigError/FormatError all "
+                             "remain ValueError subclasses",
+                        location=loc(node),
+                    ))
+
+    if kernel:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                why = _iter_is_per_element(node.iter)
+                if why and not _suppressed(lines, node.lineno, "FSTC101"):
+                    diags.append(make_diagnostic(
+                        "FSTC101",
+                        f"per-element Python loop in a kernel module ({why})",
+                        hint="vectorize with the repro.util.groups kernels or "
+                             "move the loop out of the kernel",
+                        location=loc(node),
+                    ))
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                bad = (
+                    name in ("time.time", "time.monotonic")
+                    or name.startswith("random.")
+                    or (
+                        name.startswith("np.random.")
+                        and name != "np.random.default_rng"
+                    )
+                    or (
+                        name.startswith("numpy.random.")
+                        and name != "numpy.random.default_rng"
+                    )
+                )
+                if bad and not _suppressed(lines, node.lineno, "FSTC103"):
+                    diags.append(make_diagnostic(
+                        "FSTC103",
+                        f"nondeterministic/wall-clock call {name}() in a "
+                        "kernel module",
+                        hint="use time.perf_counter for phase timing and "
+                             "seeded np.random.default_rng for randomness",
+                        location=loc(node),
+                    ))
+    return diags
+
+
+def lint_file(path: str, *, root: str | None = None) -> list[Diagnostic]:
+    """Lint one file, deriving rule applicability from its location."""
+    if root is None:
+        root = default_root()
+    module = _rel_module(path, root)
+    basename = os.path.basename(path)
+    public = not (basename.startswith("__") and basename.endswith("__.py"))
+    hot = any(
+        module == pkg or module.startswith(pkg + "/") for pkg in HOT_PACKAGES
+    )
+    kernel = module in KERNEL_MODULES
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(
+        source, filename=os.path.relpath(path), module=module,
+        hot=hot, kernel=kernel, public=public,
+    )
+
+
+def lint_tree(root: str | None = None) -> list[Diagnostic]:
+    """Lint every ``.py`` module under ``root`` (default: the installed
+    ``repro`` package)."""
+    if root is None:
+        root = default_root()
+    diags: list[Diagnostic] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                diags.extend(lint_file(os.path.join(dirpath, name), root=root))
+    return diags

@@ -1,0 +1,139 @@
+"""Registry-wide static audit: lint every benchmark contraction.
+
+``python -m repro check`` (no selector) runs this audit: for each
+registry case, each paper machine, and each of Table 3's accumulator
+columns (the model's choice plus the forced dense and forced sparse
+runs), the expression linter predicts the plan and the guard outcome —
+reproducing the paper's NIPS mode-2 dense-accumulator ``DNF`` entry as
+a *diagnostic* (``FSTC010``) instead of a runtime error, without
+allocating any workspace.
+
+Problem parameters come from the case's operand tensors (generated and
+linearized — cheap preprocessing, no accumulator/workspace allocation);
+the hazard analysis additionally derives each configuration's tile-task
+write sets from the operands' occupied tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.specs import DESKTOP, SERVER, MachineSpec
+from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.expr_lint import lint_problem
+
+__all__ = [
+    "CaseAudit",
+    "audit_case",
+    "audit_registry",
+    "case_problem",
+    "occupied_tile_pairs",
+    "MACHINES",
+]
+
+MACHINES: dict[str, MachineSpec] = {"desktop": DESKTOP, "server": SERVER}
+
+#: Table 3's three run configurations per case.
+_COLUMNS = ("auto", "dense", "sparse")
+
+
+@dataclass
+class CaseAudit:
+    """Lint results for one case under every (machine, accumulator)."""
+
+    case: str
+    problem: dict
+    reports: dict = field(default_factory=dict)  # (machine, acc) -> report
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for report in self.reports.values():
+            out.extend(report.diagnostics)
+        return out
+
+    def verdict(self, machine: str, accumulator: str = "auto") -> str:
+        return self.reports[(machine, accumulator)].verdict
+
+
+def case_problem(case_name: str) -> dict:
+    """The linearized problem parameters of one registry case.
+
+    Generates and linearizes the operands (the same preprocessing every
+    run pays) but allocates no tile workspace; the result is exactly the
+    ``problem`` block the Algorithm 7 golden fixtures freeze.
+    """
+    from repro.core.plan import ContractionSpec
+    from repro.data.registry import get_case
+
+    case = get_case(case_name)
+    left, right, pairs = case.load()
+    spec = ContractionSpec(left.shape, right.shape, pairs)
+    left_op = spec.linearize_left(left).sum_duplicates()
+    right_op = spec.linearize_right(right).sum_duplicates()
+    return {
+        "L": spec.L, "R": spec.R, "C": spec.C,
+        "nnz_l": left_op.nnz, "nnz_r": right_op.nnz,
+        "occupied_l": {
+            "ext": left_op.ext, "model": case.paper.get("model"),
+        },
+        "occupied_r": {"ext": right_op.ext},
+    }
+
+
+def audit_case(
+    case_name: str,
+    *,
+    machines=("desktop", "server"),
+    accumulators=_COLUMNS,
+    problem: dict | None = None,
+) -> CaseAudit:
+    """Lint one case under each requested machine/accumulator column."""
+    if problem is None:
+        problem = case_problem(case_name)
+    audit = CaseAudit(case=case_name, problem=problem)
+    for machine_name in machines:
+        machine = MACHINES[machine_name]
+        for acc in accumulators:
+            report = lint_problem(
+                problem["L"], problem["R"], problem["C"],
+                problem["nnz_l"], problem["nnz_r"], machine,
+                accumulator=acc,
+                location=f"case {case_name} [{machine_name}, {acc}]",
+            )
+            audit.reports[(machine_name, acc)] = report
+    return audit
+
+
+def audit_registry(
+    *,
+    cases=None,
+    machines=("desktop", "server"),
+    accumulators=_COLUMNS,
+) -> list[CaseAudit]:
+    """Audit every registry case (or the given subset), in name order."""
+    from repro.data.registry import all_cases
+
+    names = sorted(all_cases()) if cases is None else list(cases)
+    return [
+        audit_case(name, machines=machines, accumulators=accumulators)
+        for name in names
+    ]
+
+
+def occupied_tile_pairs(
+    problem: dict, tile_l: int, tile_r: int
+) -> list[tuple[int, int]]:
+    """The tile-pair dispatch list a plan would produce for this case.
+
+    Derived from the operands' occupied external tiles — the same
+    ``nonempty_l x nonempty_r`` product the kernel enumerates — without
+    building any hash tables.
+    """
+    ext_l = problem["occupied_l"]["ext"]
+    ext_r = problem["occupied_r"]["ext"]
+    tiles_l = np.unique(np.asarray(ext_l) // np.int64(tile_l))
+    tiles_r = np.unique(np.asarray(ext_r) // np.int64(tile_r))
+    return [(int(i), int(j)) for i in tiles_l for j in tiles_r]

@@ -1,0 +1,441 @@
+"""Expression/plan linter: diagnose a contraction before running it.
+
+The planner's inputs — subscripts (or mode pairs), declared shapes,
+expected nonzero counts, and a :class:`~repro.machine.specs.MachineSpec`
+— fully determine the plan Algorithm 7 will pick *and* the guard
+outcomes the kernel would hit: the paper's Table 3 DNF entry (NIPS
+mode 2 under a dense accumulator) is a pure function of these numbers.
+This module evaluates exactly the decision procedure the runtime uses
+(:func:`repro.core.model.choose_plan` plus the workspace/task guards of
+:mod:`repro.core.tiled_co` and :mod:`repro.core.accumulators`) without
+allocating any workspace, and reports the outcome as diagnostics.
+
+Two entry points:
+
+* :func:`lint_problem` — linearized parameters ``(L, R, C, nnz_l,
+  nnz_r)``, the Table 3 calculator's input form;
+* :func:`lint_expression` — einsum subscripts + per-operand shapes, the
+  :func:`repro.core.expression.contract_expression` input form.
+
+Both return an :class:`ExpressionReport` whose ``verdict`` is one of
+``"ok"``, ``"dnf"`` (the run is predicted to be refused by a guard), or
+``"invalid"`` (the request can never construct a plan at all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.model import choose_plan
+from repro.core.plan import ContractionSpec
+from repro.errors import PlanError, ShapeError, StaticCheckError
+from repro.machine.specs import DESKTOP, MachineSpec
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+from repro.util.arrays import ceil_div
+
+__all__ = [
+    "ExpressionReport",
+    "PlanPrediction",
+    "lint_problem",
+    "lint_expression",
+    "predict_plan",
+    "DENSE_ANTIPATTERN_EXPECTED_NNZ",
+]
+
+#: The model's own dense-tile profitability threshold (Algorithm 7
+#: chooses dense when the expected nonzeros in a probe tile reach 1);
+#: a *forced* dense accumulator below it is the cost-model anti-pattern
+#: FSTC013 flags.
+DENSE_ANTIPATTERN_EXPECTED_NNZ = 1.0
+
+#: Value dtypes the kernels accumulate in (see repro.util.arrays).
+_SUPPORTED_DTYPES = ("float64", "float32", "int64", "complex128")
+
+
+@dataclass(frozen=True)
+class PlanPrediction:
+    """What the planner + guards are predicted to do, statically."""
+
+    accumulator: str
+    tile_l: int
+    tile_r: int
+    est_output_density: float
+    expected_tile_nnz: float
+    grid_l: int  # NL — tiles along the left external index
+    grid_r: int  # NR
+    est_nonempty_pairs: int  # upper bound on dispatched tile-pair tasks
+    dense_cells: int  # tile_l * tile_r when dense, else 0
+    verdict: str  # "ok" | "dnf"
+
+
+@dataclass
+class ExpressionReport:
+    """Outcome of one lint pass over a contraction request."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    prediction: PlanPrediction | None = None
+    verdict: str = "ok"  # "ok" | "dnf" | "invalid"
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "ok" and not any(
+            d.severity == "error" for d in self.diagnostics
+        )
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+
+def predict_plan(
+    L: int,
+    R: int,
+    C: int,
+    nnz_l: int,
+    nnz_r: int,
+    machine: MachineSpec,
+    *,
+    accumulator: str = "auto",
+    tile_size: int | None = None,
+    max_tasks: int | None = None,
+    dense_cell_guard: int | None = None,
+) -> PlanPrediction:
+    """Replay the planner and guard arithmetic without any allocation.
+
+    The task-count estimate is the *upper bound* ``min(NL, nnz_l) *
+    min(NR, nnz_r)`` — an operand with ``n`` nonzeros can occupy at most
+    ``n`` tiles.  The runtime counts actually-occupied tiles, which can
+    only be lower, so a predicted ``"ok"`` is definitive while a
+    predicted ``"dnf"`` is conservative; every Table 3 configuration is
+    far from the boundary in the direction the prediction gives.
+    """
+    from repro.core.accumulators import DEFAULT_DENSE_CELL_GUARD
+    from repro.core.tiled_co import DEFAULT_MAX_TASKS
+
+    if max_tasks is None:
+        max_tasks = DEFAULT_MAX_TASKS
+    if dense_cell_guard is None:
+        dense_cell_guard = DEFAULT_DENSE_CELL_GUARD
+
+    # A minimal 2-D spec carrying the linearized extents: the planner
+    # only consumes L, R and C, so matrix form loses nothing.
+    spec = ContractionSpec((L, C), (C, R), [(1, 0)])
+    plan = choose_plan(
+        spec, nnz_l, nnz_r, machine,
+        accumulator=accumulator, tile_size=tile_size,
+    )
+    grid_l = ceil_div(L, plan.tile_l)
+    grid_r = ceil_div(R, plan.tile_r)
+    est_pairs = min(grid_l, max(0, nnz_l)) * min(grid_r, max(0, nnz_r))
+    dense_cells = plan.tile_l * plan.tile_r if plan.accumulator == "dense" else 0
+
+    verdict = "ok"
+    if plan.accumulator == "dense" and dense_cells > dense_cell_guard:
+        verdict = "dnf"
+    if est_pairs > max_tasks:
+        verdict = "dnf"
+    return PlanPrediction(
+        accumulator=plan.accumulator,
+        tile_l=plan.tile_l,
+        tile_r=plan.tile_r,
+        est_output_density=plan.est_output_density,
+        expected_tile_nnz=plan.expected_tile_nnz,
+        grid_l=grid_l,
+        grid_r=grid_r,
+        est_nonempty_pairs=est_pairs,
+        dense_cells=dense_cells,
+        verdict=verdict,
+    )
+
+
+def lint_problem(
+    L: int,
+    R: int,
+    C: int,
+    nnz_l: int,
+    nnz_r: int,
+    machine: MachineSpec = DESKTOP,
+    *,
+    accumulator: str = "auto",
+    tile_size: int | None = None,
+    location: str = "",
+) -> ExpressionReport:
+    """Lint a contraction given its linearized problem parameters."""
+    report = ExpressionReport()
+    if min(L, R, C) < 1:
+        report.add(make_diagnostic(
+            "FSTC004",
+            f"linearized extents must be >= 1, got L={L}, R={R}, C={C}",
+            hint="empty index spaces cannot be contracted; check the shapes",
+            location=location,
+        ))
+    for label, nnz, cells in (("left", nnz_l, L * C), ("right", nnz_r, C * R)):
+        if nnz < 0:
+            report.add(make_diagnostic(
+                "FSTC005", f"{label} operand declares negative nnz ({nnz})",
+                location=location,
+            ))
+        elif cells > 0 and nnz > cells:
+            report.add(make_diagnostic(
+                "FSTC005",
+                f"{label} operand declares nnz={nnz} but has only "
+                f"{cells} cells",
+                hint="duplicate coordinates are merged before planning; "
+                     "declare the post-merge count",
+                location=location,
+            ))
+    if any(d.severity == "error" for d in report.diagnostics):
+        report.verdict = "invalid"
+        return report
+
+    if accumulator not in ("auto", "dense", "sparse"):
+        raise StaticCheckError(
+            f"accumulator must be auto|dense|sparse, got {accumulator!r}"
+        )
+    prediction = predict_plan(
+        L, R, C, nnz_l, nnz_r, machine,
+        accumulator=accumulator, tile_size=tile_size,
+    )
+    report.prediction = prediction
+    _lint_prediction(report, prediction, machine, location)
+    report.verdict = prediction.verdict
+    return report
+
+
+def _lint_prediction(
+    report: ExpressionReport,
+    p: PlanPrediction,
+    machine: MachineSpec,
+    location: str,
+) -> None:
+    """Turn a :class:`PlanPrediction` into guard/anti-pattern findings."""
+    from repro.core.accumulators import DEFAULT_DENSE_CELL_GUARD
+    from repro.core.tiled_co import DEFAULT_MAX_TASKS
+
+    if p.accumulator == "dense" and p.dense_cells > DEFAULT_DENSE_CELL_GUARD:
+        report.add(make_diagnostic(
+            "FSTC011",
+            f"dense tile of {p.tile_l}x{p.tile_r} = {p.dense_cells} cells "
+            f"exceeds the memory guard ({DEFAULT_DENSE_CELL_GUARD}); the run "
+            "would raise WorkspaceLimitError before any work",
+            hint="use a sparse accumulator or a smaller tile_size",
+            location=location,
+        ))
+    if p.est_nonempty_pairs > DEFAULT_MAX_TASKS:
+        report.add(make_diagnostic(
+            "FSTC010",
+            f"a {p.grid_l}x{p.grid_r} tile grid dispatches up to "
+            f"{p.est_nonempty_pairs} tile-pair tasks, over the task guard "
+            f"({DEFAULT_MAX_TASKS}): the paper's Table 3 DNF regime — the "
+            "run would raise WorkspaceLimitError",
+            hint="let Algorithm 7 choose the accumulator (sparse tiles grow "
+                 "with output sparsity, collapsing the grid)",
+            location=location,
+        ))
+    if (
+        p.accumulator == "dense"
+        and p.expected_tile_nnz < DENSE_ANTIPATTERN_EXPECTED_NNZ
+    ):
+        report.add(make_diagnostic(
+            "FSTC013",
+            f"dense accumulator with {p.expected_tile_nnz:.3e} expected "
+            f"nonzeros per probe tile (model threshold "
+            f"{DENSE_ANTIPATTERN_EXPECTED_NNZ:g}): almost every cell is "
+            "written, cleared and scanned for nothing",
+            hint="Algorithm 7 would choose sparse here; drop the override",
+            location=location,
+        ))
+    if (
+        p.accumulator == "sparse"
+        and p.expected_tile_nnz >= DENSE_ANTIPATTERN_EXPECTED_NNZ
+    ):
+        report.add(make_diagnostic(
+            "FSTC014",
+            f"sparse accumulator with {p.expected_tile_nnz:.3e} expected "
+            "nonzeros per probe tile: hash upserts cost more than dense "
+            "writes at this density",
+            hint="Algorithm 7 would choose dense here; drop the override",
+            location=location,
+        ))
+    if p.est_output_density == 0.0:
+        report.add(make_diagnostic(
+            "FSTC015",
+            "predicted output density is zero (an operand declares no "
+            "nonzeros); the contraction is a no-op",
+            location=location,
+        ))
+    # Degenerate tiles: a tile clamped to (or chosen as) a sliver makes
+    # the grid explode and the per-tile workspace useless.
+    for side, tile, grid in (("l", p.tile_l, p.grid_l), ("r", p.tile_r, p.grid_r)):
+        if tile <= 1 and grid > 1:
+            report.add(make_diagnostic(
+                "FSTC012",
+                f"tile_{side}={tile} degenerates that axis to one element "
+                f"per tile ({grid} tiles)",
+                hint="raise tile_size or let the machine model size the tile",
+                location=location,
+            ))
+
+
+def _parse_subscripts_lint(
+    subscripts: str, n_operands: int, report: ExpressionReport, location: str
+):
+    """Run the runtime parser, converting failures to FSTC001."""
+    from repro.core.einsum import parse_subscripts
+
+    try:
+        return parse_subscripts(subscripts, n_operands)
+    except PlanError as exc:
+        report.add(make_diagnostic(
+            "FSTC001", str(exc),
+            hint="write explicit-output einsum, e.g. 'ij,jk->ik'",
+            location=location,
+        ))
+        return None
+
+
+def lint_expression(
+    subscripts: str,
+    shapes,
+    *,
+    nnz=None,
+    machine: MachineSpec = DESKTOP,
+    accumulator: str = "auto",
+    tile_size: int | None = None,
+    dtypes=None,
+    location: str = "",
+) -> ExpressionReport:
+    """Lint an einsum-style contraction request end to end.
+
+    Parameters mirror :func:`repro.core.expression.contract_expression`:
+    ``shapes`` is one shape tuple per operand, ``nnz`` the expected
+    nonzero counts (default 1% density), ``dtypes`` optional per-operand
+    value dtypes.  Plan-level prediction (guards, anti-patterns) runs
+    for two-operand expressions — the form every Table 3 benchmark
+    takes; network requests get the structural lints plus per-index
+    extent checking.
+    """
+    report = ExpressionReport()
+    shapes_t = tuple(tuple(int(s) for s in shape) for shape in shapes)
+    parsed = _parse_subscripts_lint(subscripts, len(shapes_t), report, location)
+    if parsed is None:
+        report.verdict = "invalid"
+        return report
+    inputs, out_sub = parsed
+
+    for k, (sub, shape) in enumerate(zip(inputs, shapes_t)):
+        if len(sub) != len(shape):
+            report.add(make_diagnostic(
+                "FSTC002",
+                f"operand {k} subscript {sub!r} names {len(sub)} modes but "
+                f"shape {shape} has {len(shape)}",
+                location=location,
+            ))
+        for m, extent in enumerate(shape):
+            if extent < 1:
+                report.add(make_diagnostic(
+                    "FSTC004",
+                    f"operand {k} mode {m} has non-positive extent {extent}",
+                    location=location,
+                ))
+
+    extent_of: dict[str, tuple[int, int]] = {}  # index -> (operand, extent)
+    for k, (sub, shape) in enumerate(zip(inputs, shapes_t)):
+        for ch, extent in zip(sub, shape):
+            if ch in extent_of and extent_of[ch][1] != extent:
+                prev_k, prev_e = extent_of[ch]
+                report.add(make_diagnostic(
+                    "FSTC003",
+                    f"index {ch!r} has extent {prev_e} in operand {prev_k} "
+                    f"but {extent} in operand {k}",
+                    hint="contracted and shared indices must agree exactly",
+                    location=location,
+                ))
+            else:
+                extent_of.setdefault(ch, (k, extent))
+
+    counts: dict[str, int] = {}
+    for sub in inputs:
+        for ch in sub:
+            counts[ch] = counts.get(ch, 0) + 1
+    for ch, n in counts.items():
+        if n == 1 and ch not in out_sub:
+            report.add(make_diagnostic(
+                "FSTC006",
+                f"index {ch!r} appears in one operand and not in the output: "
+                "it is summed out before contraction",
+                hint="intentional marginalization is fine; a typo in the "
+                     "output subscripts is not",
+                location=location,
+            ))
+
+    if dtypes is not None:
+        seen = [str(d) for d in dtypes]
+        for k, d in enumerate(seen):
+            if d not in _SUPPORTED_DTYPES:
+                report.add(make_diagnostic(
+                    "FSTC007",
+                    f"operand {k} dtype {d!r} is not supported "
+                    f"(supported: {', '.join(_SUPPORTED_DTYPES)})",
+                    location=location,
+                ))
+        if len(set(seen) & set(_SUPPORTED_DTYPES)) > 1:
+            report.add(make_diagnostic(
+                "FSTC007",
+                f"operands mix value dtypes {sorted(set(seen))}: the "
+                "accumulator works in a single dtype",
+                hint="cast the operands to a common dtype before contracting",
+                location=location,
+            ))
+
+    if len(shapes_t) == 2 and not any(
+        counts.get(ch, 0) == 2 for ch in inputs[0]
+    ):
+        report.add(make_diagnostic(
+            "FSTC008",
+            "the two operands share no index: this is an outer product, "
+            "which the pairwise kernel does not plan",
+            location=location,
+        ))
+
+    if any(d.severity == "error" for d in report.diagnostics):
+        report.verdict = "invalid"
+        return report
+
+    if nnz is None:
+        nnz = [max(1, int(0.01 * math.prod(s))) for s in shapes_t]
+    nnz = [int(n) for n in nnz]
+    if len(nnz) != len(shapes_t):
+        raise StaticCheckError("need one nnz estimate per operand")
+    for k, (n, shape) in enumerate(zip(nnz, shapes_t)):
+        cells = math.prod(shape)
+        if n < 0 or n > cells:
+            report.add(make_diagnostic(
+                "FSTC005",
+                f"operand {k} declares nnz={n} for a shape with {cells} cells",
+                location=location,
+            ))
+    if any(d.severity == "error" for d in report.diagnostics):
+        report.verdict = "invalid"
+        return report
+
+    if len(shapes_t) != 2:
+        return report
+
+    sub_a, sub_b = inputs
+    shared = [ch for ch in sub_a if ch in sub_b]
+    pairs = [(sub_a.index(ch), sub_b.index(ch)) for ch in shared]
+    try:
+        spec = ContractionSpec(shapes_t[0], shapes_t[1], pairs)
+    except (ShapeError, PlanError) as exc:  # pragma: no cover - pre-checked
+        report.add(make_diagnostic("FSTC001", str(exc), location=location))
+        report.verdict = "invalid"
+        return report
+    problem = lint_problem(
+        spec.L, spec.R, spec.C, nnz[0], nnz[1], machine,
+        accumulator=accumulator, tile_size=tile_size, location=location,
+    )
+    report.diagnostics.extend(problem.diagnostics)
+    report.prediction = problem.prediction
+    report.verdict = problem.verdict
+    return report

@@ -18,7 +18,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, WorkspaceLimitError
 from repro.tensors.linearize import ModeLinearizer
 from repro.util.arrays import VALUE_DTYPE, as_index_array, as_value_array
 from repro.util.groups import group_boundaries
@@ -247,7 +247,7 @@ class COOTensor:
     def to_dense(self, *, max_cells: int = 100_000_000) -> np.ndarray:
         """Materialize as a dense array (guarded against huge shapes)."""
         if self.size > max_cells:
-            raise MemoryError(
+            raise WorkspaceLimitError(
                 f"refusing to densify {self.size} cells (> guard of {max_cells})"
             )
         if self.ndim == 0:

@@ -21,7 +21,6 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.tensors.coo import COOTensor
 from repro.util.arrays import INDEX_DTYPE
-from repro.util.groups import group_boundaries
 
 __all__ = ["CSFTensor"]
 

@@ -6,6 +6,16 @@ import numpy as np
 
 from repro.errors import ShapeError
 
+__all__ = [
+    "INDEX_DTYPE",
+    "VALUE_DTYPE",
+    "as_index_array",
+    "as_value_array",
+    "ceil_div",
+    "next_power_of_two",
+    "prev_power_of_two",
+]
+
 #: Canonical index dtype for all coordinate / linearized-index arrays.
 INDEX_DTYPE = np.int64
 

@@ -18,6 +18,13 @@ import numpy as np
 
 from repro.util.arrays import INDEX_DTYPE
 
+__all__ = [
+    "group_boundaries",
+    "match_sorted_keys",
+    "grouped_cartesian",
+    "segment_sum",
+]
+
 
 def group_boundaries(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Locate groups of equal keys in a sorted 1-D array.

@@ -11,6 +11,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+__all__ = ["Timer", "median_time"]
+
 
 @dataclass
 class Timer:

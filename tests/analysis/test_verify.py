@@ -1,7 +1,5 @@
 """Unit tests for the cross-kernel verification harness."""
 
-import pytest
-
 from repro.analysis.verify import cross_validate
 from repro.data.random_tensors import random_coo
 

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.counters import Counters
-from repro.analysis.loop_order import measure_scheme, predicted_costs
+from repro.analysis.loop_order import measure_scheme
 from repro.baselines.schemes import ci_contract, cm_contract, co_contract, contract_untiled
 from repro.data.random_tensors import random_operand_pair
 from repro.errors import WorkspaceLimitError

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.plan import ContractionSpec, LinearizedOperand
+from repro.core.plan import LinearizedOperand
 from repro.data.random_tensors import random_coo, random_operand_pair
-from repro.tensors.coo import COOTensor
 
 
 @pytest.fixture

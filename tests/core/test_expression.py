@@ -88,3 +88,24 @@ class TestNetwork:
     def test_default_nnz_estimates(self):
         expr = contract_expression("ij,jk,kl->il", (10, 10), (10, 10), (10, 10))
         assert expr.path is not None
+
+    def test_network_shape_mismatch_at_call(self):
+        # Regression: the declared-shape gate applies to *every* operand
+        # of a network expression, not only the two-operand fast path,
+        # and names the offending position.
+        expr = contract_expression(
+            "ij,jk,kl->il", (30, 40), (40, 20), (20, 10),
+            nnz=[300, 200, 50],
+        )
+        a = random_coo((30, 40), nnz=30, seed=13)
+        b = random_coo((40, 20), nnz=30, seed=14)
+        bad = random_coo((21, 10), nnz=10, seed=15)
+        with pytest.raises(ShapeError, match=r"operand 2 .*\(21, 10\)"):
+            expr(a, b, bad)
+
+    def test_mismatch_message_names_operand(self):
+        expr = contract_expression("ij,jk->ik", (6, 8), (8, 5))
+        a = random_coo((6, 8), nnz=10, seed=16)
+        bad = random_coo((8, 7), nnz=10, seed=17)
+        with pytest.raises(ShapeError, match="operand 1"):
+            expr(a, bad)

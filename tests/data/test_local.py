@@ -69,7 +69,6 @@ class TestLoading:
         """A file matching the published metadata loads as real data
         (using a shrunken spec so the test stays small)."""
         from repro.data.frostt import FrosttSpec
-        import repro.data.local as local_mod
 
         small_spec = FrosttSpec("uber", (20, 24, 30, 40), 500)
         monkeypatch.setitem(FROSTT_SPECS, "uber", small_spec)

@@ -67,7 +67,6 @@ class TestThreadedKernel:
         would double values."""
         # Identity-like operands: L = R = I_16 scaled.
         eye = np.arange(16, dtype=np.int64)
-        from repro.tensors.coo import COOTensor
         from repro.core.plan import LinearizedOperand
 
         left = LinearizedOperand(eye, eye, np.full(16, 2.0), 16, 16)

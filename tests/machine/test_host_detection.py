@@ -1,7 +1,5 @@
 """Unit tests for current-host machine detection."""
 
-import pytest
-
 from repro.machine.specs import DESKTOP, MachineSpec, from_current_host
 
 

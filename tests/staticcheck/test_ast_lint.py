@@ -1,0 +1,190 @@
+"""Unit tests for the AST source lint (FSTC1xx)."""
+
+import textwrap
+
+from repro.staticcheck import lint_tree
+from repro.staticcheck.ast_lint import lint_source
+
+
+def run(source, **kwargs):
+    kwargs.setdefault("public", False)
+    return lint_source(textwrap.dedent(source), **kwargs)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestPerElementLoops:
+    def test_range_over_nnz_flagged(self):
+        diags = run(
+            """
+            def kernel(op):
+                for k in range(op.nnz):
+                    pass
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC101"]
+
+    def test_range_over_len_flagged(self):
+        diags = run(
+            """
+            def kernel(keys):
+                for k in range(len(keys)):
+                    pass
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC101"]
+
+    def test_zip_tolist_flagged(self):
+        diags = run(
+            """
+            def kernel(a, b):
+                for x, y in zip(a.tolist(), b.tolist()):
+                    pass
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC101"]
+
+    def test_fixed_range_allowed(self):
+        diags = run(
+            """
+            def kernel(tiles):
+                for k in range(8):
+                    pass
+            """,
+            kernel=True,
+        )
+        assert diags == []
+
+    def test_pragma_suppresses(self):
+        diags = run(
+            """
+            def kernel(op):
+                for k in range(op.nnz):  # staticcheck: ignore[FSTC101]
+                    pass
+            """,
+            kernel=True,
+        )
+        assert diags == []
+
+    def test_rule_off_outside_kernels(self):
+        diags = run(
+            """
+            def baseline(op):
+                for k in range(op.nnz):
+                    pass
+            """,
+            kernel=False,
+        )
+        assert diags == []
+
+
+class TestExceptionDiscipline:
+    def test_bare_valueerror_flagged(self):
+        diags = run(
+            """
+            def f(x):
+                raise ValueError("bad")
+            """,
+            hot=True,
+        )
+        assert codes(diags) == ["FSTC102"]
+
+    def test_repro_errors_allowed(self):
+        diags = run(
+            """
+            from repro.errors import ShapeError
+            def f(x):
+                raise ShapeError("bad")
+            """,
+            hot=True,
+        )
+        assert diags == []
+
+    def test_reraise_allowed(self):
+        diags = run(
+            """
+            def f(x):
+                try:
+                    x()
+                except Exception:
+                    raise
+            """,
+            hot=True,
+        )
+        assert diags == []
+
+    def test_pragma_suppresses(self):
+        diags = run(
+            """
+            def f(key):
+                raise KeyError(key)  # staticcheck: ignore[FSTC102] protocol
+            """,
+            hot=True,
+        )
+        assert diags == []
+
+
+class TestDeterminism:
+    def test_time_time_flagged(self):
+        diags = run(
+            """
+            import time
+            def kernel():
+                return time.time()
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC103"]
+
+    def test_perf_counter_allowed(self):
+        diags = run(
+            """
+            import time
+            def kernel():
+                return time.perf_counter()
+            """,
+            kernel=True,
+        )
+        assert diags == []
+
+    def test_legacy_np_random_flagged(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel():
+                return np.random.rand(4)
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC103"]
+
+    def test_default_rng_allowed(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel():
+                return np.random.default_rng(7)
+            """,
+            kernel=True,
+        )
+        assert diags == []
+
+
+class TestPublicModules:
+    def test_missing_all_flagged(self):
+        diags = run("x = 1\n", public=True)
+        assert codes(diags) == ["FSTC104"]
+
+    def test_all_declared(self):
+        diags = run('__all__ = ["x"]\nx = 1\n', public=True)
+        assert diags == []
+
+
+def test_repro_tree_is_clean():
+    """The shipped source passes its own lint (the CI --self gate)."""
+    assert lint_tree() == []

@@ -1,0 +1,143 @@
+"""Unit tests for the expression/plan linter (FSTC0xx)."""
+
+import pytest
+
+from repro.errors import StaticCheckError
+from repro.machine.specs import DESKTOP, SERVER
+from repro.staticcheck import lint_expression, lint_problem, predict_plan
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestSubscriptLints:
+    def test_malformed_subscripts(self):
+        report = lint_expression("ij,jk-ik", [(4, 4), (4, 4)])
+        assert report.verdict == "invalid"
+        assert "FSTC001" in codes(report)
+
+    def test_arity_mismatch(self):
+        report = lint_expression("ijk,jk->i", [(4, 4), (4, 4)])
+        assert report.verdict == "invalid"
+        assert "FSTC002" in codes(report)
+
+    def test_extent_conflict(self):
+        report = lint_expression("ij,jk->ik", [(4, 5), (6, 7)])
+        assert report.verdict == "invalid"
+        assert "FSTC003" in codes(report)
+
+    def test_nonpositive_extent(self):
+        report = lint_expression("ij,jk->ik", [(4, 0), (0, 7)])
+        assert report.verdict == "invalid"
+        assert "FSTC004" in codes(report)
+
+    def test_nnz_exceeds_cells(self):
+        report = lint_expression(
+            "ij,jk->ik", [(4, 4), (4, 4)], nnz=[17, 4]
+        )
+        assert report.verdict == "invalid"
+        assert "FSTC005" in codes(report)
+
+    def test_implicit_sum_out_warns(self):
+        report = lint_expression("ij,jk->k", [(4, 5), (5, 6)])
+        assert "FSTC006" in codes(report)
+        assert report.verdict == "ok"  # warning, not error
+
+    def test_unsupported_dtype(self):
+        report = lint_expression(
+            "ij,jk->ik", [(4, 4), (4, 4)], dtypes=["float16", "float64"]
+        )
+        assert "FSTC007" in codes(report)
+
+    def test_mixed_dtypes(self):
+        report = lint_expression(
+            "ij,jk->ik", [(4, 4), (4, 4)], dtypes=["float32", "float64"]
+        )
+        assert "FSTC007" in codes(report)
+
+    def test_outer_product_rejected(self):
+        report = lint_expression("ij,kl->ijkl", [(3, 3), (3, 3)])
+        assert report.verdict == "invalid"
+        assert "FSTC008" in codes(report)
+
+    def test_clean_expression(self):
+        report = lint_expression(
+            "ij,jk->ik", [(100, 200), (200, 50)], nnz=[500, 400]
+        )
+        assert report.verdict == "ok"
+        assert report.ok
+        assert report.prediction is not None
+
+
+class TestPlanPrediction:
+    # The NIPS mode-2 problem parameters (Table 3's DNF row, at the
+    # repository's scaled size — frozen in the Algorithm 7 golden
+    # fixture): a forced dense accumulator makes the tile grid overflow
+    # the task guard.
+    NIPS2 = dict(L=2712996, R=2712996, C=2105, nnz_l=10450, nnz_r=10450)
+
+    def test_nips2_dense_dnf(self):
+        p = predict_plan(machine=DESKTOP, accumulator="dense", **self.NIPS2)
+        assert p.verdict == "dnf"
+
+    def test_nips2_auto_ok(self):
+        p = predict_plan(machine=DESKTOP, accumulator="auto", **self.NIPS2)
+        assert p.accumulator == "sparse"
+        assert p.verdict == "ok"
+
+    def test_lint_problem_reports_fstc010(self):
+        report = lint_problem(
+            machine=DESKTOP, accumulator="dense", **self.NIPS2
+        )
+        assert report.verdict == "dnf"
+        assert "FSTC010" in codes(report)
+        # The anti-pattern finding rides along: the model would never
+        # have chosen dense here.
+        assert "FSTC013" in codes(report)
+
+    def test_cell_guard_dnf(self):
+        p = predict_plan(
+            10_000, 10_000, 100, 5_000_000, 5_000_000, DESKTOP,
+            accumulator="dense", tile_size=8192, dense_cell_guard=1 << 20,
+        )
+        assert p.dense_cells == 8192 * 8192
+        assert p.verdict == "dnf"
+
+    def test_sparse_on_dense_antipattern(self):
+        report = lint_problem(
+            512, 512, 512, 200_000, 200_000, DESKTOP, accumulator="sparse"
+        )
+        assert "FSTC014" in codes(report)
+
+    def test_zero_density_info(self):
+        report = lint_problem(100, 100, 100, 0, 50, DESKTOP)
+        assert "FSTC015" in codes(report)
+        assert report.verdict == "ok"
+
+    def test_degenerate_tile_warns(self):
+        report = lint_problem(
+            4096, 4096, 64, 40_000, 40_000, DESKTOP,
+            accumulator="dense", tile_size=1,
+        )
+        assert "FSTC012" in codes(report)
+
+    def test_invalid_inputs_skip_prediction(self):
+        report = lint_problem(0, 10, 10, 5, 5, DESKTOP)
+        assert report.verdict == "invalid"
+        assert report.prediction is None
+
+    def test_negative_nnz(self):
+        report = lint_problem(10, 10, 10, -1, 5, DESKTOP)
+        assert report.verdict == "invalid"
+        assert "FSTC005" in codes(report)
+
+    def test_bad_accumulator_is_api_misuse(self):
+        with pytest.raises(StaticCheckError):
+            lint_problem(10, 10, 10, 5, 5, DESKTOP, accumulator="fast")
+
+    def test_machines_differ_only_in_scale(self):
+        for machine in (DESKTOP, SERVER):
+            p = predict_plan(1000, 1000, 1000, 10_000, 10_000, machine)
+            assert p.verdict == "ok"
+            assert p.tile_l >= 1 and p.tile_r >= 1

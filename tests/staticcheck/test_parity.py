@@ -1,0 +1,117 @@
+"""Static/dynamic parity: the linter's predicted verdict matches what
+the runtime actually does, for every registry case on both machines.
+
+This is the load-bearing guarantee behind ``python -m repro check``: a
+predicted ``"dnf"`` means the kernel *would* raise
+:class:`WorkspaceLimitError` (the paper's Table 3 DNF regime), and a
+predicted ``"ok"`` means it completes.  The golden Algorithm 7 fixture
+(``tests/data/algorithm7_plans.json``) pins the same problem parameters
+the audit derives, so plan decisions are cross-checked against it too.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import contract
+from repro.data.registry import all_cases, get_case
+from repro.errors import WorkspaceLimitError
+from repro.staticcheck import audit_case, case_problem
+
+FIXTURE = Path(__file__).parent.parent / "data" / "algorithm7_plans.json"
+GOLDEN = json.loads(FIXTURE.read_text())
+CASES = sorted(all_cases())
+MACHINES = ("desktop", "server")
+
+_operands_cache = {}
+
+
+def operands(name):
+    if name not in _operands_cache:
+        _operands_cache[name] = get_case(name).load()
+    return _operands_cache[name]
+
+
+def runtime_verdict(name, machine_name, accumulator):
+    from repro.machine.specs import DESKTOP, SERVER
+
+    machine = SERVER if machine_name == "server" else DESKTOP
+    left, right, pairs = operands(name)
+    try:
+        contract(
+            left, right, pairs, machine=machine, accumulator=accumulator
+        )
+    except WorkspaceLimitError:
+        return "dnf"
+    return "ok"
+
+
+def test_fixture_covers_every_case():
+    assert sorted(GOLDEN) == CASES
+    assert len(CASES) == 16
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_problem_parameters_match_golden_fixture(name):
+    problem = case_problem(name)
+    golden = GOLDEN[name]["problem"]
+    assert {
+        k: problem[k] for k in ("L", "R", "C", "nnz_l", "nnz_r")
+    } == golden
+
+
+@pytest.mark.parametrize("name", CASES)
+@pytest.mark.parametrize("machine", MACHINES)
+def test_predicted_plan_matches_golden_fixture(name, machine):
+    audit = audit_case(
+        name, machines=(machine,), accumulators=("auto",),
+        problem=dict(GOLDEN[name]["problem"],
+                     occupied_l={"ext": [], "model": None},
+                     occupied_r={"ext": []}),
+    )
+    prediction = audit.reports[(machine, "auto")].prediction
+    golden = GOLDEN[name][machine]
+    assert prediction.accumulator == golden["accumulator"]
+    assert prediction.tile_l == golden["tile_l"]
+    assert prediction.tile_r == golden["tile_r"]
+
+
+@pytest.mark.parametrize("name", CASES)
+@pytest.mark.parametrize("machine", MACHINES)
+def test_auto_verdict_matches_runtime(name, machine):
+    audit = audit_case(name, machines=(machine,), accumulators=("auto",))
+    static = audit.verdict(machine, "auto")
+    assert static == "ok"  # every Table 3 auto row completes
+    assert runtime_verdict(name, machine, "auto") == "ok"
+
+
+@pytest.mark.parametrize("name", CASES)
+@pytest.mark.parametrize("machine", MACHINES)
+def test_forced_dense_verdict_matches_runtime(name, machine):
+    """The Table 3 dense column — including the NIPS mode-2 DNF cell."""
+    audit = audit_case(name, machines=(machine,), accumulators=("dense",))
+    static = audit.verdict(machine, "dense")
+    assert runtime_verdict(name, machine, "dense") == static
+
+
+@pytest.mark.parametrize("name", CASES)
+@pytest.mark.parametrize("machine", MACHINES)
+def test_forced_sparse_never_predicts_dnf(name, machine):
+    # Sparse tiles grow with output sparsity, so no benchmark case can
+    # overflow either guard; Table 3's sparse column has no DNF entry.
+    audit = audit_case(name, machines=(machine,), accumulators=("sparse",))
+    assert audit.verdict(machine, "sparse") == "ok"
+
+
+def test_nips2_dense_dnf_is_the_only_dnf():
+    dnf = []
+    for name in CASES:
+        audit = audit_case(name)
+        for (machine, acc), report in audit.reports.items():
+            if report.verdict == "dnf":
+                dnf.append((name, machine, acc))
+    assert dnf == [
+        ("NIPS_2", "desktop", "dense"),
+        ("NIPS_2", "server", "dense"),
+    ]
