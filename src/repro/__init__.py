@@ -35,12 +35,20 @@ from repro.errors import (
     WorkspaceLimitError,
 )
 from repro.machine.specs import DESKTOP, SERVER, MachineSpec
+from repro.network import (
+    NetworkExecutor,
+    NetworkPlan,
+    OperandMeta,
+    TensorNetwork,
+    contract_network,
+    plan_network,
+)
 from repro.runtime import BatchExecutor, ContractionRuntime, PlanCache
 from repro.tensors.coo import COOTensor
 from repro.tensors.csf import CSFTensor
 from repro.analysis.counters import Counters
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "contract",
@@ -59,6 +67,12 @@ __all__ = [
     "ContractionRuntime",
     "BatchExecutor",
     "PlanCache",
+    "NetworkExecutor",
+    "NetworkPlan",
+    "OperandMeta",
+    "TensorNetwork",
+    "contract_network",
+    "plan_network",
     "MachineSpec",
     "DESKTOP",
     "SERVER",

@@ -24,8 +24,16 @@ Subcommands
     machines and all three Table 3 accumulator columns, reporting
     predicted guard outcomes (the NIPS mode-2 dense DNF appears as
     ``FSTC010``); ``--expr``/``--shapes`` lints one einsum request;
-    ``--self`` AST-lints the ``repro`` source tree.  Exit status is 1
-    when any error-severity finding is reported.
+    ``--self`` AST-lints the ``repro`` source tree and audits the FSTC
+    code registry against its docs.  Exit status is 1 when any
+    error-severity finding is reported.
+``network EXPR``
+    Plan a multi-operand tensor-network contraction through
+    :mod:`repro.network` — ``--explain`` prints the chosen path, per-step
+    subscripts, predicted nnz/cost and accumulator choices without
+    executing; without it, random operands are drawn at the declared
+    shapes/nnz and the plan runs through the network executor
+    (``--repeat`` shows the warm plan-cache path).
 """
 
 from __future__ import annotations
@@ -174,6 +182,53 @@ def _batch_operands(name: str):
     return cache[name]
 
 
+def _cmd_network(args) -> int:
+    import json
+
+    from repro.data.random_tensors import random_coo
+    from repro.machine.specs import DESKTOP, SERVER
+    from repro.network import NetworkExecutor, TensorNetwork, build_plan
+    from repro.network.optimize import resolve_optimizer
+
+    machine = SERVER if args.machine == "server" else DESKTOP
+    shapes = _parse_shapes(args.shapes)
+    nnz = [int(n) for n in args.nnz.split(",")] if args.nnz else None
+
+    network = TensorNetwork.parse(args.expr, shapes, nnz=nnz)
+    plan = build_plan(
+        network, machine, resolve_optimizer(args.optimizer, network)
+    )
+    if args.json:
+        print(json.dumps(plan.to_json(), indent=2))
+    else:
+        print(plan.explain())
+    if args.explain:
+        return 0
+
+    # Execute mode: draw random operands at the declared shapes/nnz and
+    # run the plan through a fresh executor, --repeat times (repeats
+    # after the first replay cached plans at both levels).
+    executor = NetworkExecutor(machine=machine, n_workers=args.workers)
+    operands = [
+        random_coo(meta.shape, nnz=meta.nnz, seed=args.seed + k)
+        for k, meta in enumerate(network.operands)
+    ]
+    print()
+    for r in range(max(1, args.repeat)):
+        out, report = executor.contract(
+            args.expr, *operands,
+            optimizer=args.optimizer, method=args.method,
+            return_report=True,
+        )
+        print(f"run {r}:")
+        print(report.summary())
+    print()
+    print("executor metrics:")
+    for k, v in executor.metrics().items():
+        print(f"  {k} = {v}")
+    return 0
+
+
 def _parse_shapes(text: str) -> list[tuple[int, ...]]:
     return [
         tuple(int(d) for d in token.split("x"))
@@ -195,9 +250,12 @@ def _cmd_check(args) -> int:
     )
 
     if args.self_check:
-        from repro.staticcheck import lint_tree
+        from repro.staticcheck import audit_code_registry, lint_tree
 
-        diags = lint_tree()
+        diags = list(lint_tree())
+        # The FSTC catalogue itself is part of the checked surface: the
+        # registry and docs/staticcheck.md must agree code-for-code.
+        diags.extend(audit_code_registry())
         print(render_diagnostics(diags))
         return max_exit_status(diags)
 
@@ -385,6 +443,33 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--self", dest="self_check", action="store_true",
                        help="AST-lint the repro source tree")
 
+    net = sub.add_parser(
+        "network", help="plan (and optionally execute) a multi-operand "
+                        "tensor-network contraction"
+    )
+    net.add_argument("expr",
+                     help="einsum subscripts, e.g. 'ij,jk,kl->il'")
+    net.add_argument("--shapes", required=True,
+                     help="per-operand shapes, e.g. '100x200,200x50,50x30'")
+    net.add_argument("--nnz", default=None,
+                     help="per-operand nonzero counts (default 1%% density)")
+    net.add_argument("--optimizer", default="auto",
+                     choices=["auto", "left", "greedy", "dp", "sparsity"])
+    net.add_argument("--machine", default="desktop",
+                     choices=["desktop", "server"])
+    net.add_argument("--explain", action="store_true",
+                     help="print the plan only; do not execute")
+    net.add_argument("--json", action="store_true",
+                     help="print the plan as JSON instead of the table")
+    net.add_argument("--method", default="fastcc",
+                     choices=["fastcc", "sparta", "taco", "ci", "cm", "co"])
+    net.add_argument("--seed", type=int, default=0,
+                     help="seed for the randomly drawn operands")
+    net.add_argument("--repeat", type=int, default=1,
+                     help="execute the network N times (repeats hit the "
+                          "plan caches)")
+    net.add_argument("--workers", type=int, default=1)
+
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
     con.add_argument("file_b")
@@ -405,6 +490,7 @@ def main(argv=None) -> int:
         "contract": _cmd_contract,
         "batch": _cmd_batch,
         "check": _cmd_check,
+        "network": _cmd_network,
     }[args.command]
     return handler(args)
 

@@ -1,127 +1,42 @@
-"""Einsum-style front end and sparse tensor-network contraction.
+"""Einsum-style front end over the :mod:`repro.network` subsystem.
 
-The paper's related work (Section 7: CoNST, SparseLNR) and conclusion
-point at *sequences* of sparse contractions — tensor networks — as the
-natural extension of a fast pairwise kernel.  This module provides:
+Historically this module carried its own greedy binarization; it is now
+a thin compatibility layer.  Parsing lives in :mod:`repro.network.ir`,
+path optimization in :mod:`repro.network.optimize` (``left``/``greedy``/
+``dp``/``sparsity``/``auto``), and execution in
+:mod:`repro.network.executor` — through a shared per-machine
+:class:`~repro.network.executor.NetworkExecutor`, so repeated
+:func:`einsum` calls replay cached :class:`~repro.network.plan.NetworkPlan`
+objects and hit the runtime :class:`~repro.runtime.plan_cache.PlanCache`
+for every pairwise step.
 
-* :func:`einsum` — an ``numpy.einsum``-like string interface over
-  sparse COO tensors, executing through the FaSTCC kernel.  Two-operand
-  expressions map directly onto :func:`repro.core.contraction.contract`;
-  multi-operand expressions are binarized into pairwise contractions.
-* A greedy contraction-order optimizer that scores candidate pairs with
-  the paper's own output-density model (Section 5.1), favoring pairs
-  whose intermediate result is predicted smallest — the standard
-  cost-based binarization, driven by the reproduction's cost machinery.
-
-Supported subscript semantics (a deliberate subset of full einsum,
-matching tensor-network contraction):
+Supported subscript semantics (the tensor-network subset of einsum):
 
 * every index appears in exactly one or two operands;
 * an index in two operands and absent from the output is contracted;
 * an index in one operand and absent from the output is summed out;
 * an index in the output must appear in exactly one operand (no
   element-wise/Hadamard sharing, no traces, no broadcasting).
+
+Disconnected networks (outer products) are supported: components are
+planned independently and combined with explicit sparse outer products.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.contraction import contract
-from repro.core.model import estimate_output_density
-from repro.errors import PlanError, ShapeError
 from repro.machine.specs import DESKTOP, MachineSpec
+from repro.network.executor import default_executor, sum_out_modes
+from repro.network.ir import TensorNetwork, parse_subscripts
+from repro.network.optimize import optimize_path, resolve_optimizer
 from repro.tensors.coo import COOTensor
-from repro.tensors.linearize import ModeLinearizer
-from repro.util.groups import segment_sum
 
 __all__ = ["einsum", "parse_subscripts", "contraction_path"]
 
-
-def parse_subscripts(subscripts: str, n_operands: int) -> tuple[list[str], str]:
-    """Split and validate an einsum subscript string.
-
-    Returns ``(input_subscripts, output_subscript)``.  The output part
-    is mandatory (no implicit mode): sparse outputs need an explicit
-    mode order.
-    """
-    if "->" not in subscripts:
-        raise PlanError(
-            "explicit output subscripts are required, e.g. 'ij,jk->ik'"
-        )
-    lhs, out = subscripts.replace(" ", "").split("->")
-    inputs = lhs.split(",")
-    if len(inputs) != n_operands:
-        raise PlanError(
-            f"subscripts name {len(inputs)} operands but {n_operands} were given"
-        )
-    for sub in inputs:
-        if not sub.isalpha():
-            raise PlanError(f"subscripts must be letters, got {sub!r}")
-        if len(set(sub)) != len(sub):
-            raise PlanError(f"repeated index within one operand (trace) "
-                            f"is unsupported: {sub!r}")
-    if not (out.isalpha() or out == ""):
-        raise PlanError(f"output subscripts must be letters, got {out!r}")
-    if len(set(out)) != len(out):
-        raise PlanError(f"repeated output index: {out!r}")
-
-    counts: dict[str, int] = {}
-    for sub in inputs:
-        for ch in sub:
-            counts[ch] = counts.get(ch, 0) + 1
-    for ch, n in counts.items():
-        if n > 2:
-            raise PlanError(
-                f"index {ch!r} appears in {n} operands; tensor-network "
-                "contraction allows at most two"
-            )
-        if n == 2 and ch in out:
-            raise PlanError(
-                f"index {ch!r} is shared by two operands AND kept in the "
-                "output (Hadamard semantics) — unsupported"
-            )
-    for ch in out:
-        if ch not in counts:
-            raise PlanError(f"output index {ch!r} appears in no operand")
-    return inputs, out
-
-
-def _sum_out_modes(tensor: COOTensor, modes: Sequence[int]) -> COOTensor:
-    """Sum a tensor over the given modes (marginalization)."""
-    keep = [m for m in range(tensor.ndim) if m not in set(modes)]
-    lin = ModeLinearizer([tensor.shape[m] for m in keep])
-    flat = lin.encode(tensor.coords[keep, :])
-    uniq, sums = segment_sum(flat, tensor.values)
-    return COOTensor(
-        lin.decode(uniq), sums, tuple(tensor.shape[m] for m in keep), check=False
-    )
-
-
-def _pair_cost(
-    a: COOTensor, sub_a: str, b: COOTensor, sub_b: str, machine: MachineSpec
-) -> float:
-    """Greedy score for contracting (a, b): predicted intermediate nnz
-    plus the input volumes (Section 5.1's estimate as the oracle)."""
-    shared = [ch for ch in sub_a if ch in sub_b]
-    ext_a = 1
-    for m, ch in enumerate(sub_a):
-        if ch not in shared:
-            ext_a *= a.shape[m]
-    ext_b = 1
-    for m, ch in enumerate(sub_b):
-        if ch not in shared:
-            ext_b *= b.shape[m]
-    con = 1
-    for ch in shared:
-        con *= a.shape[sub_a.index(ch)]
-    if not shared:
-        # Outer product: worst case, score by full output size.
-        return float(a.nnz) * b.nnz + a.nnz + b.nnz
-    density = estimate_output_density(ext_a, ext_b, con, a.nnz, b.nnz)
-    return density * ext_a * ext_b + a.nnz + b.nnz
+# Backwards-compatible alias (pre-network name, still used by tests and
+# downstream callers).
+_sum_out_modes = sum_out_modes
 
 
 def contraction_path(
@@ -129,85 +44,19 @@ def contraction_path(
     operands: Sequence[COOTensor],
     *,
     machine: MachineSpec = DESKTOP,
+    optimizer: str = "greedy",
 ) -> list[tuple[int, int]]:
-    """The greedy pairwise contraction order for a network.
+    """The pairwise contraction order for a network.
 
     Returns a list of position pairs into the (shrinking) operand list,
     ``numpy.einsum_path`` style: each step contracts the two named
-    operands and appends the intermediate at the end.
+    operands and appends the intermediate at the end.  ``operands`` may
+    be live tensors, :class:`~repro.network.ir.OperandMeta`, or bare
+    shape tuples; ``optimizer`` is any of
+    :data:`repro.network.optimize.OPTIMIZERS` or ``"auto"``.
     """
-    inputs, out = parse_subscripts(subscripts, len(operands))
-    # Track (subscript, shape, estimated nnz) per live operand; the
-    # estimates keep the greedy scoring going after intermediates.
-    subs = list(inputs)
-    shapes = [t.shape for t in operands]
-    nnzs = [float(t.nnz) for t in operands]
-    path: list[tuple[int, int]] = []
-
-    def score(i: int, j: int) -> tuple[bool, float]:
-        import math
-
-        shared = [ch for ch in subs[i] if ch in subs[j]]
-        ext_i = math.prod(shapes[i][m] for m, ch in enumerate(subs[i])
-                          if ch not in shared)
-        ext_j = math.prod(shapes[j][m] for m, ch in enumerate(subs[j])
-                          if ch not in shared)
-        con = math.prod(shapes[i][subs[i].index(ch)] for ch in shared)
-        if not shared:
-            return True, nnzs[i] * nnzs[j]
-        density = estimate_output_density(
-            int(ext_i), int(ext_j), int(con),
-            max(1, int(nnzs[i])), max(1, int(nnzs[j])),
-        )
-        return False, float(density * ext_i * ext_j + nnzs[i] + nnzs[j])
-
-    while len(subs) > 1:
-        best = None
-        for i in range(len(subs)):
-            for j in range(i + 1, len(subs)):
-                key = score(i, j)
-                if best is None or key < best[0]:
-                    best = (key, i, j)
-        _, i, j = best
-        path.append((i, j))
-        shared = [ch for ch in subs[i] if ch in subs[j]]
-        new_sub = "".join(ch for ch in subs[i] if ch not in shared) + "".join(
-            ch for ch in subs[j] if ch not in shared
-        )
-        new_shape = tuple(shapes[i][subs[i].index(ch)] for ch in subs[i]
-                          if ch not in shared) + tuple(
-            shapes[j][subs[j].index(ch)] for ch in subs[j] if ch not in shared
-        )
-        _, est_cost = score(i, j)
-        new_nnz = min(est_cost, float(np.prod(new_shape)) if new_shape else 1.0)
-        for k in sorted((i, j), reverse=True):
-            del subs[k]
-            del shapes[k]
-            del nnzs[k]
-        subs.append(new_sub)
-        shapes.append(new_shape)
-        nnzs.append(new_nnz)
-    return path
-
-
-def _contract_pair(a, sub_a, b, sub_b, *, still_needed, **kw):
-    """Contract two network operands over all shared indices."""
-    shared = [ch for ch in sub_a if ch in sub_b]
-    if not shared:
-        raise PlanError(
-            "disconnected tensor networks (outer products) are unsupported"
-        )
-    pairs = [(sub_a.index(ch), sub_b.index(ch)) for ch in shared]
-    result = contract(a, b, pairs, **kw)
-    keep_a = [ch for ch in sub_a if ch not in shared]
-    keep_b = [ch for ch in sub_b if ch not in shared]
-    new_sub = "".join(keep_a) + "".join(keep_b)
-    # Sum out indices no longer referenced anywhere.
-    dead = [m for m, ch in enumerate(new_sub) if ch not in still_needed]
-    if dead:
-        result = _sum_out_modes(result, dead)
-        new_sub = "".join(ch for ch in new_sub if ch in still_needed)
-    return result, new_sub
+    network = TensorNetwork.parse(subscripts, operands)
+    return optimize_path(network, machine, resolve_optimizer(optimizer, network))
 
 
 def einsum(
@@ -223,81 +72,15 @@ def einsum(
     --------
     >>> out = einsum("iak,kaj->ij", a, b)          # pairwise contraction
     >>> out = einsum("ij,jk,kl->il", a, b, c)      # 3-tensor network
+    >>> out = einsum("ij,kl->ijkl", a, b)          # outer product
 
-    ``optimize`` is ``"greedy"`` (model-scored pair ordering) or
-    ``"left"`` (left-to-right, for reproducible cost comparisons).
+    ``optimize`` selects the path optimizer: ``"greedy"`` (default,
+    model-scored pair ordering), ``"left"`` (left-to-right, for
+    reproducible cost comparisons), ``"dp"`` (optimal search for small
+    networks), ``"sparsity"`` (density-through-cost-model scoring), or
+    ``"auto"``.
     """
-    inputs, out_sub = parse_subscripts(subscripts, len(operands))
-    if optimize not in ("greedy", "left"):
-        raise PlanError(f"optimize must be greedy|left, got {optimize!r}")
-    for sub, t in zip(inputs, operands):
-        if len(sub) != t.ndim:
-            raise ShapeError(
-                f"operand with shape {t.shape} has {t.ndim} modes but "
-                f"subscript {sub!r} names {len(sub)}"
-            )
-    # Validate shared extents up front.
-    extent: dict[str, int] = {}
-    for sub, t in zip(inputs, operands):
-        for m, ch in enumerate(sub):
-            if ch in extent and extent[ch] != t.shape[m]:
-                raise ShapeError(
-                    f"index {ch!r} has conflicting extents "
-                    f"{extent[ch]} and {t.shape[m]}"
-                )
-            extent[ch] = t.shape[m]
-
-    tensors = list(operands)
-    subs = list(inputs)
-
-    # Pre-reduce: sum out single-occurrence indices absent from the output.
-    counts: dict[str, int] = {}
-    for sub in subs:
-        for ch in sub:
-            counts[ch] = counts.get(ch, 0) + 1
-    for k in range(len(tensors)):
-        dead = [m for m, ch in enumerate(subs[k])
-                if counts[ch] == 1 and ch not in out_sub]
-        if dead:
-            tensors[k] = _sum_out_modes(tensors[k], dead)
-            subs[k] = "".join(ch for m, ch in enumerate(subs[k]) if m not in dead)
-
-    kw = dict(machine=machine, method=method)
-    while len(tensors) > 1:
-        if optimize == "left":
-            i, j = 0, 1
-        else:
-            best = None
-            for i_ in range(len(tensors)):
-                for j_ in range(i_ + 1, len(tensors)):
-                    shared = any(ch in subs[j_] for ch in subs[i_])
-                    cost = _pair_cost(tensors[i_], subs[i_], tensors[j_],
-                                      subs[j_], machine)
-                    key = (not shared, cost)
-                    if best is None or key < best[0]:
-                        best = (key, i_, j_)
-            _, i, j = best
-        still_needed = set(out_sub)
-        for k, s in enumerate(subs):
-            if k not in (i, j):
-                still_needed |= set(s)
-        result, new_sub = _contract_pair(
-            tensors[i], subs[i], tensors[j], subs[j],
-            still_needed=still_needed, **kw,
-        )
-        for k in sorted((i, j), reverse=True):
-            del tensors[k]
-            del subs[k]
-        tensors.append(result)
-        subs.append(new_sub)
-
-    final, final_sub = tensors[0], subs[0]
-    if set(final_sub) != set(out_sub):
-        # Only possible when the output drops a kept index: sum it out.
-        dead = [m for m, ch in enumerate(final_sub) if ch not in out_sub]
-        final = _sum_out_modes(final, dead)
-        final_sub = "".join(ch for ch in final_sub if ch in out_sub)
-    if final_sub != out_sub:
-        perm = [final_sub.index(ch) for ch in out_sub]
-        final = final.permute_modes(perm)
-    return final
+    executor = default_executor(machine)
+    return executor.contract(
+        subscripts, *operands, optimizer=optimize, method=method
+    )

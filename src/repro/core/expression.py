@@ -2,13 +2,16 @@
 
 Applications (the DLPNO pipeline of Section 6.1 is the archetype) run
 the *same* contraction over many tensors of identical shape/sparsity:
-plan selection, index classification, and — for networks — the
-binarization order can be computed once and reused.
+plan selection, index classification, and — for networks — the full
+contraction path can be computed once and reused.
 
 :func:`contract_expression` mirrors ``opt_einsum``'s API: it takes the
 subscripts and the operand *shapes* plus expected nonzero counts, does
 all shape-dependent work up front, and returns a callable that accepts
-the actual tensors.
+the actual tensors.  Declared metadata is carried as first-class
+:class:`~repro.network.ir.OperandMeta` — the same structure the network
+planner consumes — so compile-ahead planning and runtime planning agree
+by construction.
 """
 
 from __future__ import annotations
@@ -17,11 +20,15 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.contraction import contract
-from repro.core.einsum import contraction_path, einsum, parse_subscripts
+from repro.core.einsum import einsum, parse_subscripts
 from repro.core.model import choose_plan
 from repro.core.plan import ContractionSpec, Plan
 from repro.errors import PlanError, ShapeError
 from repro.machine.specs import DESKTOP, MachineSpec
+from repro.network.executor import default_executor
+from repro.network.ir import OperandMeta, TensorNetwork
+from repro.network.optimize import build_plan, resolve_optimizer
+from repro.network.plan import NetworkPlan
 from repro.tensors.coo import COOTensor
 
 __all__ = ["ContractExpression", "contract_expression"]
@@ -31,18 +38,28 @@ __all__ = ["ContractExpression", "contract_expression"]
 class ContractExpression:
     """A pre-planned contraction, callable on concrete tensors.
 
-    For two-operand expressions the FaSTCC :class:`Plan` (accumulator
-    kind + tile size) is precomputed from the declared shapes and
-    expected nonzero counts and reused on every call; for networks the
-    greedy binarization order is frozen.
+    For two-operand connected expressions the FaSTCC :class:`Plan`
+    (accumulator kind + tile size) is precomputed from the declared
+    shapes and expected nonzero counts and reused on every call; for
+    networks (and outer products) a full
+    :class:`~repro.network.plan.NetworkPlan` is frozen and replayed
+    through the shared network executor.
     """
 
     subscripts: str
     shapes: tuple[tuple[int, ...], ...]
     machine: MachineSpec
     method: str
-    plan: Plan | None  # two-operand case only
-    path: list[tuple[int, int]] | None  # network case only
+    plan: Plan | None  # two-operand fast path only
+    network_plan: NetworkPlan | None  # network / outer-product case
+
+    @property
+    def path(self) -> list[tuple[int, int]] | None:
+        """The frozen pairwise order (``None`` on the two-operand fast
+        path, which has no binarization to freeze)."""
+        if self.network_plan is None:
+            return None
+        return self.network_plan.path
 
     def __call__(self, *operands: COOTensor) -> COOTensor:
         if len(operands) != len(self.shapes):
@@ -84,10 +101,10 @@ class ContractExpression:
                 perm = [natural.index(ch) for ch in out_sub]
                 result = result.permute_modes(perm)
             return result
-        return einsum(
-            self.subscripts, *operands,
-            machine=self.machine, method=self.method,
+        out, _report = default_executor(self.machine).execute(
+            self.network_plan, operands, method=self.method
         )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         detail = (
@@ -104,6 +121,7 @@ def contract_expression(
     nnz: Sequence[int] | None = None,
     machine: MachineSpec = DESKTOP,
     method: str = "fastcc",
+    optimizer: str = "auto",
 ) -> ContractExpression:
     """Pre-plan a contraction for repeated execution.
 
@@ -116,65 +134,47 @@ def contract_expression(
     nnz:
         Expected nonzero count per operand (defaults to 1% density);
         drives the accumulator/tile model exactly as at run time.
+    optimizer:
+        Path optimizer for the network case (``"auto"``, ``"left"``,
+        ``"greedy"``, ``"dp"``, ``"sparsity"``).
     """
     shapes_t = tuple(tuple(int(s) for s in shape) for shape in shapes)
-    inputs, out_sub = parse_subscripts(subscripts, len(shapes_t))
+    inputs, _out_sub = parse_subscripts(subscripts, len(shapes_t))
     for sub, shape in zip(inputs, shapes_t):
         if len(sub) != len(shape):
             raise ShapeError(
                 f"subscript {sub!r} names {len(sub)} modes; shape {shape} "
                 f"has {len(shape)}"
             )
-    if nnz is None:
-        nnz = [max(1, int(0.01 * _cells(s))) for s in shapes_t]
-    if len(nnz) != len(shapes_t):
+    if nnz is not None and len(nnz) != len(shapes_t):
         raise PlanError("need one nnz estimate per operand")
+    metas = [
+        OperandMeta.declared(
+            sub, shape, None if nnz is None else int(nnz[k])
+        )
+        for k, (sub, shape) in enumerate(zip(inputs, shapes_t))
+    ]
+    network = TensorNetwork(metas, _out_sub)
 
     if len(shapes_t) == 2:
         sub_a, sub_b = inputs
         shared = [ch for ch in sub_a if ch in sub_b]
-        if not shared:
-            raise PlanError("operands share no contraction index")
-        pairs = [(sub_a.index(ch), sub_b.index(ch)) for ch in shared]
-        spec = ContractionSpec(shapes_t[0], shapes_t[1], pairs)
-        plan = choose_plan(spec, int(nnz[0]), int(nnz[1]), machine)
-        return ContractExpression(
-            subscripts, shapes_t, machine, method, plan, None
-        )
+        if shared:
+            pairs = [(sub_a.index(ch), sub_b.index(ch)) for ch in shared]
+            spec = ContractionSpec(shapes_t[0], shapes_t[1], pairs)
+            plan = choose_plan(spec, metas[0].nnz, metas[1].nnz, machine)
+            return ContractExpression(
+                subscripts, shapes_t, machine, method, plan, None
+            )
+        # Disconnected pair: plan it as a (trivial) network so the call
+        # path runs the explicit outer product.
 
-    # Networks: freeze the greedy order computed from placeholder
-    # operands carrying the declared nnz estimates.
-    placeholders = [
-        _placeholder(shape, int(n)) for shape, n in zip(shapes_t, nnz)
-    ]
-    path = contraction_path(subscripts, placeholders, machine=machine)
-    return ContractExpression(subscripts, shapes_t, machine, method, None, path)
-
-
-def _cells(shape: tuple[int, ...]) -> int:
-    out = 1
-    for s in shape:
-        out *= s
-    return out
-
-
-class _FakeNnz(COOTensor):
-    """An empty tensor reporting a declared nnz (for path planning)."""
-
-    __slots__ = ("_declared_nnz",)
-
-    def __init__(self, shape, declared):
-        import numpy as np
-
-        super().__init__(
-            np.empty((len(shape), 0), dtype=np.int64), np.empty(0), shape
-        )
-        self._declared_nnz = int(declared)
-
-    @property
-    def nnz(self) -> int:  # type: ignore[override]
-        return self._declared_nnz
-
-
-def _placeholder(shape: tuple[int, ...], declared_nnz: int) -> COOTensor:
-    return _FakeNnz(shape, declared_nnz)
+    net_plan = build_plan(
+        network, machine, resolve_optimizer(optimizer, network)
+    )
+    # Seed the shared executor's plan cache so einsum-style calls with
+    # matching signatures replay the same frozen plan.
+    default_executor(machine).seed_plan(net_plan)
+    return ContractExpression(
+        subscripts, shapes_t, machine, method, None, net_plan
+    )

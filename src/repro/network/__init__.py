@@ -1,0 +1,61 @@
+"""Sparsity-aware tensor-network contraction planning and execution.
+
+The subsystem splits multi-operand einsum into four layers:
+
+* :mod:`repro.network.ir` — hypergraph IR (:class:`TensorNetwork`,
+  :class:`OperandMeta`) parsed from subscripts plus shape/nnz metadata;
+* :mod:`repro.network.optimize` — path optimizers (``left``, ``greedy``,
+  ``dp``, ``sparsity``, ``auto``) producing a :class:`NetworkPlan`;
+* :mod:`repro.network.plan` — the serializable, explainable plan and its
+  network-level :class:`NetworkSignature`;
+* :mod:`repro.network.executor` — plan-cached execution through the
+  adaptive :class:`~repro.runtime.ContractionRuntime`.
+"""
+
+from repro.network.executor import (
+    NetworkExecutor,
+    NetworkReport,
+    contract_network,
+    default_executor,
+    outer_product,
+    sum_out_modes,
+)
+from repro.network.ir import (
+    OperandMeta,
+    TensorNetwork,
+    parse_subscripts,
+    subscript_counts,
+)
+from repro.network.optimize import (
+    AUTO_DP_LIMIT,
+    DP_OPERAND_LIMIT,
+    OPTIMIZERS,
+    build_plan,
+    optimize_path,
+    plan_network,
+    resolve_optimizer,
+)
+from repro.network.plan import NetworkPlan, NetworkSignature, PlanStep
+
+__all__ = [
+    "AUTO_DP_LIMIT",
+    "DP_OPERAND_LIMIT",
+    "NetworkExecutor",
+    "NetworkPlan",
+    "NetworkReport",
+    "NetworkSignature",
+    "OPTIMIZERS",
+    "OperandMeta",
+    "PlanStep",
+    "TensorNetwork",
+    "build_plan",
+    "contract_network",
+    "default_executor",
+    "optimize_path",
+    "outer_product",
+    "parse_subscripts",
+    "plan_network",
+    "resolve_optimizer",
+    "subscript_counts",
+    "sum_out_modes",
+]

@@ -1,0 +1,375 @@
+"""Network plan execution through the adaptive runtime.
+
+The executor owns two caches:
+
+* a network-level LRU mapping :class:`~repro.network.plan.NetworkSignature`
+  keys to frozen :class:`~repro.network.plan.NetworkPlan` objects, so a
+  recurring network request skips path optimization entirely; and
+* a shared :class:`~repro.runtime.ContractionRuntime`, so every pairwise
+  step of a warm network call hits the runtime's
+  :class:`~repro.runtime.plan_cache.PlanCache` (and, when the very same
+  tensors recur, its linearization/table caches too).
+
+Intermediates are freed eagerly — each step drops its inputs from the
+live list before the next step runs — and the executor reports the peak
+intermediate footprint (nnz and bytes) alongside per-step records.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.contraction import contract
+from repro.errors import PlanError, WorkspaceLimitError
+from repro.machine.specs import DESKTOP, MachineSpec
+from repro.network.ir import OperandMeta, TensorNetwork
+from repro.network.optimize import build_plan, resolve_optimizer
+from repro.network.plan import NetworkPlan, NetworkSignature
+from repro.runtime.executor import ContractionRuntime
+from repro.tensors.coo import COOTensor
+from repro.tensors.linearize import ModeLinearizer
+from repro.util.groups import segment_sum
+
+__all__ = [
+    "NetworkExecutor",
+    "NetworkReport",
+    "StepRecord",
+    "contract_network",
+    "default_executor",
+    "outer_product",
+    "sum_out_modes",
+    "OUTER_PRODUCT_LIMIT",
+]
+
+#: Refuse outer products that would materialize more candidate nonzeros
+#: than this (mirrors the kernel's task/workspace guards).
+OUTER_PRODUCT_LIMIT = 1 << 26
+
+
+def sum_out_modes(tensor: COOTensor, modes: Sequence[int]) -> COOTensor:
+    """Sum a tensor over the given modes (marginalization)."""
+    keep = [m for m in range(tensor.ndim) if m not in set(modes)]
+    lin = ModeLinearizer([tensor.shape[m] for m in keep])
+    flat = lin.encode(tensor.coords[keep, :])
+    uniq, sums = segment_sum(flat, tensor.values)
+    return COOTensor(
+        lin.decode(uniq), sums, tuple(tensor.shape[m] for m in keep), check=False
+    )
+
+
+def outer_product(a: COOTensor, b: COOTensor) -> COOTensor:
+    """Explicit sparse outer product: result modes are ``a``'s then
+    ``b``'s; every nonzero pair contributes one (merged) coordinate."""
+    n_pairs = a.nnz * b.nnz
+    if n_pairs > OUTER_PRODUCT_LIMIT:
+        raise WorkspaceLimitError(
+            f"outer product would materialize {n_pairs} candidate "
+            f"nonzeros (> {OUTER_PRODUCT_LIMIT})"
+        )
+    coords = np.concatenate(
+        [np.repeat(a.coords, b.nnz, axis=1), np.tile(b.coords, a.nnz)],
+        axis=0,
+    )
+    values = np.repeat(a.values, b.nnz) * np.tile(b.values, a.nnz)
+    out = COOTensor(coords, values, tuple(a.shape) + tuple(b.shape), check=False)
+    return out.sum_duplicates()
+
+
+@dataclass
+class StepRecord:
+    """What one executed network step did."""
+
+    index: int
+    subscripts: str
+    kind: str           # "contract" | "outer"
+    seconds: float
+    output_nnz: int
+    plan_source: str    # "planner" | "cache" | "outer"
+
+
+@dataclass
+class NetworkReport:
+    """Execution record of one network contraction."""
+
+    plan: NetworkPlan
+    plan_source: str    # "optimizer" | "cache"
+    steps: list[StepRecord] = field(default_factory=list)
+    seconds: float = 0.0
+    peak_intermediate_nnz: int = 0
+    peak_intermediate_bytes: int = 0
+    output_nnz: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"network {self.plan.subscripts} "
+            f"[{self.plan.optimizer}, plan {self.plan_source}]"
+        ]
+        for r in self.steps:
+            lines.append(
+                f"  step {r.index}: {r.subscripts:<24} {r.kind:<8} "
+                f"plan={r.plan_source:<7} nnz={r.output_nnz:<9} "
+                f"{r.seconds:8.4f}s"
+            )
+        lines.append(
+            f"output nnz={self.output_nnz}, total {self.seconds:.4f}s, "
+            f"peak intermediate {self.peak_intermediate_nnz} nnz "
+            f"({self.peak_intermediate_bytes >> 10} KiB)"
+        )
+        return "\n".join(lines)
+
+
+def _tensor_bytes(t: COOTensor) -> int:
+    return int(t.coords.nbytes + t.values.nbytes)
+
+
+class NetworkExecutor:
+    """Plan-cached network contraction over a shared runtime.
+
+    Parameters
+    ----------
+    machine:
+        Platform model used for path optimization and pairwise planning.
+    runtime:
+        A shared :class:`ContractionRuntime`; built fresh when omitted
+        (``runtime_kw`` configures the private one).
+    plan_cache_size:
+        How many :class:`NetworkPlan` entries the network-level LRU keeps.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = DESKTOP,
+        *,
+        runtime: ContractionRuntime | None = None,
+        plan_cache_size: int = 64,
+        **runtime_kw,
+    ):
+        if plan_cache_size < 1:
+            raise PlanError(
+                f"plan_cache_size must be >= 1, got {plan_cache_size}"
+            )
+        self.machine = machine
+        self.runtime = (
+            runtime
+            if runtime is not None
+            else ContractionRuntime(machine=machine, **runtime_kw)
+        )
+        self.plan_cache_size = int(plan_cache_size)
+        self._plans: OrderedDict[str, NetworkPlan] = OrderedDict()
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.reports: list[NetworkReport] = []
+
+    # -- planning -------------------------------------------------------
+
+    def plan(
+        self,
+        subscripts: str,
+        operands: Sequence,
+        *,
+        optimizer: str = "auto",
+        nnz: Sequence[int] | None = None,
+    ) -> tuple[NetworkPlan, str]:
+        """The (cached) plan for a network; returns ``(plan, source)``."""
+        network = TensorNetwork.parse(subscripts, operands, nnz=nnz)
+        concrete = resolve_optimizer(optimizer, network)
+        key = NetworkSignature.for_network(network, self.machine, concrete).key
+        hit = self._plans.get(key)
+        if hit is not None:
+            self._plans.move_to_end(key)
+            self.plan_hits += 1
+            return hit, "cache"
+        plan = build_plan(network, self.machine, concrete)
+        self.seed_plan(plan)
+        self.plan_misses += 1
+        return plan, "optimizer"
+
+    def seed_plan(self, plan: NetworkPlan) -> None:
+        """Insert a pre-built plan into the network-level cache."""
+        self._plans[plan.signature_key] = plan
+        self._plans.move_to_end(plan.signature_key)
+        while len(self._plans) > self.plan_cache_size:
+            self._plans.popitem(last=False)
+
+    # -- execution ------------------------------------------------------
+
+    def contract(
+        self,
+        subscripts: str,
+        *operands: COOTensor,
+        optimizer: str = "auto",
+        method: str = "fastcc",
+        return_report: bool = False,
+    ):
+        """Plan (or replay) and execute one network contraction."""
+        plan, source = self.plan(subscripts, operands, optimizer=optimizer)
+        out, report = self.execute(plan, operands, method=method)
+        report.plan_source = source
+        if return_report:
+            return out, report
+        return out
+
+    def execute(
+        self,
+        plan: NetworkPlan,
+        operands: Sequence[COOTensor],
+        *,
+        method: str = "fastcc",
+    ) -> tuple[COOTensor, NetworkReport]:
+        """Run a frozen plan over concrete tensors.
+
+        The plan's declared shapes are enforced positionally; steps run
+        through the shared runtime (FaSTCC) or the one-shot ``contract``
+        dispatcher for baseline methods.  Inputs to each step are
+        dropped from the live list before the next step runs.
+        """
+        network = TensorNetwork.parse(plan.subscripts, operands)
+        report = NetworkReport(plan=plan, plan_source="given")
+        t_start = time.perf_counter()
+
+        # Upfront marginalization of dead single indices, per the plan.
+        live: list[COOTensor] = []
+        live_inter: list[bool] = []
+        for tensor, sub, reduced in zip(
+            operands, network.inputs, plan.input_subs
+        ):
+            if sub != reduced:
+                dead = [m for m, ch in enumerate(sub) if ch not in reduced]
+                tensor = sum_out_modes(tensor, dead)
+            live.append(tensor)
+            live_inter.append(sub != reduced)
+
+        peak_nnz = sum(
+            t.nnz for t, inter in zip(live, live_inter) if inter
+        )
+        peak_bytes = sum(
+            _tensor_bytes(t) for t, inter in zip(live, live_inter) if inter
+        )
+
+        for k, step in enumerate(plan.steps):
+            if not (0 <= step.i < step.j < len(live)):
+                raise PlanError(
+                    f"plan step {k} positions ({step.i}, {step.j}) do not "
+                    f"fit the live operand list (length {len(live)})"
+                )
+            left, right = live[step.i], live[step.j]
+            t0 = time.perf_counter()
+            if step.kind == "outer":
+                result = outer_product(left, right)
+                plan_source = "outer"
+            elif method == "fastcc":
+                before = len(self.runtime.records)
+                result = self.runtime.contract(
+                    left, right, step.pairs, name=f"net:{step.subscripts}"
+                )
+                plan_source = self.runtime.records[before].plan_source
+            else:
+                result = contract(
+                    left, right, step.pairs,
+                    method=method, machine=self.machine,
+                )
+                plan_source = "planner"
+            dt = time.perf_counter() - t0
+
+            # Free the step's inputs eagerly, then account the result.
+            del live[step.j], live_inter[step.j]
+            del live[step.i], live_inter[step.i]
+            live.append(result)
+            live_inter.append(True)
+            alive_nnz = sum(
+                t.nnz for t, inter in zip(live, live_inter) if inter
+            )
+            alive_bytes = sum(
+                _tensor_bytes(t) for t, inter in zip(live, live_inter)
+                if inter
+            )
+            peak_nnz = max(peak_nnz, alive_nnz)
+            peak_bytes = max(peak_bytes, alive_bytes)
+            report.steps.append(StepRecord(
+                index=k,
+                subscripts=step.subscripts,
+                kind=step.kind,
+                seconds=dt,
+                output_nnz=result.nnz,
+                plan_source=plan_source,
+            ))
+
+        if len(live) != 1:
+            raise PlanError(
+                f"plan left {len(live)} live operands; expected exactly 1"
+            )
+        final = live[0]
+        final_sub = plan.final_sub
+        if set(final_sub) != set(plan.output):  # pragma: no cover - guard
+            raise PlanError(
+                f"plan result carries indices {final_sub!r} but the "
+                f"output wants {plan.output!r}"
+            )
+        if final_sub != plan.output:
+            perm = [final_sub.index(ch) for ch in plan.output]
+            final = final.permute_modes(perm)
+
+        report.seconds = time.perf_counter() - t_start
+        report.peak_intermediate_nnz = int(peak_nnz)
+        report.peak_intermediate_bytes = int(peak_bytes)
+        report.output_nnz = final.nnz
+        self.reports.append(report)
+        return final, report
+
+    # -- metrics --------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Network- and pairwise-level cache metrics, JSON-friendly."""
+        total = self.plan_hits + self.plan_misses
+        out = {
+            "network_plans_cached": len(self._plans),
+            "network_plan_hits": self.plan_hits,
+            "network_plan_misses": self.plan_misses,
+            "network_plan_hit_rate": self.plan_hits / total if total else 0.0,
+        }
+        out.update(
+            {f"pairwise_{k}": v for k, v in self.runtime.metrics().items()}
+        )
+        return out
+
+
+# -- module-level convenience -------------------------------------------
+
+_DEFAULT_EXECUTORS: dict[tuple, NetworkExecutor] = {}
+
+
+def default_executor(machine: MachineSpec = DESKTOP) -> NetworkExecutor:
+    """The shared per-machine executor behind :func:`repro.einsum` —
+    what makes repeated einsum calls warm across call sites."""
+    key = (
+        machine.name, machine.n_cores, machine.l3_bytes,
+        machine.l2_bytes_per_core, machine.word_bytes,
+    )
+    executor = _DEFAULT_EXECUTORS.get(key)
+    if executor is None:
+        executor = NetworkExecutor(machine=machine)
+        _DEFAULT_EXECUTORS[key] = executor
+    return executor
+
+
+def contract_network(
+    subscripts: str,
+    *operands: COOTensor,
+    machine: MachineSpec = DESKTOP,
+    optimizer: str = "auto",
+    method: str = "fastcc",
+    executor: NetworkExecutor | None = None,
+    return_report: bool = False,
+):
+    """One-call network contraction through the shared default executor."""
+    if executor is None:
+        executor = default_executor(machine)
+    return executor.contract(
+        subscripts, *operands,
+        optimizer=optimizer, method=method, return_report=return_report,
+    )

@@ -1,0 +1,205 @@
+"""Serializable, explainable network contraction plans.
+
+A :class:`NetworkPlan` freezes everything a path optimizer decided:
+the pairwise step order (``numpy.einsum_path`` position convention),
+each step's subscripts and contracted mode pairs, the predicted
+intermediate nonzero count and modeled cost, and the accumulator/tile
+choice Algorithm 7 makes for the step's linearized problem.  Plans are
+keyed by a network-level :class:`NetworkSignature` (the analog of the
+pairwise :class:`~repro.runtime.signature.ProblemSignature`) so a
+repeated network request replays its path without re-optimizing — and,
+because execution funnels each pairwise step through the runtime's
+:class:`~repro.runtime.plan_cache.PlanCache`, without re-planning any
+step either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import PlanError
+from repro.machine.specs import MachineSpec
+
+__all__ = ["NetworkSignature", "PlanStep", "NetworkPlan"]
+
+_FORMAT_VERSION = 1
+
+
+def _machine_token(machine: MachineSpec) -> tuple:
+    return (
+        machine.name,
+        machine.n_cores,
+        machine.l3_bytes,
+        machine.l2_bytes_per_core,
+        machine.word_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkSignature:
+    """Hashable structural identity of one network contraction problem."""
+
+    subscripts: str
+    shapes: tuple[tuple[int, ...], ...]
+    nnzs: tuple[int, ...]
+    machine: tuple  # (name, n_cores, l3_bytes, l2_bytes_per_core, word_bytes)
+    optimizer: str = "auto"
+
+    @classmethod
+    def for_network(
+        cls, network, machine: MachineSpec, optimizer: str = "auto"
+    ) -> "NetworkSignature":
+        return cls(
+            subscripts=network.subscripts,
+            shapes=tuple(m.shape for m in network.operands),
+            nnzs=tuple(m.nnz for m in network.operands),
+            machine=_machine_token(machine),
+            optimizer=optimizer,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable string form, usable as a JSON object key."""
+        shapes = ";".join("x".join(map(str, s)) for s in self.shapes)
+        nnzs = ",".join(map(str, self.nnzs))
+        name, cores, l3, l2, word = self.machine
+        return (
+            f"E{self.subscripts}|S{shapes}|n{nnzs}"
+            f"|M{name};{cores};{l3};{l2};{word}|O{self.optimizer}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One pairwise step of a network plan.
+
+    ``i``/``j`` index the *shrinking* live operand list (``i < j``):
+    the step consumes both positions and appends its result at the end
+    — the ``numpy.einsum_path`` convention.  ``sub_l``/``sub_r`` are the
+    inputs' subscripts at that point, ``sub_out`` the result's.
+    """
+
+    i: int
+    j: int
+    sub_l: str
+    sub_r: str
+    sub_out: str
+    kind: str  # "contract" | "outer"
+    pairs: tuple[tuple[int, int], ...]
+    est_nnz: float
+    est_cost: float  # modeled seconds through machine/cost_model
+    accumulator: str  # Algorithm 7's choice ("" for outer steps)
+    tile: int
+
+    @property
+    def subscripts(self) -> str:
+        """The step as a standalone einsum string."""
+        return f"{self.sub_l},{self.sub_r}->{self.sub_out}"
+
+
+@dataclass
+class NetworkPlan:
+    """A frozen, explainable contraction path for one network.
+
+    ``input_subs`` records each operand's subscript *after* the upfront
+    marginalization of dead single indices — the executor reduces any
+    operand whose live subscript differs before stepping.
+    """
+
+    signature_key: str
+    subscripts: str
+    output: str
+    optimizer: str
+    machine_name: str
+    input_subs: tuple[str, ...]
+    steps: tuple[PlanStep, ...]
+    est_total_cost: float
+    est_peak_nnz: float
+    final_sub: str
+
+    @property
+    def path(self) -> list[tuple[int, int]]:
+        """The bare ``(i, j)`` pair list (``numpy.einsum_path`` style)."""
+        return [(s.i, s.j) for s in self.steps]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    # -- explainability -------------------------------------------------
+
+    def explain(self) -> str:
+        """Human-readable step table for ``repro network --explain``."""
+        lines = [
+            f"network plan: {self.subscripts}",
+            f"  optimizer={self.optimizer}, machine={self.machine_name}, "
+            f"modeled cost {self.est_total_cost:.3e}s, "
+            f"peak intermediate ~{self.est_peak_nnz:.3g} nnz",
+        ]
+        reduced = [
+            f"{k}:{orig}->{red}"
+            for k, (orig, red) in enumerate(
+                zip(self.subscripts.split("->")[0].split(","), self.input_subs)
+            )
+            if orig != red
+        ]
+        if reduced:
+            lines.append("  pre-reduced operands: " + ", ".join(reduced))
+        for k, s in enumerate(self.steps):
+            acc = f"{s.accumulator}/T{s.tile}" if s.kind == "contract" else "outer"
+            lines.append(
+                f"  step {k}: ({s.i},{s.j})  {s.subscripts:<24} "
+                f"[{acc}]  ~{s.est_nnz:.3g} nnz, {s.est_cost:.3e}s"
+            )
+        if not self.steps:
+            lines.append("  (single operand: reduce/permute only)")
+        return "\n".join(lines)
+
+    # -- serialization --------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-friendly dict (round-trips through :meth:`from_json`)."""
+        payload = asdict(self)
+        payload["version"] = _FORMAT_VERSION
+        payload["steps"] = [asdict(s) for s in self.steps]
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "NetworkPlan":
+        version = payload.get("version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise PlanError(f"unsupported network-plan version {version!r}")
+        steps = tuple(
+            PlanStep(
+                i=int(s["i"]),
+                j=int(s["j"]),
+                sub_l=s["sub_l"],
+                sub_r=s["sub_r"],
+                sub_out=s["sub_out"],
+                kind=s["kind"],
+                pairs=tuple((int(a), int(b)) for a, b in s["pairs"]),
+                est_nnz=float(s["est_nnz"]),
+                est_cost=float(s["est_cost"]),
+                accumulator=s["accumulator"],
+                tile=int(s["tile"]),
+            )
+            for s in payload["steps"]
+        )
+        return cls(
+            signature_key=payload["signature_key"],
+            subscripts=payload["subscripts"],
+            output=payload["output"],
+            optimizer=payload["optimizer"],
+            machine_name=payload["machine_name"],
+            input_subs=tuple(payload["input_subs"]),
+            steps=steps,
+            est_total_cost=float(payload["est_total_cost"]),
+            est_peak_nnz=float(payload["est_peak_nnz"]),
+            final_sub=payload["final_sub"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkPlan({self.subscripts!r}, optimizer={self.optimizer!r}, "
+            f"steps={self.path})"
+        )

@@ -43,6 +43,7 @@ from repro.staticcheck.graph_lint import (
     hazards_for_stats,
     write_sets_for_pairs,
 )
+from repro.staticcheck.registry_audit import audit_code_registry
 
 __all__ = [
     "CODES",
@@ -53,6 +54,7 @@ __all__ = [
     "analyze_task_graph",
     "assert_disjoint_writes",
     "audit_case",
+    "audit_code_registry",
     "audit_registry",
     "case_problem",
     "has_errors",

@@ -82,18 +82,23 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC005": (ERROR, "nonzero count inconsistent with the shape"),
     "FSTC006": (WARNING, "index is implicitly summed out"),
     "FSTC007": (ERROR, "operand dtype unsupported or mismatched"),
-    "FSTC008": (ERROR, "operands share no contraction index"),
+    "FSTC008": (WARNING, "operands share no contraction index"),
     "FSTC010": (ERROR, "predicted DNF: tile-task grid exceeds the task guard"),
     "FSTC011": (ERROR, "predicted workspace overflow: dense tile exceeds the cell guard"),
     "FSTC012": (WARNING, "degenerate tile size"),
     "FSTC013": (WARNING, "dense accumulator on a predicted-sparse output"),
     "FSTC014": (WARNING, "sparse accumulator on a predicted-dense output"),
     "FSTC015": (INFO, "predicted output density is zero"),
+    # --- network lints ---------------------------------------------------
+    "FSTC016": (ERROR, "index appears in more than two operands"),
+    "FSTC017": (INFO, "network has disconnected components (outer products)"),
+    "FSTC018": (WARNING, "predicted intermediate blowup along the planned path"),
     # --- AST source lints ------------------------------------------------
     "FSTC101": (ERROR, "per-nonzero Python loop in a kernel function"),
     "FSTC102": (ERROR, "bare builtin exception raised instead of a repro.errors subclass"),
     "FSTC103": (ERROR, "nondeterministic call inside a kernel module"),
     "FSTC104": (ERROR, "public module does not declare __all__"),
+    "FSTC105": (ERROR, "diagnostic registry and docs/staticcheck.md disagree"),
     # --- task-graph hazards ----------------------------------------------
     "FSTC201": (ERROR, "write-write conflict on a shared accumulator tile"),
     "FSTC202": (WARNING, "order-dependent floating-point reduction"),

@@ -41,6 +41,7 @@ __all__ = [
     "lint_expression",
     "predict_plan",
     "DENSE_ANTIPATTERN_EXPECTED_NNZ",
+    "NETWORK_BLOWUP_FACTOR",
 ]
 
 #: The model's own dense-tile profitability threshold (Algorithm 7
@@ -51,6 +52,11 @@ DENSE_ANTIPATTERN_EXPECTED_NNZ = 1.0
 
 #: Value dtypes the kernels accumulate in (see repro.util.arrays).
 _SUPPORTED_DTYPES = ("float64", "float32", "int64", "complex128")
+
+#: A planned intermediate predicted to exceed this multiple of the total
+#: input nonzeros is an intermediate blowup (FSTC018): the path choice,
+#: not the pairwise kernel, dominates the cost.
+NETWORK_BLOWUP_FACTOR = 10.0
 
 
 @dataclass(frozen=True)
@@ -317,6 +323,28 @@ def lint_expression(
     """
     report = ExpressionReport()
     shapes_t = tuple(tuple(int(s) for s in shape) for shape in shapes)
+    # Pre-scan for the specific network-structure failure (an index in
+    # more than two operands) so it gets its own code instead of the
+    # generic FSTC001 the parser would raise.
+    if "->" in subscripts:
+        raw_inputs = subscripts.replace(" ", "").split("->")[0].split(",")
+        raw_counts: dict[str, int] = {}
+        for sub in raw_inputs:
+            for ch in set(sub):
+                raw_counts[ch] = raw_counts.get(ch, 0) + 1
+        over = {ch: n for ch, n in raw_counts.items() if n > 2}
+        for ch, n in sorted(over.items()):
+            report.add(make_diagnostic(
+                "FSTC016",
+                f"index {ch!r} appears in {n} operands; tensor-network "
+                "contraction allows at most two",
+                hint="factor the expression into a tree of pairwise "
+                     "contractions with intermediate indices",
+                location=location,
+            ))
+        if over:
+            report.verdict = "invalid"
+            return report
     parsed = _parse_subscripts_lint(subscripts, len(shapes_t), report, location)
     if parsed is None:
         report.verdict = "invalid"
@@ -394,7 +422,9 @@ def lint_expression(
         report.add(make_diagnostic(
             "FSTC008",
             "the two operands share no index: this is an outer product, "
-            "which the pairwise kernel does not plan",
+            "materializing up to nnz_l * nnz_r output nonzeros",
+            hint="outer products are planned as explicit network steps; "
+                 "make sure the blowup is intended",
             location=location,
         ))
 
@@ -419,7 +449,13 @@ def lint_expression(
         report.verdict = "invalid"
         return report
 
-    if len(shapes_t) != 2:
+    pairwise = len(shapes_t) == 2 and any(
+        counts.get(ch, 0) == 2 for ch in inputs[0]
+    )
+    if not pairwise:
+        # 3+ operands, or a 2-operand outer product: plan the network
+        # and lint each predicted step.
+        _lint_network(report, inputs, out_sub, shapes_t, nnz, machine, location)
         return report
 
     sub_a, sub_b = inputs
@@ -439,3 +475,88 @@ def lint_expression(
     report.prediction = problem.prediction
     report.verdict = problem.verdict
     return report
+
+
+def _lint_network(
+    report: ExpressionReport,
+    inputs,
+    out_sub: str,
+    shapes_t,
+    nnz,
+    machine: MachineSpec,
+    location: str,
+) -> None:
+    """Network-level lints: plan the network (``auto`` optimizer) and
+    replay the pairwise guard prediction on every planned step."""
+    from repro.network.ir import OperandMeta, TensorNetwork
+    from repro.network.optimize import build_plan, resolve_optimizer
+
+    metas = [
+        OperandMeta.declared(sub, shape, n)
+        for sub, shape, n in zip(inputs, shapes_t, nnz)
+    ]
+    network = TensorNetwork(metas, out_sub)
+    components = network.connected_components()
+    if len(components) > 1:
+        report.add(make_diagnostic(
+            "FSTC017",
+            f"network splits into {len(components)} disconnected components "
+            f"(operand groups {[list(c) for c in components]}); they are "
+            "combined with explicit outer products",
+            hint="a missing shared index silently turns a contraction into "
+                 "an outer product — check the subscripts",
+            location=location,
+        ))
+
+    try:
+        plan = build_plan(
+            network, machine, resolve_optimizer("auto", network)
+        )
+    except PlanError as exc:  # pragma: no cover - defensive
+        report.add(make_diagnostic("FSTC001", str(exc), location=location))
+        report.verdict = "invalid"
+        return
+
+    # Replay each planned contraction step through the pairwise guard
+    # prediction, propagating intermediate nnz estimates along the path.
+    extents = network.extents
+    live: list[tuple[str, float]] = [
+        (sub, float(min(meta.nnz, math.prod(extents[ch] for ch in sub) or 1)))
+        for sub, meta in zip(plan.input_subs, network.operands)
+    ]
+    verdict = report.verdict
+    for k, step in enumerate(plan.steps):
+        (sub_l, nnz_l), (sub_r, nnz_r) = live[step.i], live[step.j]
+        step_loc = (
+            f"{location} step {k} ({step.subscripts})".strip()
+            if location else f"step {k} ({step.subscripts})"
+        )
+        if step.kind == "contract":
+            shared = [ch for ch in sub_l if ch in sub_r]
+            L = math.prod(extents[ch] for ch in sub_l if ch not in shared)
+            R = math.prod(extents[ch] for ch in sub_r if ch not in shared)
+            C = math.prod(extents[ch] for ch in shared)
+            p = predict_plan(
+                max(1, L), max(1, R), max(1, C),
+                int(nnz_l), int(nnz_r), machine,
+            )
+            _lint_prediction(report, p, machine, step_loc)
+            if p.verdict == "dnf":
+                verdict = "dnf"
+        for pos in sorted((step.i, step.j), reverse=True):
+            del live[pos]
+        live.append((step.sub_out, float(step.est_nnz)))
+
+    total_in = sum(m.nnz for m in network.operands)
+    if plan.est_peak_nnz > NETWORK_BLOWUP_FACTOR * max(1, total_in):
+        report.add(make_diagnostic(
+            "FSTC018",
+            f"the planned path materializes a peak intermediate of "
+            f"~{plan.est_peak_nnz:.3g} nonzeros, over "
+            f"{NETWORK_BLOWUP_FACTOR:g}x the {total_in} input nonzeros "
+            f"(path {plan.path}, optimizer {plan.optimizer!r})",
+            hint="try optimizer='dp' for small networks, or restructure "
+                 "the expression to contract small extents first",
+            location=location,
+        ))
+    report.verdict = verdict

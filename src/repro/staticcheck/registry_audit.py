@@ -1,0 +1,85 @@
+"""Consistency audit between the ``FSTC`` code registry and its docs.
+
+Codes are stable API: ``docs/staticcheck.md`` catalogues every code with
+its default severity and a minimal triggering example, and tests, CI
+gates and suppression pragmas refer to the codes by name.  This audit
+(part of ``python -m repro check --self``) catches the registry and the
+catalogue drifting apart: a code added to
+:data:`repro.staticcheck.diagnostics.CODES` but never documented, a
+documented code missing from the registry, or a severity mismatch.
+Each disagreement is reported as ``FSTC105``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.staticcheck.diagnostics import CODES, Diagnostic, make_diagnostic
+
+__all__ = ["audit_code_registry", "documented_codes", "find_docs"]
+
+#: Catalogue entry form: ``**FSTC008** (warning) — ...``.
+_ENTRY_RE = re.compile(r"\*\*(FSTC\d{3})\*\*\s*\((error|warning|info)\)")
+
+
+def find_docs(start: Path | None = None) -> Path | None:
+    """Locate ``docs/staticcheck.md`` relative to the package checkout.
+
+    Returns ``None`` when the tree layout does not carry the docs (e.g.
+    an installed wheel) — the audit then reports nothing rather than
+    failing on a legitimate layout.
+    """
+    here = start if start is not None else Path(__file__).resolve()
+    for parent in [here] + list(here.parents):
+        candidate = parent / "docs" / "staticcheck.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def documented_codes(text: str) -> dict[str, str]:
+    """Code -> documented severity, parsed from the catalogue text."""
+    return {code: sev for code, sev in _ENTRY_RE.findall(text)}
+
+
+def audit_code_registry(docs_path: Path | None = None) -> list[Diagnostic]:
+    """Compare :data:`CODES` against the documented catalogue.
+
+    Returns one ``FSTC105`` diagnostic per disagreement; an empty list
+    when registry and docs agree (or when no docs file can be found).
+    """
+    if docs_path is None:
+        docs_path = find_docs()
+        if docs_path is None:
+            return []
+    documented = documented_codes(Path(docs_path).read_text())
+    location = str(docs_path)
+
+    out: list[Diagnostic] = []
+    for code, (severity, title) in sorted(CODES.items()):
+        if code not in documented:
+            out.append(make_diagnostic(
+                "FSTC105",
+                f"{code} ({severity}, {title!r}) is registered but not "
+                "documented in the code catalogue",
+                hint="add a catalogue entry with a minimal triggering example",
+                location=location,
+            ))
+        elif documented[code] != severity:
+            out.append(make_diagnostic(
+                "FSTC105",
+                f"{code} is documented as {documented[code]!r} but the "
+                f"registry default is {severity!r}",
+                hint="codes are stable, severities can change — update the docs",
+                location=location,
+            ))
+    for code in sorted(set(documented) - set(CODES)):
+        out.append(make_diagnostic(
+            "FSTC105",
+            f"{code} is documented but missing from the registry",
+            hint="retired codes stay reserved: keep a tombstone entry in "
+                 "the docs and drop the severity marker, or restore the code",
+            location=location,
+        ))
+    return out

@@ -62,9 +62,16 @@ class TestTwoOperand:
         with pytest.raises(PlanError):
             expr(a)
 
-    def test_disjoint_subscripts_rejected(self):
-        with pytest.raises(PlanError):
-            contract_expression("ij,kl->ijkl", (3, 3), (3, 3))
+    def test_disjoint_subscripts_plan_as_outer_product(self):
+        # Regression: outer products used to be rejected; they are now
+        # planned as a (trivial) network with an explicit outer step.
+        expr = contract_expression("ij,kl->ijkl", (3, 3), (4, 4))
+        assert expr.plan is None
+        assert expr.path == [(0, 1)]
+        a = random_coo((3, 3), nnz=4, seed=20)
+        b = random_coo((4, 4), nnz=5, seed=21)
+        expected = np.einsum("ij,kl->ijkl", a.to_dense(), b.to_dense())
+        np.testing.assert_allclose(expr(a, b).to_dense(), expected, rtol=1e-9)
 
     def test_subscript_shape_arity_checked(self):
         with pytest.raises(ShapeError):

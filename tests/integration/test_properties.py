@@ -143,24 +143,29 @@ def matrix_chains(draw):
 # ---------------------------------------------------------------------------
 # Differential einsum fuzzer: seeded random expressions vs numpy.einsum.
 #
-# Each seed generates one random tensor-network expression with 2-4
-# operands, chained so the network stays connected, mixing all three
-# supported index roles: contracted (shared by two operands, absent from
-# the output), summed out (one operand, absent from the output), and
-# kept (one operand, present in the output, in randomized output order).
-# The whole expression is evaluated through repro's sparse einsum and
-# through numpy.einsum on the densified operands; results must agree to
-# float tolerance.  Both machine specs are swept (the plan differs —
-# tile sizes, accumulator — but the answer must not).
+# Each seed generates one random tensor-network expression with 2-5
+# operands, mostly chained but occasionally with a broken link (so the
+# network planner's outer-product handling of disconnected components is
+# exercised too), mixing all three supported index roles: contracted
+# (shared by two operands, absent from the output), summed out (one
+# operand, absent from the output), and kept (one operand, present in
+# the output, in randomized output order).  The whole expression is
+# evaluated through repro's sparse einsum — cycling the path optimizer
+# across greedy/left/dp/sparsity/auto — and through numpy.einsum on the
+# densified operands; results must agree to float tolerance.  Both
+# machine specs are swept (the plan differs — path, tile sizes,
+# accumulator — but the answer must not).
 # ---------------------------------------------------------------------------
 
 FUZZ_CASES_PER_MACHINE = 110  # 220 total: >= the 200-case floor
+
+FUZZ_OPTIMIZERS = ("greedy", "left", "dp", "sparsity", "auto")
 
 
 def _random_einsum_problem(seed):
     """Generate (subscripts, operands) for one fuzz case."""
     rng = np.random.default_rng(0xE15 + seed)
-    n_ops = int(rng.integers(2, 5))
+    n_ops = int(rng.integers(2, 6))
     letters = iter("abcdefghijklmnopqrstuvwxyz")
     extents = {}
 
@@ -170,15 +175,19 @@ def _random_einsum_problem(seed):
         return ch
 
     # Chain links: index k appears in operands k and k+1 (contracted).
+    # ~15% of back-links are dropped, leaving the forward operand in a
+    # separate connected component (an outer-product fuzz case).
     links = [fresh_index() for _ in range(n_ops - 1)]
     subs = []
     for k in range(n_ops):
         sub = []
-        if k > 0:
+        if k > 0 and rng.random() >= 0.15:
             sub.append(links[k - 1])
         if k < n_ops - 1:
             sub.append(links[k])
         for _ in range(int(rng.integers(0, 3))):
+            sub.append(fresh_index())
+        if not sub:
             sub.append(fresh_index())
         rng.shuffle(sub)
         subs.append("".join(sub))
@@ -223,25 +232,34 @@ def test_differential_einsum_fuzz(machine_name, batch):
     for k in range(per_batch):
         seed = batch * per_batch + k
         expr, operands = _random_einsum_problem(seed)
+        optimizer = FUZZ_OPTIMIZERS[seed % len(FUZZ_OPTIMIZERS)]
         expected = np.einsum(expr, *[t.to_dense() for t in operands])
-        out = einsum(expr, *operands, machine=machine)
+        out = einsum(expr, *operands, machine=machine, optimize=optimizer)
         np.testing.assert_allclose(
             out.to_dense(), expected, rtol=1e-8, atol=1e-10,
-            err_msg=f"seed={seed} expr={expr} machine={machine.name}",
+            err_msg=(
+                f"seed={seed} expr={expr} machine={machine.name} "
+                f"optimizer={optimizer}"
+            ),
         )
 
 
 def test_fuzz_sweep_covers_all_subscript_forms():
     """The generator must actually exercise contracted, summed-out and
     kept indices (guards against a silently degenerate sweep)."""
+    from repro.network import TensorNetwork
+
     saw_contracted = saw_summed = saw_kept = 0
-    multi_operand = 0
+    multi_operand = disconnected = 0
     for seed in range(FUZZ_CASES_PER_MACHINE):
         expr, operands = _random_einsum_problem(seed)
         lhs, out = expr.split("->")
         subs = lhs.split(",")
         if len(subs) > 2:
             multi_operand += 1
+        network = TensorNetwork.parse(expr, operands)
+        if len(network.connected_components()) > 1:
+            disconnected += 1
         counts = {}
         for sub in subs:
             for ch in sub:
@@ -257,6 +275,7 @@ def test_fuzz_sweep_covers_all_subscript_forms():
     assert saw_summed > 50
     assert saw_kept > 50
     assert multi_operand > 30
+    assert disconnected > 10
 
 
 @settings(max_examples=30, deadline=None)

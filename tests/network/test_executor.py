@@ -1,0 +1,164 @@
+"""End-to-end tests for the network executor and its caches."""
+
+import numpy as np
+import pytest
+
+from repro.data.random_tensors import random_coo
+from repro.errors import WorkspaceLimitError
+from repro.machine.specs import DESKTOP
+from repro.network import (
+    NetworkExecutor,
+    contract_network,
+    default_executor,
+    outer_product,
+    sum_out_modes,
+)
+from repro.tensors.coo import COOTensor
+
+
+def chain_tensors(seed=0):
+    return (
+        random_coo((20, 30), nnz=120, seed=seed),
+        random_coo((30, 25), nnz=100, seed=seed + 1),
+        random_coo((25, 8), nnz=60, seed=seed + 2),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "optimizer", ["left", "greedy", "dp", "sparsity", "auto"]
+    )
+    def test_chain_matches_numpy(self, optimizer):
+        a, b, c = chain_tensors()
+        expected = np.einsum(
+            "ij,jk,kl->il", a.to_dense(), b.to_dense(), c.to_dense()
+        )
+        out = NetworkExecutor(machine=DESKTOP).contract(
+            "ij,jk,kl->il", a, b, c, optimizer=optimizer
+        )
+        np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-9)
+
+    def test_outer_product_network(self):
+        # Satellite regression: "ij,kl->ijkl" must produce the full
+        # rank-4 outer product instead of being rejected.
+        a = random_coo((3, 3), nnz=5, seed=4)
+        b = random_coo((4, 4), nnz=7, seed=5)
+        out = contract_network("ij,kl->ijkl", a, b)
+        np.testing.assert_allclose(
+            out.to_dense(),
+            np.einsum("ij,kl->ijkl", a.to_dense(), b.to_dense()),
+            rtol=1e-12,
+        )
+
+    def test_summed_and_permuted_output(self):
+        a = random_coo((3, 4, 5), nnz=25, seed=6)
+        b = random_coo((4, 6), nnz=13, seed=7)
+        out = NetworkExecutor().contract("ijm,jk->ki", a, b)
+        np.testing.assert_allclose(
+            out.to_dense(),
+            np.einsum("ijm,jk->ki", a.to_dense(), b.to_dense()),
+            rtol=1e-9,
+        )
+
+    def test_baseline_methods_agree(self):
+        a, b, c = chain_tensors(seed=9)
+        fastcc = NetworkExecutor().contract("ij,jk,kl->il", a, b, c)
+        for method in ("sparta", "co"):
+            out = NetworkExecutor().contract(
+                "ij,jk,kl->il", a, b, c, method=method
+            )
+            np.testing.assert_allclose(
+                out.to_dense(), fastcc.to_dense(), rtol=1e-9
+            )
+
+
+class TestCaching:
+    def test_warm_call_hits_both_cache_levels(self):
+        a, b, c = chain_tensors(seed=12)
+        executor = NetworkExecutor(machine=DESKTOP)
+        _, cold = executor.contract(
+            "ij,jk,kl->il", a, b, c, return_report=True
+        )
+        assert cold.plan_source == "optimizer"
+        _, warm = executor.contract(
+            "ij,jk,kl->il", a, b, c, return_report=True
+        )
+        # Acceptance criterion: the network plan replays from the LRU
+        # and EVERY pairwise step hits the runtime's PlanCache.
+        assert warm.plan_source == "cache"
+        assert warm.steps, "expected pairwise steps"
+        assert all(r.plan_source == "cache" for r in warm.steps)
+
+    def test_plan_cache_lru_eviction(self):
+        executor = NetworkExecutor(machine=DESKTOP, plan_cache_size=1)
+        a, b, c = chain_tensors(seed=14)
+        executor.contract("ij,jk,kl->il", a, b, c)
+        d = random_coo((8, 8), nnz=10, seed=15)
+        executor.contract("ij,jk->ik", d, d)  # evicts the chain plan
+        _, report = executor.contract(
+            "ij,jk,kl->il", a, b, c, return_report=True
+        )
+        assert report.plan_source == "optimizer"
+        assert executor.plan_misses == 3
+
+    def test_metrics_cover_both_levels(self):
+        executor = NetworkExecutor(machine=DESKTOP)
+        a, b, c = chain_tensors(seed=16)
+        executor.contract("ij,jk,kl->il", a, b, c)
+        executor.contract("ij,jk,kl->il", a, b, c)
+        m = executor.metrics()
+        assert m["network_plan_hits"] == 1
+        assert m["network_plan_misses"] == 1
+        assert m["network_plan_hit_rate"] == 0.5
+        assert "pairwise_plan_cache_hits" in m
+
+    def test_default_executor_shared_per_machine(self):
+        assert default_executor(DESKTOP) is default_executor(DESKTOP)
+
+
+class TestReporting:
+    def test_peak_intermediate_tracked(self):
+        a, b, c = chain_tensors(seed=18)
+        _, report = NetworkExecutor().contract(
+            "ij,jk,kl->il", a, b, c, return_report=True
+        )
+        inter_nnz = report.steps[0].output_nnz
+        assert report.peak_intermediate_nnz >= inter_nnz
+        assert report.peak_intermediate_bytes > 0
+        assert report.output_nnz == report.steps[-1].output_nnz
+
+    def test_summary_mentions_every_step(self):
+        a, b, c = chain_tensors(seed=20)
+        _, report = NetworkExecutor().contract(
+            "ij,jk,kl->il", a, b, c, return_report=True
+        )
+        text = report.summary()
+        assert "peak intermediate" in text
+        assert text.count("step ") == len(report.steps)
+
+
+class TestHelpers:
+    def test_sum_out_modes(self):
+        t = random_coo((4, 5, 6), nnz=30, seed=22)
+        out = sum_out_modes(t, [1])
+        np.testing.assert_allclose(
+            out.to_dense(), t.to_dense().sum(axis=1), rtol=1e-12
+        )
+
+    def test_outer_product_values(self):
+        a = random_coo((3, 2), nnz=4, seed=24)
+        b = random_coo((2, 5), nnz=6, seed=25)
+        out = outer_product(a, b)
+        np.testing.assert_allclose(
+            out.to_dense(),
+            np.einsum("ij,kl->ijkl", a.to_dense(), b.to_dense()),
+            rtol=1e-12,
+        )
+
+    def test_outer_product_limit_enforced(self):
+        side = 1 << 14
+        coords = np.stack([np.arange(side), np.arange(side)])
+        values = np.ones(side)
+        big = COOTensor(coords, values, (side, side), check=False)
+        with pytest.raises(WorkspaceLimitError, match="outer product"):
+            outer_product(big, big)

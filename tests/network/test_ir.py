@@ -1,0 +1,99 @@
+"""Unit tests for the tensor-network hypergraph IR."""
+
+import pytest
+
+from repro.data.random_tensors import random_coo
+from repro.errors import PlanError, ShapeError
+from repro.network.ir import (
+    OperandMeta,
+    TensorNetwork,
+    parse_subscripts,
+    subscript_counts,
+)
+
+
+class TestParseSubscripts:
+    def test_basic(self):
+        inputs, out = parse_subscripts("ij,jk->ik", 2)
+        assert inputs == ["ij", "jk"]
+        assert out == "ik"
+
+    def test_index_in_three_operands_rejected(self):
+        with pytest.raises(PlanError, match="3 operands"):
+            parse_subscripts("ij,jk,jl->ikl", 3)
+
+    def test_hadamard_rejected(self):
+        with pytest.raises(PlanError, match="Hadamard"):
+            parse_subscripts("ij,ij->ij", 2)
+
+    def test_counts(self):
+        assert subscript_counts(["ij", "jk", "kl"]) == {
+            "i": 1, "j": 2, "k": 2, "l": 1,
+        }
+
+
+class TestOperandMeta:
+    def test_from_tensor(self):
+        t = random_coo((4, 5), nnz=7, seed=1)
+        meta = OperandMeta.from_tensor("ij", t)
+        assert meta.shape == (4, 5)
+        assert meta.nnz == 7
+        assert meta.cells == 20
+
+    def test_declared_default_density(self):
+        meta = OperandMeta.declared("ij", (100, 100))
+        assert meta.nnz == 100  # 1% of 10_000 cells
+
+    def test_nnz_exceeds_cells_rejected(self):
+        with pytest.raises(ShapeError):
+            OperandMeta("ij", (2, 2), 5)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            OperandMeta("ijk", (2, 2), 1)
+
+
+class TestTensorNetwork:
+    def test_parse_mixed_operand_kinds(self):
+        t = random_coo((4, 5), nnz=6, seed=2)
+        net = TensorNetwork.parse(
+            "ij,jk,kl->il", [t, (5, 6), (6, 7)], nnz=[6, 10, 12]
+        )
+        assert net.n_operands == 3
+        assert net.operands[0].nnz == 6
+        assert net.operands[1].nnz == 10
+        assert net.extents == {"i": 4, "j": 5, "k": 6, "l": 7}
+
+    def test_conflicting_extents_rejected(self):
+        with pytest.raises(ShapeError, match="conflicting extents"):
+            TensorNetwork.parse("ij,jk->ik", [(4, 5), (6, 7)])
+
+    def test_index_classification(self):
+        net = TensorNetwork.parse("ijm,jk->ki", [(3, 4, 5), (4, 6)])
+        assert net.contracted_indices == {"j"}
+        assert net.kept_indices == {"k", "i"}
+        assert net.summed_indices == {"m"}
+
+    def test_reduced_inputs(self):
+        net = TensorNetwork.parse("ijm,jk->ki", [(3, 4, 5), (4, 6)])
+        assert net.reduced_inputs() == ["ij", "jk"]
+
+    def test_connected_components(self):
+        net = TensorNetwork.parse(
+            "ij,jk,lm->ilm", [(2, 3), (3, 4), (5, 6)]
+        )
+        assert net.connected_components() == [(0, 1), (2,)]
+
+    def test_fully_connected_single_component(self):
+        net = TensorNetwork.parse(
+            "ij,jk,kl->il", [(2, 3), (3, 4), (4, 5)]
+        )
+        assert net.connected_components() == [(0, 1, 2)]
+
+    def test_validate_tensors_positional(self):
+        net = TensorNetwork.parse("ij,jk->ik", [(4, 5), (5, 6)])
+        good = [random_coo((4, 5), nnz=3, seed=3),
+                random_coo((5, 6), nnz=3, seed=4)]
+        net.validate_tensors(good)
+        with pytest.raises(ShapeError, match="operand 1"):
+            net.validate_tensors([good[0], random_coo((5, 7), nnz=3, seed=5)])

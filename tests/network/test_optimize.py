@@ -1,0 +1,143 @@
+"""Golden-plan tests for the network path optimizers."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.machine.specs import DESKTOP, SERVER
+from repro.network.ir import TensorNetwork
+from repro.network.optimize import (
+    AUTO_DP_LIMIT,
+    DP_OPERAND_LIMIT,
+    build_plan,
+    optimize_path,
+    resolve_optimizer,
+)
+
+#: A fixed chain A(50,50) B(50,2) C(2,8) D(8,200) where the greedy
+#: heuristic walks into a trap: it contracts the tiny middle pair first
+#: and pays for it later, while the exhaustive DP search sweeps left to
+#: right.  Golden paths frozen from the desktop cost model.
+TRAP = dict(
+    subscripts="ab,bc,cd,de->ae",
+    shapes=[(50, 50), (50, 2), (2, 8), (8, 200)],
+    nnz=[2500, 100, 8, 1600],
+)
+
+
+def trap_network():
+    return TensorNetwork.parse(
+        TRAP["subscripts"], TRAP["shapes"], nnz=TRAP["nnz"]
+    )
+
+
+class TestGoldenPaths:
+    def test_left_is_left_to_right(self):
+        net = trap_network()
+        assert optimize_path(net, DESKTOP, "left") == [
+            (0, 1), (0, 1), (0, 1)
+        ]
+
+    def test_greedy_golden_path(self):
+        net = trap_network()
+        assert optimize_path(net, DESKTOP, "greedy") == [
+            (1, 2), (0, 2), (0, 1)
+        ]
+
+    def test_dp_golden_path(self):
+        net = trap_network()
+        assert optimize_path(net, DESKTOP, "dp") == [
+            (0, 1), (0, 1), (0, 1)
+        ]
+
+    def test_dp_beats_greedy_on_trap(self):
+        net = trap_network()
+        greedy = build_plan(net, DESKTOP, "greedy")
+        dp = build_plan(net, DESKTOP, "dp")
+        assert dp.est_total_cost < 0.5 * greedy.est_total_cost
+
+    def test_dp_never_worse_than_any_other(self):
+        net = trap_network()
+        dp = build_plan(net, DESKTOP, "dp").est_total_cost
+        for opt in ("left", "greedy", "sparsity"):
+            other = build_plan(net, DESKTOP, opt).est_total_cost
+            assert dp <= other * (1 + 1e-9), opt
+
+    def test_golden_paths_stable_across_machines(self):
+        net = trap_network()
+        assert (
+            optimize_path(net, DESKTOP, "dp")
+            == optimize_path(net, SERVER, "dp")
+        )
+
+
+class TestOptimizerResolution:
+    def test_auto_small_network_uses_dp(self):
+        net = trap_network()
+        assert net.n_operands <= AUTO_DP_LIMIT
+        assert resolve_optimizer("auto", net) == "dp"
+
+    def test_auto_large_network_uses_sparsity(self):
+        n = AUTO_DP_LIMIT + 1
+        letters = "abcdefghijklm"
+        subs = ",".join(
+            letters[k] + letters[k + 1] for k in range(n)
+        ) + f"->{letters[0]}{letters[n]}"
+        shapes = [(4, 4)] * n
+        net = TensorNetwork.parse(subs, shapes)
+        assert resolve_optimizer("auto", net) == "sparsity"
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(PlanError, match="optimizer"):
+            resolve_optimizer("quantum", trap_network())
+
+    def test_dp_refuses_oversized_component(self):
+        n = DP_OPERAND_LIMIT + 1
+        letters = "abcdefghijklmn"
+        subs = ",".join(
+            letters[k] + letters[k + 1] for k in range(n)
+        ) + f"->{letters[0]}{letters[n]}"
+        net = TensorNetwork.parse(subs, [(3, 3)] * n)
+        with pytest.raises(PlanError, match="operands"):
+            optimize_path(net, DESKTOP, "dp")
+
+
+class TestDisconnectedPlanning:
+    def test_outer_product_single_step(self):
+        net = TensorNetwork.parse("ij,kl->ijkl", [(3, 4), (5, 6)],
+                                  nnz=[5, 7])
+        plan = build_plan(net, DESKTOP, "dp")
+        assert plan.path == [(0, 1)]
+        assert plan.steps[0].kind == "outer"
+        assert plan.steps[0].accumulator == ""
+
+    def test_components_contract_before_combining(self):
+        # Two 2-operand components: each contracts internally first,
+        # then one outer product combines the results.
+        net = TensorNetwork.parse(
+            "ij,jk,lm,mn->ikln",
+            [(4, 5), (5, 6), (7, 8), (8, 9)],
+        )
+        for opt in ("greedy", "dp", "sparsity"):
+            plan = build_plan(net, DESKTOP, opt)
+            kinds = [s.kind for s in plan.steps]
+            assert kinds.count("outer") == 1, opt
+            assert kinds[-1] == "outer", opt
+
+
+class TestPlanShape:
+    def test_pre_reduction_recorded(self):
+        net = TensorNetwork.parse("ijm,jk->ki", [(3, 4, 5), (4, 6)])
+        plan = build_plan(net, DESKTOP, "dp")
+        assert plan.input_subs == ("ij", "jk")
+        assert plan.final_sub in ("ik", "ki")
+
+    def test_estimates_populated(self):
+        plan = build_plan(trap_network(), DESKTOP, "dp")
+        assert plan.est_total_cost > 0
+        assert plan.est_peak_nnz > 0
+        for step in plan.steps:
+            assert step.est_nnz >= 0
+            assert step.est_cost >= 0
+            if step.kind == "contract":
+                assert step.accumulator in ("dense", "sparse")
+                assert step.tile >= 1

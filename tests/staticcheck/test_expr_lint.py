@@ -56,10 +56,50 @@ class TestSubscriptLints:
         )
         assert "FSTC007" in codes(report)
 
-    def test_outer_product_rejected(self):
+    def test_outer_product_warns(self):
+        # Outer products are supported (planned as explicit network
+        # steps) but worth flagging: FSTC008 warning + FSTC017 info.
         report = lint_expression("ij,kl->ijkl", [(3, 3), (3, 3)])
-        assert report.verdict == "invalid"
+        assert report.verdict == "ok"
         assert "FSTC008" in codes(report)
+        assert "FSTC017" in codes(report)
+        sev = {d.code: d.severity for d in report.diagnostics}
+        assert sev["FSTC008"] == "warning"
+
+
+class TestNetworkLints:
+    def test_index_in_three_operands(self):
+        report = lint_expression(
+            "ij,jk,jl->ikl", [(4, 5), (5, 6), (5, 7)]
+        )
+        assert report.verdict == "invalid"
+        assert "FSTC016" in codes(report)
+        assert "FSTC001" not in codes(report)
+
+    def test_connected_network_clean(self):
+        report = lint_expression(
+            "ij,jk,kl->il", [(20, 30), (30, 25), (25, 10)],
+            nnz=[100, 90, 40],
+        )
+        assert report.verdict == "ok"
+        assert "FSTC017" not in codes(report)
+
+    def test_disconnected_components_info(self):
+        report = lint_expression(
+            "ij,jk,lm->ilm", [(4, 5), (5, 6), (7, 8)], nnz=[8, 9, 10]
+        )
+        assert "FSTC017" in codes(report)
+        assert report.verdict == "ok"
+
+    def test_intermediate_blowup_warns(self):
+        # Sparse factors around a huge shared index: every path must
+        # materialize an intermediate far larger than the inputs.
+        report = lint_expression(
+            "ai,bi,cj,dj->abcd",
+            [(400, 3), (400, 3), (400, 3), (400, 3)],
+            nnz=[1200, 1200, 1200, 1200],
+        )
+        assert "FSTC018" in codes(report)
 
     def test_clean_expression(self):
         report = lint_expression(
