@@ -1,0 +1,124 @@
+"""Serving SLO benchmark: throughput vs offered load for repro.serve.
+
+A :class:`~repro.serve.ContractionService` (bounded queue, shed_oldest
+policy) is driven by the open-loop Poisson generator at three offered
+loads calibrated against a closed-loop capacity measurement:
+
+* **0.5x capacity** — the service keeps up; shed rate should be ~0 and
+  p99 close to bare execution latency.
+* **1x capacity** — the knee: queueing delay appears, shedding stays
+  marginal.
+* **3x capacity** — overload: the bounded admission queue must hold
+  (high-water <= capacity) and the excess must surface as explicit
+  ``shed`` responses rather than latency collapse.
+
+Each row reports achieved throughput, p50/p99 latency, shed rate and
+the queue high-water mark.  The acceptance bars are structural, not
+timing-sensitive: the queue bound holds at every load, every request
+reaches a terminal status, and the overload row sheds while the
+underload row does not fail.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_serve_slo.py``
+"""
+
+from __future__ import annotations
+
+from common import quick_mode
+from repro.machine.specs import DESKTOP
+from repro.serve import (
+    ContractionService,
+    ServiceConfig,
+    run_closed_loop,
+    run_open_loop,
+    synthetic_requests,
+)
+
+#: Offered-load multiples of the measured closed-loop capacity.
+LOAD_LEVELS = [("0.5x", 0.5), ("1x", 1.0), ("3x", 3.0)]
+
+QUEUE_CAPACITY = 16
+N_WORKERS = 2
+
+
+def measure_capacity(n_requests: int, seed: int) -> float:
+    """Closed-loop throughput = the service's capacity in rps."""
+    config = ServiceConfig(
+        queue_capacity=QUEUE_CAPACITY, policy="block", n_workers=N_WORKERS
+    )
+    requests = synthetic_requests(n_requests, n_signatures=4, seed=seed)
+    with ContractionService(machine=DESKTOP, config=config) as service:
+        report = run_closed_loop(service, requests, concurrency=N_WORKERS)
+    return report.achieved_rps
+
+
+def bench_level(label: str, rate: float, n_requests: int, seed: int) -> dict:
+    """One open-loop run at ``rate`` against a fresh service."""
+    config = ServiceConfig(
+        queue_capacity=QUEUE_CAPACITY, policy="shed_oldest",
+        n_workers=N_WORKERS,
+    )
+    requests = synthetic_requests(n_requests, n_signatures=4, seed=seed)
+    with ContractionService(machine=DESKTOP, config=config) as service:
+        report = run_open_loop(service, requests, rate, seed=seed)
+        queue = service.queue.stats()
+        hit_rate = service.runtime.plan_cache.hit_rate
+    terminal = sum(report.statuses.values())
+    return {
+        "label": label,
+        "offered_rps": rate,
+        "achieved_rps": report.achieved_rps,
+        "p50_ms": report.p50_s * 1e3,
+        "p99_ms": report.p99_s * 1e3,
+        "shed_rate": report.shed_rate,
+        "statuses": report.statuses,
+        "all_terminal": terminal == n_requests,
+        "high_water": queue["high_water"],
+        "bounded": queue["high_water"] <= queue["capacity"],
+        "plan_hit_rate": hit_rate,
+    }
+
+
+def main() -> None:
+    n_requests = 24 if quick_mode() else 120
+    seed = 7
+    capacity_rps = measure_capacity(n_requests, seed)
+    print(f"Serving SLO: open-loop load sweep (closed-loop capacity "
+          f"{capacity_rps:.1f} rps, queue bound {QUEUE_CAPACITY}, "
+          f"{N_WORKERS} workers)")
+    print(f"{'load':<6} {'offered':>9} {'achieved':>9} {'p50 (ms)':>9} "
+          f"{'p99 (ms)':>9} {'shed':>6} {'hi-water':>9}  verdict")
+    rows = []
+    for label, mult in LOAD_LEVELS:
+        rate = max(1.0, mult * capacity_rps)
+        row = bench_level(label, rate, n_requests, seed)
+        rows.append(row)
+        ok = row["bounded"] and row["all_terminal"]
+        print(f"{row['label']:<6} {row['offered_rps']:>9.1f} "
+              f"{row['achieved_rps']:>9.1f} {row['p50_ms']:>9.2f} "
+              f"{row['p99_ms']:>9.2f} {row['shed_rate']:>5.0%} "
+              f"{row['high_water']:>6}/{QUEUE_CAPACITY}  "
+              f"[{'PASS' if ok else 'FAIL'}]")
+
+    underload, overload = rows[0], rows[-1]
+    checks = {
+        "queue bounded at every load":
+            all(r["bounded"] for r in rows),
+        "every request terminal at every load":
+            all(r["all_terminal"] for r in rows),
+        "no failed requests":
+            all(r["statuses"].get("failed", 0) == 0 for r in rows),
+        "underload sheds less than overload":
+            underload["shed_rate"] <= overload["shed_rate"],
+    }
+    print()
+    for name, ok in checks.items():
+        print(f"  {'PASS' if ok else 'FAIL'}: {name}")
+    print(f"\nplan-cache hit rate at overload: "
+          f"{overload['plan_hit_rate']:.0%} "
+          f"(4 signatures through one shared runtime)")
+    if not all(checks.values()):
+        print("WARNING: SLO acceptance bars not met")
+
+
+if __name__ == "__main__":
+    main()

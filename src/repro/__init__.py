@@ -44,6 +44,7 @@ from repro.network import (
     plan_network,
 )
 from repro.runtime import BatchExecutor, ContractionRuntime, PlanCache
+from repro.serve import ContractionService, Request, Response, ServiceConfig
 from repro.tensors.coo import COOTensor
 from repro.tensors.csf import CSFTensor
 from repro.analysis.counters import Counters
@@ -67,6 +68,10 @@ __all__ = [
     "ContractionRuntime",
     "BatchExecutor",
     "PlanCache",
+    "ContractionService",
+    "ServiceConfig",
+    "Request",
+    "Response",
     "NetworkExecutor",
     "NetworkPlan",
     "OperandMeta",

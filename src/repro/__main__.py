@@ -34,6 +34,15 @@ Subcommands
     executing; without it, random operands are drawn at the declared
     shapes/nnz and the plan runs through the network executor
     (``--repeat`` shows the warm plan-cache path).
+``serve``
+    Run a load generator against a live :mod:`repro.serve`
+    :class:`~repro.serve.ContractionService`: a mixed-signature
+    synthetic workload is submitted open-loop (Poisson arrivals at
+    ``--rate``) or closed-loop (``--closed N`` clients), and the SLO
+    metrics — per-stage latency percentiles, terminal status counts,
+    queue stats, cache hit rates — are printed (``--json`` for the raw
+    document).  ``--demo`` runs a canned capacity-then-overload
+    sequence; with ``--quick`` it is the CI smoke configuration.
 """
 
 from __future__ import annotations
@@ -371,6 +380,106 @@ def _audit_hazards(
     return out
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.machine.specs import DESKTOP, SERVER
+    from repro.serve import (
+        ContractionService,
+        ServiceConfig,
+        run_closed_loop,
+        run_open_loop,
+        synthetic_requests,
+    )
+
+    machine = SERVER if args.machine == "server" else DESKTOP
+    if args.demo:
+        return _serve_demo(args, machine)
+
+    config = ServiceConfig(
+        queue_capacity=args.capacity,
+        policy=args.policy,
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        default_deadline_s=args.deadline,
+    )
+    requests = synthetic_requests(
+        args.requests,
+        n_signatures=args.signatures,
+        seed=args.seed,
+        deadline_s=args.deadline,
+    )
+    with ContractionService(machine=machine, config=config) as service:
+        if args.closed:
+            report = run_closed_loop(
+                service, requests, concurrency=args.closed
+            )
+        else:
+            report = run_open_loop(
+                service, requests, args.rate, seed=args.seed
+            )
+        if args.json:
+            doc = {"load": report.to_json(), "service": service.metrics_json()}
+            print(json.dumps(doc, indent=2))
+        else:
+            print(report.render())
+            print()
+            print(service.metrics.render())
+    return 0
+
+
+def _serve_demo(args, machine) -> int:
+    """Canned capacity-then-overload sequence (the CI smoke path).
+
+    Phase 1 measures capacity closed-loop; phase 2 offers a multiple of
+    it open-loop against a small bounded queue so the admission policy
+    visibly sheds.  Exit is nonzero if any request fails outright or
+    the queue ever exceeds its bound.
+    """
+    from repro.serve import (
+        ContractionService,
+        ServiceConfig,
+        run_closed_loop,
+        run_open_loop,
+        synthetic_requests,
+    )
+
+    n = 12 if args.quick else 60
+    capacity = 4 if args.quick else 16
+    config = ServiceConfig(
+        queue_capacity=capacity, policy="shed_oldest",
+        n_workers=args.workers, max_batch=args.max_batch,
+    )
+    requests = synthetic_requests(n, n_signatures=3, seed=args.seed)
+    with ContractionService(machine=machine, config=config) as service:
+        closed = run_closed_loop(service, requests, concurrency=2)
+        print("phase 1 — capacity (closed loop):")
+        print(closed.render())
+        # Offer well above the measured capacity so shedding engages.
+        rate = max(10.0, 4.0 * closed.achieved_rps)
+        open_report = run_open_loop(
+            service, requests, rate, seed=args.seed
+        )
+        print("\nphase 2 — overload (open loop):")
+        print(open_report.render())
+        queue_stats = service.queue.stats()
+        print()
+        print(service.metrics.render())
+        ok = (
+            open_report.statuses.get("failed", 0) == 0
+            and closed.statuses.get("failed", 0) == 0
+            and queue_stats["high_water"] <= queue_stats["capacity"]
+        )
+    if ok:
+        print(f"\ndemo PASS: bounded queue high-water "
+              f"{queue_stats['high_water']}/{queue_stats['capacity']}, "
+              f"no failed requests")
+    else:
+        print(f"\ndemo FAIL: statuses {open_report.statuses}, "
+              f"queue {queue_stats}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FaSTCC sparse tensor contraction CLI"
@@ -470,6 +579,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "plan caches)")
     net.add_argument("--workers", type=int, default=1)
 
+    serve = sub.add_parser(
+        "serve", help="run a load generator against a live contraction "
+                      "service and report SLO metrics"
+    )
+    serve.add_argument("--demo", action="store_true",
+                       help="canned capacity-then-overload sequence "
+                            "(exit 1 if the bounded-queue invariant or "
+                            "any request fails)")
+    serve.add_argument("--quick", action="store_true",
+                       help="shrink --demo to the CI smoke budget")
+    serve.add_argument("--policy", default="reject",
+                       choices=["reject", "shed_oldest", "block"])
+    serve.add_argument("--capacity", type=int, default=64,
+                       help="admission queue bound")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="service worker threads")
+    serve.add_argument("--max-batch", type=int, default=8, dest="max_batch",
+                       help="micro-batch drain size")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--requests", type=int, default=40,
+                       help="synthetic request count")
+    serve.add_argument("--signatures", type=int, default=4,
+                       help="distinct problem signatures in the stream")
+    serve.add_argument("--rate", type=float, default=50.0,
+                       help="open-loop offered rate (requests/second)")
+    serve.add_argument("--closed", type=int, default=0, metavar="N",
+                       help="use N closed-loop clients instead of the "
+                            "open-loop Poisson generator")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--machine", default="desktop",
+                       choices=["desktop", "server"])
+    serve.add_argument("--json", action="store_true",
+                       help="print the load report and service metrics "
+                            "as one JSON document")
+
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
     con.add_argument("file_b")
@@ -491,6 +636,7 @@ def main(argv=None) -> int:
         "batch": _cmd_batch,
         "check": _cmd_check,
         "network": _cmd_network,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -21,18 +21,29 @@ which tallies exactly the quantities the paper's Section 3.4 analyzes:
 Counting is cheap (scalar adds on batch boundaries) and does not perturb
 the vectorized kernels.
 
-Thread-safety: counter updates are plain ``+=`` on Python ints.  Under
-a multi-worker run concurrent updates can interleave, so counts may be
-slightly low; every instrumented benchmark in this repository therefore
-measures with ``n_workers=1`` (parallel results come from the
-scheduling simulator over per-task costs, which are exact either way).
+Thread-safety: *kernel-side* counter updates are plain ``+=`` on Python
+ints.  Under a multi-worker run concurrent updates can interleave, so
+counts may be slightly low; every instrumented benchmark in this
+repository therefore measures with ``n_workers=1`` (parallel results
+come from the scheduling simulator over per-task costs, which are
+exact either way).  *Aggregation*, by contrast, is exact: ``merge``,
+``snapshot`` and ``reset`` serialize on a module-level lock, because
+the serving layer merges per-call tallies into one shared aggregate
+from many worker threads — a torn read-modify-write there would lose
+whole batches, not single events.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields
 
 __all__ = ["Counters", "ensure_counters"]
+
+#: Serializes cross-thread aggregation (merge/snapshot/reset).  One
+#: module-level lock keeps the dataclass field list clean and is
+#: uncontended in practice: aggregation happens per call, not per event.
+_AGGREGATE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -58,20 +69,30 @@ class Counters:
             self.workspace_cells = cells
 
     def merge(self, other: "Counters") -> "Counters":
-        """Accumulate another tally into this one (peak for workspace)."""
-        for f in fields(self):
-            if f.name == "workspace_cells":
-                self.note_workspace(other.workspace_cells)
-            else:
-                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        """Accumulate another tally into this one (peak for workspace).
+
+        Safe to call concurrently from multiple threads targeting the
+        same aggregate (the serve worker pool's shape).
+        """
+        with _AGGREGATE_LOCK:
+            for f in fields(self):
+                if f.name == "workspace_cells":
+                    self.note_workspace(other.workspace_cells)
+                else:
+                    setattr(
+                        self, f.name,
+                        getattr(self, f.name) + getattr(other, f.name),
+                    )
         return self
 
     def snapshot(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        with _AGGREGATE_LOCK:
+            return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        with _AGGREGATE_LOCK:
+            for f in fields(self):
+                setattr(self, f.name, 0)
 
 
 def ensure_counters(counters: Counters | None) -> Counters:

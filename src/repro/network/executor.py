@@ -17,6 +17,7 @@ intermediate footprint (nnz and bytes) alongside per-step records.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -161,6 +162,9 @@ class NetworkExecutor:
         )
         self.plan_cache_size = int(plan_cache_size)
         self._plans: OrderedDict[str, NetworkPlan] = OrderedDict()
+        # Shared by the serve worker pool: LRU reorder/evict and the
+        # hit/miss tallies must not interleave across threads.
+        self._plans_lock = threading.Lock()
         self.plan_hits = 0
         self.plan_misses = 0
         self.reports: list[NetworkReport] = []
@@ -179,22 +183,46 @@ class NetworkExecutor:
         network = TensorNetwork.parse(subscripts, operands, nnz=nnz)
         concrete = resolve_optimizer(optimizer, network)
         key = NetworkSignature.for_network(network, self.machine, concrete).key
-        hit = self._plans.get(key)
-        if hit is not None:
-            self._plans.move_to_end(key)
-            self.plan_hits += 1
-            return hit, "cache"
+        with self._plans_lock:
+            hit = self._plans.get(key)
+            if hit is not None:
+                self._plans.move_to_end(key)
+                self.plan_hits += 1
+                return hit, "cache"
         plan = build_plan(network, self.machine, concrete)
         self.seed_plan(plan)
-        self.plan_misses += 1
+        with self._plans_lock:
+            self.plan_misses += 1
         return plan, "optimizer"
+
+    def cached_plan(
+        self,
+        subscripts: str,
+        operands: Sequence,
+        *,
+        optimizer: str = "auto",
+        nnz: Sequence[int] | None = None,
+    ) -> NetworkPlan | None:
+        """Cache-only probe: the plan if already built, else ``None``.
+
+        Never runs path optimization and never touches the hit/miss
+        tallies — the serve degradation ladder uses it to decide
+        whether a warm full-quality plan is available before falling
+        back to the cheap left-to-right path.
+        """
+        network = TensorNetwork.parse(subscripts, operands, nnz=nnz)
+        concrete = resolve_optimizer(optimizer, network)
+        key = NetworkSignature.for_network(network, self.machine, concrete).key
+        with self._plans_lock:
+            return self._plans.get(key)
 
     def seed_plan(self, plan: NetworkPlan) -> None:
         """Insert a pre-built plan into the network-level cache."""
-        self._plans[plan.signature_key] = plan
-        self._plans.move_to_end(plan.signature_key)
-        while len(self._plans) > self.plan_cache_size:
-            self._plans.popitem(last=False)
+        with self._plans_lock:
+            self._plans[plan.signature_key] = plan
+            self._plans.move_to_end(plan.signature_key)
+            while len(self._plans) > self.plan_cache_size:
+                self._plans.popitem(last=False)
 
     # -- execution ------------------------------------------------------
 
@@ -263,11 +291,11 @@ class NetworkExecutor:
                 result = outer_product(left, right)
                 plan_source = "outer"
             elif method == "fastcc":
-                before = len(self.runtime.records)
-                result = self.runtime.contract(
-                    left, right, step.pairs, name=f"net:{step.subscripts}"
+                result, run_record = self.runtime.contract(
+                    left, right, step.pairs,
+                    name=f"net:{step.subscripts}", return_record=True,
                 )
-                plan_source = self.runtime.records[before].plan_source
+                plan_source = run_record.plan_source
             else:
                 result = contract(
                     left, right, step.pairs,
@@ -325,12 +353,16 @@ class NetworkExecutor:
 
     def metrics(self) -> dict:
         """Network- and pairwise-level cache metrics, JSON-friendly."""
-        total = self.plan_hits + self.plan_misses
+        with self._plans_lock:
+            hits, misses, cached = (
+                self.plan_hits, self.plan_misses, len(self._plans)
+            )
+        total = hits + misses
         out = {
-            "network_plans_cached": len(self._plans),
-            "network_plan_hits": self.plan_hits,
-            "network_plan_misses": self.plan_misses,
-            "network_plan_hit_rate": self.plan_hits / total if total else 0.0,
+            "network_plans_cached": cached,
+            "network_plan_hits": hits,
+            "network_plan_misses": misses,
+            "network_plan_hit_rate": hits / total if total else 0.0,
         }
         out.update(
             {f"pairwise_{k}": v for k, v in self.runtime.metrics().items()}

@@ -25,6 +25,7 @@ All reuse is observable through the standard
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -81,25 +82,31 @@ class _OperandCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[int, _OperandEntry] = OrderedDict()
+        # The serve worker pool shares one runtime: LRU reordering and
+        # eviction must not interleave across threads.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def entry(self, tensor: COOTensor) -> _OperandEntry:
         key = id(tensor)
-        entry = self._entries.get(key)
-        if entry is not None and entry.tensor is tensor:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.tensor is tensor:
+                self._entries.move_to_end(key)
+                return entry
+            entry = _OperandEntry(tensor)
+            self._entries[key] = entry
             self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
             return entry
-        entry = _OperandEntry(tensor)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 def _lin_key(role: str, spec: ContractionSpec) -> tuple:
@@ -240,13 +247,17 @@ class ContractionRuntime:
         tile_size: int | None = None,
         counters: Counters | None = None,
         return_stats: bool = False,
+        return_record: bool = False,
         canonical: bool = True,
     ):
         """Contract through the plan/table caches (FaSTCC method only).
 
         Mirrors :func:`repro.core.contraction.contract`'s interface and
         output; the difference is where the plan and the tiled tables
-        come from.
+        come from.  ``return_record`` appends this call's
+        :class:`RunRecord` to the return value — under a multi-threaded
+        caller (the serve worker pool) this is the only race-free way
+        to read the record, since ``self.records`` interleaves calls.
         """
         call_counters = Counters()
         t_call = time.perf_counter()
@@ -314,8 +325,12 @@ class ContractionRuntime:
         if counters is not None:
             counters.merge(call_counters)
 
+        if return_stats and return_record:
+            return out, stats, record
         if return_stats:
             return out, stats
+        if return_record:
+            return out, record
         return out
 
     # -- maintenance ----------------------------------------------------

@@ -8,12 +8,20 @@ across processes through :meth:`PlanCache.save` / the ``path`` argument
 A cache file that fails to parse — truncated write, hand-edit, version
 skew — must never take the service down: loading falls back to an empty
 (cold) cache and records the problem in :attr:`PlanCache.load_error`.
+
+Thread-safety: the serve worker pool shares one cache across threads,
+so every mutation of the in-memory LRU (``get`` reorders recency,
+``put`` inserts and evicts, ``save`` snapshots) happens under an
+internal lock.  ``save``'s file write was already crash-safe via the
+atomic ``os.replace``; the lock additionally makes the snapshot it
+serializes consistent.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
@@ -92,6 +100,7 @@ class PlanCache:
         self.maxsize = int(maxsize)
         self.path = os.fspath(path) if path is not None else None
         self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -102,50 +111,58 @@ class PlanCache:
     # -- core mapping ---------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, signature: ProblemSignature) -> bool:
-        return signature.key in self._entries
+        with self._lock:
+            return signature.key in self._entries
 
     def keys(self) -> list[str]:
         """Cached keys, least recently used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def get(self, signature: ProblemSignature) -> CachedPlan | None:
         """Look up a cached decision; refreshes LRU recency on hit."""
-        entry = self._entries.get(signature.key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(signature.key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(signature.key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature.key)
+            self.hits += 1
+            return entry
 
     def put(self, signature: ProblemSignature, plan: Plan | CachedPlan) -> CachedPlan:
         """Insert (or refresh) a decision, evicting LRU entries at capacity."""
         cached = plan if isinstance(plan, CachedPlan) else CachedPlan.from_plan(plan)
         key = signature.key
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = cached
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = cached
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return cached
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / (self.hits + self.misses)
+                if self.hits + self.misses else 0.0,
+            }
 
     # -- persistence ----------------------------------------------------
 
@@ -154,14 +171,18 @@ class PlanCache:
         target = os.fspath(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path given and the cache has no default path")
-        payload = {
-            "version": _FORMAT_VERSION,
-            "entries": [[k, asdict(v)] for k, v in self._entries.items()],
-        }
-        tmp = f"{target}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1)
-        os.replace(tmp, target)
+        # The whole write stays under the lock: two concurrent saves
+        # would otherwise interleave on the shared ``.tmp`` scratch file
+        # before either atomic rename happens.
+        with self._lock:
+            payload = {
+                "version": _FORMAT_VERSION,
+                "entries": [[k, asdict(v)] for k, v in self._entries.items()],
+            }
+            tmp = f"{target}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp, target)
         return target
 
     def flush(self) -> str | None:
@@ -185,9 +206,10 @@ class PlanCache:
             # set raises TypeError from the dataclass constructor.
             self.load_error = f"{type(exc).__name__}: {exc}"
             return
-        self._entries = entries
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries = entries
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,76 @@
+"""``repro.serve`` — the contraction service layer.
+
+Fronts the adaptive runtime (:mod:`repro.runtime`) and the network
+planner (:mod:`repro.network`) with a long-running, concurrent serving
+surface: a bounded admission queue with load-shedding/backpressure
+policies, a worker pool that micro-batches requests by structural
+signature so plan/table caches warm *across* callers, cooperative
+deadline enforcement with a two-rung degradation ladder, and an SLO
+metrics layer (latency histograms, status counts, cache hit rates)
+exported as one JSON document.
+
+Quick start::
+
+    from repro.serve import ContractionService, Request, ServiceConfig
+
+    config = ServiceConfig(queue_capacity=32, policy="reject", n_workers=2)
+    with ContractionService(config=config) as service:
+        ticket = service.submit(
+            Request.pairwise(a, b, [(1, 0)], deadline_s=0.5)
+        )
+        response = ticket.result()
+        assert response.status in ("ok", "degraded")
+        out = response.result
+
+CLI front end: ``python -m repro serve`` (a load generator over a live
+service); architecture notes in ``docs/serve.md``.
+"""
+
+from repro.serve.batching import affinity_groups, affinity_order, plan_microbatches
+from repro.serve.loadgen import (
+    LoadReport,
+    run_closed_loop,
+    run_open_loop,
+    synthetic_requests,
+)
+from repro.serve.queueing import POLICIES, AdmissionQueue
+from repro.serve.request import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    TERMINAL_STATUSES,
+    Job,
+    Request,
+    Response,
+    Ticket,
+)
+from repro.serve.service import ContractionService, ServiceConfig
+from repro.serve.slo import LatencyHistogram, ServiceMetrics
+
+__all__ = [
+    "AdmissionQueue",
+    "ContractionService",
+    "Job",
+    "LatencyHistogram",
+    "LoadReport",
+    "POLICIES",
+    "Request",
+    "Response",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "STATUS_DEGRADED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_TIMEOUT",
+    "TERMINAL_STATUSES",
+    "Ticket",
+    "affinity_groups",
+    "affinity_order",
+    "plan_microbatches",
+    "run_closed_loop",
+    "run_open_loop",
+    "synthetic_requests",
+]

@@ -1,0 +1,246 @@
+"""Load generation against a :class:`ContractionService`.
+
+Two classic generator shapes:
+
+* **open loop** (:func:`run_open_loop`) — arrivals follow a seeded
+  Poisson process at a fixed offered rate, independent of service
+  progress.  This is the regime where overload is visible: offered
+  load above capacity grows the queue until the admission policy sheds
+  or blocks, so shed rate and p99 latency are the interesting outputs.
+* **closed loop** (:func:`run_closed_loop`) — N synthetic clients each
+  submit, wait, and repeat.  Throughput self-limits at service
+  capacity, which makes the closed-loop rate a capacity *measurement*
+  (the benchmarks calibrate offered loads against it).
+
+:func:`synthetic_requests` builds the mixed-signature request stream
+the batching layer is designed for: K structurally distinct problems
+interleaved round-robin (the most cache-hostile FIFO order), each
+recurrence reusing the *same* tensor objects — the serving shape where
+one popular tensor is contracted by many users.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.random_tensors import random_coo
+from repro.errors import ConfigError
+from repro.serve.request import Request
+from repro.serve.service import ContractionService
+
+__all__ = [
+    "LoadReport",
+    "synthetic_requests",
+    "run_open_loop",
+    "run_closed_loop",
+]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str                 # "open" | "closed"
+    n_requests: int
+    offered_rps: float        # open loop: target rate; closed: 0.0
+    duration_s: float
+    statuses: dict = field(default_factory=dict)
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    queue_high_water: int = 0
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.n_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def rate(self, status: str) -> float:
+        return self.statuses.get(status, 0) / self.n_requests \
+            if self.n_requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.rate("shed")
+
+    def to_json(self) -> dict:
+        return {
+            "mode": self.mode,
+            "n_requests": self.n_requests,
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "duration_s": self.duration_s,
+            "statuses": dict(self.statuses),
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "queue_high_water": self.queue_high_water,
+        }
+
+    def render(self) -> str:
+        bits = ", ".join(f"{k}={v}" for k, v in self.statuses.items() if v)
+        rate = (
+            f"offered {self.offered_rps:.1f} rps, " if self.offered_rps else ""
+        )
+        return (
+            f"{self.mode}-loop: {self.n_requests} requests in "
+            f"{self.duration_s:.2f}s ({rate}achieved "
+            f"{self.achieved_rps:.1f} rps)\n"
+            f"  statuses: {bits or '(none)'}\n"
+            f"  latency p50={self.p50_s * 1e3:.2f}ms "
+            f"p95={self.p95_s * 1e3:.2f}ms p99={self.p99_s * 1e3:.2f}ms; "
+            f"queue high-water {self.queue_high_water}"
+        )
+
+
+def synthetic_requests(
+    n: int,
+    *,
+    n_signatures: int = 4,
+    base_shape: tuple[int, int] = (40, 36),
+    nnz: int = 150,
+    seed: int = 0,
+    deadline_s: float | None = None,
+    priority_classes: int = 1,
+) -> list[Request]:
+    """A mixed-signature pairwise request stream, round-robin interleaved.
+
+    ``n_signatures`` structurally distinct matrix contractions
+    ``(m, c_k) x (c_k, m)`` are templated once (distinct contracted
+    extents → distinct :class:`ProblemSignature` keys) and the stream
+    cycles through them — the adversarial order for an LRU plan cache
+    smaller than the signature count.  Recurrences share tensor
+    *objects*, so the operand/table caches see the serving shape too.
+    """
+    if n_signatures < 1:
+        raise ConfigError(f"n_signatures must be >= 1, got {n_signatures}")
+    m, c = base_shape
+    templates = []
+    for k in range(n_signatures):
+        ck = c + 2 * k  # distinct contracted extent → distinct signature
+        left = random_coo((m, ck), nnz=nnz, seed=seed + 2 * k)
+        right = random_coo((ck, m), nnz=nnz, seed=seed + 2 * k + 1)
+        templates.append((left, right))
+    out = []
+    for i in range(n):
+        left, right = templates[i % n_signatures]
+        out.append(Request.pairwise(
+            left, right, [(1, 0)],
+            name=f"req{i}:sig{i % n_signatures}",
+            priority=i % max(1, priority_classes),
+            deadline_s=deadline_s,
+        ))
+    return out
+
+
+def _aggregate(
+    service: ContractionService,
+    tickets,
+    requests,
+    *,
+    mode: str,
+    offered_rps: float,
+    duration_s: float,
+    wait_timeout_s: float,
+) -> LoadReport:
+    statuses: dict[str, int] = {}
+    latencies = []
+    for ticket in tickets:
+        response = ticket.result(wait_timeout_s)
+        statuses[response.status] = statuses.get(response.status, 0) + 1
+        if "total" in response.timings:
+            latencies.append(response.timings["total"])
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return LoadReport(
+        mode=mode,
+        n_requests=len(requests),
+        offered_rps=offered_rps,
+        duration_s=duration_s,
+        statuses=statuses,
+        p50_s=pct(0.50),
+        p95_s=pct(0.95),
+        p99_s=pct(0.99),
+        queue_high_water=service.queue.stats()["high_water"],
+    )
+
+
+def run_open_loop(
+    service: ContractionService,
+    requests,
+    rate_rps: float,
+    *,
+    seed: int = 0,
+    wait_timeout_s: float = 60.0,
+) -> LoadReport:
+    """Submit with Poisson inter-arrival gaps at ``rate_rps``; wait all."""
+    if rate_rps <= 0:
+        raise ConfigError(f"rate_rps must be > 0, got {rate_rps}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=len(requests))
+    tickets = []
+    t_start = time.perf_counter()
+    next_at = t_start
+    for request, gap in zip(requests, gaps):
+        next_at += gap
+        pause = next_at - time.perf_counter()
+        if pause > 0:
+            time.sleep(pause)
+        tickets.append(service.submit(request))
+    submit_done = time.perf_counter()
+    report = _aggregate(
+        service, tickets, requests,
+        mode="open", offered_rps=rate_rps,
+        duration_s=submit_done - t_start, wait_timeout_s=wait_timeout_s,
+    )
+    return report
+
+
+def run_closed_loop(
+    service: ContractionService,
+    requests,
+    *,
+    concurrency: int = 4,
+    wait_timeout_s: float = 60.0,
+) -> LoadReport:
+    """N clients each submit-wait-repeat until the stream is drained."""
+    if concurrency < 1:
+        raise ConfigError(f"concurrency must be >= 1, got {concurrency}")
+    tickets = [None] * len(requests)
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with cursor_lock:
+                i = cursor["next"]
+                if i >= len(requests):
+                    return
+                cursor["next"] = i + 1
+            ticket = service.submit(requests[i])
+            tickets[i] = ticket
+            ticket.result(wait_timeout_s)
+
+    t_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-client-{k}")
+        for k in range(min(concurrency, max(1, len(requests))))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - t_start
+    return _aggregate(
+        service, tickets, requests,
+        mode="closed", offered_rps=0.0,
+        duration_s=duration, wait_timeout_s=wait_timeout_s,
+    )

@@ -1,0 +1,194 @@
+"""Bounded admission queue with load-shedding and backpressure policies.
+
+The queue is the service's only buffer, and it is **bounded by
+construction**: depth can never exceed ``capacity``, so an overloaded
+service converts excess offered load into explicit ``shed`` responses
+(or into submitter backpressure) instead of unbounded memory growth.
+
+Three admission policies cover the classic overload responses:
+
+``reject``
+    A full queue refuses the new arrival (the caller sheds it).  The
+    cheapest policy; favors requests already admitted.
+``shed_oldest``
+    A full queue evicts the oldest entry of the *lowest* priority class
+    to make room (the caller sheds the evicted job).  Favors fresh
+    arrivals — the right shape when stale work is worthless, e.g. under
+    tight deadlines where the oldest entry is the likeliest to time out
+    anyway.
+``block``
+    The submitter waits (optionally bounded) until space frees up —
+    backpressure for closed-loop callers that would rather slow down
+    than lose work.
+
+All methods are thread-safe; ``high_water`` records the maximum depth
+ever reached (tests assert ``high_water <= capacity``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ConfigError
+from repro.serve.request import Job
+
+__all__ = ["POLICIES", "REJECT", "SHED_OLDEST", "BLOCK", "AdmissionQueue"]
+
+REJECT = "reject"
+SHED_OLDEST = "shed_oldest"
+BLOCK = "block"
+
+#: Recognized admission policies.
+POLICIES = (REJECT, SHED_OLDEST, BLOCK)
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO of :class:`Job` with overload policies."""
+
+    def __init__(self, capacity: int, policy: str = REJECT):
+        if capacity is None or int(capacity) < 1:
+            raise ConfigError(
+                f"queue capacity must be a positive bound, got {capacity!r} "
+                "(an unbounded admission queue defeats load shedding)"
+            )
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._items: list[Job] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        # monotonic stats (mutated under the lock)
+        self.high_water = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.evicted = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "policy": self.policy,
+                "depth": len(self._items),
+                "high_water": self.high_water,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "evicted": self.evicted,
+            }
+
+    # -- admission ------------------------------------------------------
+
+    def offer(
+        self, job: Job, timeout: float | None = None
+    ) -> tuple[bool, Job | None]:
+        """Try to admit one job.
+
+        Returns ``(admitted, evicted)``: ``evicted`` is the job pushed
+        out under ``shed_oldest`` (the caller must resolve it as shed).
+        ``timeout`` only matters under ``block``: a submitter that waits
+        it out is refused (``(False, None)``), same as ``reject``.
+        """
+        with self._lock:
+            if self._closed:
+                self.rejected += 1
+                return False, None
+            if len(self._items) < self.capacity:
+                self._admit(job)
+                return True, None
+            if self.policy == REJECT:
+                self.rejected += 1
+                return False, None
+            if self.policy == SHED_OLDEST:
+                victim = self._pop_victim()
+                self._admit(job)
+                self.evicted += 1
+                return True, victim
+            # BLOCK: wait for space (or closure / timeout).
+            limit = None if timeout is None else time.monotonic() + timeout
+            while len(self._items) >= self.capacity and not self._closed:
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.rejected += 1
+                    return False, None
+                self._not_full.wait(remaining)
+            if self._closed:
+                self.rejected += 1
+                return False, None
+            self._admit(job)
+            return True, None
+
+    def _admit(self, job: Job) -> None:
+        # caller holds the lock
+        self._items.append(job)
+        self.admitted += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self._not_empty.notify()
+
+    def _pop_victim(self) -> Job:
+        # caller holds the lock; oldest entry of the lowest priority
+        # class (the list is FIFO, so the first matching index is oldest)
+        lowest = min(j.priority for j in self._items)
+        for k, j in enumerate(self._items):
+            if j.priority == lowest:
+                return self._items.pop(k)
+        raise AssertionError("unreachable: queue was non-empty")
+
+    # -- draining -------------------------------------------------------
+
+    def drain(self, max_items: int, timeout: float | None = None) -> list[Job]:
+        """Take up to ``max_items`` jobs, highest priority first.
+
+        Blocks until at least one job is available, the timeout lapses,
+        or the queue is closed (a closed queue still hands out whatever
+        is left, so workers finish admitted work before exiting).
+        """
+        if max_items < 1:
+            raise ConfigError(f"max_items must be >= 1, got {max_items}")
+        with self._lock:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return []
+            order = sorted(
+                range(len(self._items)),
+                key=lambda k: (-self._items[k].priority, self._items[k].seq),
+            )[:max_items]
+            taken = [self._items[k] for k in order]
+            for k in sorted(order, reverse=True):
+                del self._items[k]
+            self._not_full.notify(len(taken))
+            return taken
+
+    def drain_all(self) -> list[Job]:
+        """Empty the queue immediately (used when abandoning on stop)."""
+        with self._lock:
+            taken, self._items = self._items, []
+            self._not_full.notify_all()
+            return taken
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new admissions and wake every waiter."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

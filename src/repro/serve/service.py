@@ -1,0 +1,422 @@
+"""The contraction service: admission, workers, deadlines, degradation.
+
+:class:`ContractionService` fronts the adaptive runtime and the network
+executor with the serving machinery the ROADMAP's traffic shape needs:
+
+* **bounded admission** through an :class:`~repro.serve.queueing.AdmissionQueue`
+  (policies ``reject`` / ``shed_oldest`` / ``block``) — overload becomes
+  explicit ``shed`` responses or submitter backpressure, never unbounded
+  queue growth;
+* a **worker pool** draining the queue in micro-batches reordered by
+  :func:`~repro.serve.batching.affinity_order`, so requests sharing a
+  :class:`~repro.runtime.signature.ProblemSignature` (across users, not
+  just within one caller) replay warm plans and tables through the one
+  shared :class:`~repro.runtime.ContractionRuntime`;
+* **deadline enforcement with a degradation ladder** — cooperative
+  checks between pipeline stages, and when the remaining budget is
+  smaller than ``degrade_margin`` times the request's model-predicted
+  cost floor, the worker steps down the ladder instead of running the
+  full pipeline:
+
+  1. *cached-plan*: replay the plan cache entry for the request's
+     signature (numerically identical to the full path — only the
+     planning work is skipped);
+  2. *cheap-path*: no cached plan — pairwise requests run under the
+     directly-chosen sparse accumulator (skipping Algorithm 7's dense
+     probe estimate), network requests take the left-to-right path
+     (skipping DP/greedy path search).
+
+  Either rung marks the response ``degraded``; a deadline that expires
+  before execution yields ``timeout`` without burning kernel time.
+* **SLO metrics** (:class:`~repro.serve.slo.ServiceMetrics`): per-stage
+  latency histograms, terminal status counts, queue stats and the
+  runtime/network cache hit rates, exported as one JSON document.
+
+Construction lints the configuration through
+:func:`repro.staticcheck.lint_service_config` and refuses
+error-severity findings (``FSTC301``), so an unbounded queue can not
+reach production; warnings are kept on ``config_diagnostics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReproError, SchedulerError
+from repro.machine.specs import DESKTOP, MachineSpec
+from repro.network.executor import NetworkExecutor
+from repro.runtime.executor import ContractionRuntime
+from repro.runtime.signature import signature_for
+from repro.serve.batching import affinity_order
+from repro.serve.queueing import BLOCK, POLICIES, AdmissionQueue
+from repro.serve.request import (
+    NETWORK,
+    PAIRWISE,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    Job,
+    Request,
+    Response,
+    Ticket,
+)
+from repro.serve.slo import ServiceMetrics
+
+__all__ = ["ServiceConfig", "ContractionService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`ContractionService`.
+
+    ``degrade_margin`` scales the degradation trigger: a request enters
+    the ladder when its remaining budget is below ``degrade_margin *
+    cost_floor``.  ``force_degraded`` pins every request to the ladder
+    regardless of budget — a test/bench knob for exercising the
+    degraded paths deterministically.
+    """
+
+    queue_capacity: int = 64
+    policy: str = "reject"
+    n_workers: int = 2
+    max_batch: int = 8
+    default_deadline_s: float | None = None
+    default_priority: int = 0
+    degrade_margin: float = 1.5
+    force_degraded: bool = False
+    drain_timeout_s: float = 0.05
+    plan_cache_size: int = 128
+    operand_cache_size: int = 16
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if self.degrade_margin < 0:
+            raise ConfigError(
+                f"degrade_margin must be >= 0, got {self.degrade_margin}"
+            )
+
+
+class ContractionService:
+    """Concurrent contraction serving over one shared runtime.
+
+    Parameters
+    ----------
+    machine:
+        Platform model for planning, affinity signatures and the cost
+        floor.
+    config:
+        A :class:`ServiceConfig`; defaults when omitted.
+    runtime:
+        A shared :class:`ContractionRuntime` (built fresh from the
+        config's cache sizes when omitted).
+    executor:
+        A shared :class:`NetworkExecutor`; when omitted, one is built
+        *over the same runtime*, so network steps and pairwise requests
+        hit the same plan/table caches.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = DESKTOP,
+        config: ServiceConfig | None = None,
+        *,
+        runtime: ContractionRuntime | None = None,
+        executor: NetworkExecutor | None = None,
+    ):
+        from repro.staticcheck import has_errors, lint_service_config
+
+        self.machine = machine
+        self.config = config if config is not None else ServiceConfig()
+        self.config_diagnostics = lint_service_config(self.config, machine)
+        if has_errors(self.config_diagnostics):
+            findings = "; ".join(
+                d.render() for d in self.config_diagnostics
+                if d.severity == "error"
+            )
+            raise ConfigError(f"refusing unsafe service config: {findings}")
+
+        self.runtime = runtime if runtime is not None else ContractionRuntime(
+            machine=machine,
+            cache_size=self.config.plan_cache_size,
+            operand_cache_size=self.config.operand_cache_size,
+        )
+        self.executor = executor if executor is not None else NetworkExecutor(
+            machine=machine, runtime=self.runtime
+        )
+        self.queue = AdmissionQueue(
+            self.config.queue_capacity, self.config.policy
+        )
+        self.metrics = ServiceMetrics()
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._floors: dict[str, float] = {}
+        self._floors_lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ContractionService":
+        """Spawn the worker pool (idempotent until :meth:`stop`)."""
+        if self._stopped:
+            raise SchedulerError("a stopped service cannot be restarted")
+        if not self._started:
+            self._started = True
+            for k in range(self.config.n_workers):
+                t = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serve-worker-{k}",
+                    daemon=True,
+                )
+                t.start()
+                self._workers.append(t)
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Close admission and wind the pool down.
+
+        ``drain=True`` (default) lets workers finish every admitted
+        request; ``drain=False`` sheds whatever is still queued.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            self.queue.close()
+            return
+        self._stopped = True
+        self.queue.close()
+        if not drain:
+            for job in self.queue.drain_all():
+                self._finish(job, Response(
+                    name=job.request.name, status=STATUS_SHED,
+                    detail="service stopped before execution",
+                ), arrival=job.arrival)
+        for t in self._workers:
+            t.join(timeout)
+        self._workers.clear()
+
+    def __enter__(self) -> "ContractionService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped
+
+    # -- client surface -------------------------------------------------
+
+    def submit(self, request: Request) -> Ticket:
+        """Admit one request; always returns a ticket that resolves.
+
+        A refused admission (full queue under ``reject``, closed
+        service, exhausted ``block`` wait) resolves the ticket as
+        ``shed`` immediately; a ``shed_oldest`` eviction resolves the
+        *victim's* ticket as ``shed``.
+        """
+        if not self._started:
+            raise SchedulerError(
+                "service is not running; use `with service:` or start()"
+            )
+        ticket = Ticket()
+        now = time.monotonic()
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        job = Job(
+            request=request,
+            ticket=ticket,
+            seq=self._next_seq(),
+            arrival=now,
+            deadline_at=None if deadline_s is None else now + deadline_s,
+            affinity=request.affinity_key(self.machine),
+        )
+        self.metrics.note_submitted()
+        block_timeout = deadline_s if self.config.policy == BLOCK else None
+        admitted, evicted = self.queue.offer(job, timeout=block_timeout)
+        if evicted is not None:
+            self._finish(evicted, Response(
+                name=evicted.request.name, status=STATUS_SHED,
+                detail="evicted by a newer arrival (shed_oldest)",
+            ), arrival=evicted.arrival)
+        if not admitted:
+            self._finish(job, Response(
+                name=request.name, status=STATUS_SHED,
+                detail=f"admission refused (policy {self.config.policy}, "
+                       f"capacity {self.config.queue_capacity})",
+            ), arrival=job.arrival)
+        return ticket
+
+    def call(
+        self, request: Request, *, timeout: float | None = None
+    ) -> Response:
+        """Submit and block for the terminal response."""
+        return self.submit(request).result(timeout)
+
+    # -- metrics --------------------------------------------------------
+
+    def metrics_json(self) -> dict:
+        """One JSON document covering the whole serving stack."""
+        payload = self.metrics.to_json()
+        payload["queue"] = self.queue.stats()
+        payload["runtime"] = self.runtime.metrics()
+        payload["network"] = self.executor.metrics()
+        payload["machine"] = self.machine.name
+        return payload
+
+    # -- internals ------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def _cost_floor(self, job: Job) -> float:
+        """Memoized model cost floor per affinity key."""
+        from repro.staticcheck import cost_floor_seconds
+
+        with self._floors_lock:
+            floor = self._floors.get(job.affinity)
+        if floor is None:
+            floor = cost_floor_seconds(job.request, self.machine)
+            with self._floors_lock:
+                self._floors[job.affinity] = floor
+        return floor
+
+    def _worker_loop(self) -> None:
+        while True:
+            jobs = self.queue.drain(
+                self.config.max_batch, timeout=self.config.drain_timeout_s
+            )
+            if jobs:
+                for job in affinity_order(jobs):
+                    self._process(job)
+                continue
+            if self.queue.closed:
+                return
+
+    def _finish(
+        self, job: Job, response: Response, *, arrival: float | None = None
+    ) -> None:
+        if arrival is not None and "total" not in response.timings:
+            response.timings["total"] = time.monotonic() - arrival
+        self.metrics.observe(response)
+        job.ticket.resolve(response)
+
+    def _process(self, job: Job) -> None:
+        request = job.request
+        now = time.monotonic()
+        timings = {"queue_wait": now - job.arrival}
+
+        # Stage check 1: a dead-on-arrival deadline skips execution.
+        if job.deadline_at is not None and now >= job.deadline_at:
+            self._finish(job, Response(
+                name=request.name, status=STATUS_TIMEOUT,
+                detail="deadline expired while queued",
+                timings=timings,
+            ), arrival=job.arrival)
+            return
+
+        # Stage check 2: decide full pipeline vs. degradation ladder.
+        degrade = self.config.force_degraded
+        if not degrade and job.deadline_at is not None:
+            remaining = job.deadline_at - now
+            degrade = (
+                remaining < self.config.degrade_margin * self._cost_floor(job)
+            )
+
+        t0 = time.perf_counter()
+        try:
+            if request.kind == PAIRWISE:
+                result, record, rung = self._run_pairwise(request, degrade)
+                plan_source = record.plan_source
+                accumulator, tile = record.accumulator, record.tile
+            elif request.kind == NETWORK:
+                result, report, rung = self._run_network(request, degrade)
+                plan_source = report.plan_source
+                accumulator, tile = "", 0
+            else:
+                raise ConfigError(f"unknown request kind {request.kind!r}")
+        except ReproError as exc:
+            timings["execute"] = time.perf_counter() - t0
+            self._finish(job, Response(
+                name=request.name, status=STATUS_FAILED,
+                detail=f"{type(exc).__name__}: {exc}",
+                timings=timings,
+            ), arrival=job.arrival)
+            return
+        timings["execute"] = time.perf_counter() - t0
+
+        # Stage check 3: work that outlived its budget reports timeout
+        # (the late result stays attached for best-effort callers).
+        status = STATUS_DEGRADED if rung else STATUS_OK
+        detail = ""
+        if job.deadline_at is not None and time.monotonic() > job.deadline_at:
+            status = STATUS_TIMEOUT
+            detail = "completed after the deadline (late result attached)"
+        self._finish(job, Response(
+            name=request.name, status=status, result=result, detail=detail,
+            plan_source=plan_source, accumulator=accumulator, tile=tile,
+            degrade_rung=rung, timings=timings,
+        ), arrival=job.arrival)
+
+    def _run_pairwise(self, request: Request, degrade: bool):
+        """Execute a pairwise request, possibly down the ladder.
+
+        Rung 1 replays the cached plan for the request's (auto)
+        signature through the normal runtime path; rung 2 — no cached
+        plan — directly selects the sparse accumulator, skipping the
+        planner's dense-probe estimate.  The benign check-then-act race
+        (an eviction between the lookup and the call) only costs one
+        full planning pass.
+        """
+        rung = None
+        kwargs: dict = {}
+        if degrade:
+            sig = signature_for(
+                request.left, request.right, request.pairs, self.machine
+            )
+            if sig in self.runtime.plan_cache:
+                rung = "cached-plan"
+            else:
+                rung = "cheap-path"
+                kwargs["accumulator"] = "sparse"
+        out, record = self.runtime.contract(
+            request.left, request.right, request.pairs,
+            name=request.name, return_record=True, **kwargs,
+        )
+        return out, record, rung
+
+    def _run_network(self, request: Request, degrade: bool):
+        """Execute a network request, possibly down the ladder.
+
+        Rung 1 replays a warm full-quality plan if one is cached for
+        the auto optimizer; rung 2 takes the left-to-right path,
+        skipping DP/greedy path search.
+        """
+        rung = None
+        optimizer = "auto"
+        if degrade:
+            warm = self.executor.cached_plan(
+                request.subscripts, request.operands, optimizer="auto"
+            )
+            if warm is not None:
+                rung = "cached-plan"
+            else:
+                rung = "cheap-path"
+                optimizer = "left"
+        out, report = self.executor.contract(
+            request.subscripts, *request.operands,
+            optimizer=optimizer, return_report=True,
+        )
+        return out, report, rung

@@ -1,0 +1,224 @@
+"""Service-level metrics: latency histograms, status counts, SLO views.
+
+The metrics layer is deliberately *lossy but bounded*: per-stage
+latencies land in log-spaced histograms (fixed memory regardless of
+traffic), statuses and sheds are plain counters, and the kernel-level
+data-access tallies ride on the standard
+:class:`~repro.analysis.counters.Counters` so one JSON export carries
+the whole stack — queue behavior, stage latencies, plan/table cache hit
+rates, and the paper's access counts — for dashboards or the
+``python -m repro serve`` CLI.
+
+Quantiles (p50/p95/p99) are read from the histogram as the upper edge
+of the bucket containing the target rank: an overestimate by at most
+one bucket width (``factor`` = 2 by default), which is the standard
+monitoring trade-off.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.counters import Counters
+from repro.errors import ConfigError
+from repro.serve.request import TERMINAL_STATUSES, Response
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "STAGES"]
+
+#: Pipeline stages every request is timed across.
+STAGES = ("queue_wait", "execute", "total")
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram with quantile estimates.
+
+    Buckets are ``[0, base)``, ``[base, base*factor)``, … — 44 buckets
+    at the defaults span 1 µs to ~2.4 h, which covers every latency a
+    serving stack can produce while staying a few hundred bytes.
+    """
+
+    def __init__(
+        self, base: float = 1e-6, factor: float = 2.0, n_buckets: int = 44
+    ):
+        if base <= 0 or factor <= 1 or n_buckets < 2:
+            raise ConfigError(
+                f"invalid histogram spec: base={base}, factor={factor}, "
+                f"n_buckets={n_buckets}"
+            )
+        self.base = float(base)
+        self.factor = float(factor)
+        #: Upper edge of each bucket; the last bucket is unbounded.
+        self.edges = [base * factor**k for k in range(n_buckets - 1)]
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Tally one observation (negative clock skew clamps to 0)."""
+        seconds = max(0.0, float(seconds))
+        k = 0
+        while k < len(self.edges) and seconds >= self.edges[k]:
+            k += 1
+        with self._lock:
+            self.counts[k] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max_seen:
+                self.max_seen = seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile rank."""
+        if not 0 <= q <= 1:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            seen = 0
+            for k, c in enumerate(self.counts):
+                seen += c
+                if seen >= rank and c:
+                    if k >= len(self.edges):
+                        return self.max_seen
+                    return min(self.edges[k], self.max_seen)
+            return self.max_seen
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Accumulate another histogram (bucket layouts must match)."""
+        if other.edges != self.edges:
+            raise ConfigError("cannot merge histograms with different buckets")
+        with self._lock:
+            for k, c in enumerate(other.counts):
+                self.counts[k] += c
+            self.count += other.count
+            self.total += other.total
+            self.max_seen = max(self.max_seen, other.max_seen)
+        return self
+
+    def to_json(self) -> dict:
+        """JSON-friendly summary plus the nonzero buckets."""
+        with self._lock:
+            count, total, max_seen = self.count, self.total, self.max_seen
+            buckets = [
+                [self.edges[k] if k < len(self.edges) else None, c]
+                for k, c in enumerate(self.counts)
+                if c
+            ]
+        return {
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+            "max_seconds": max_seen,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets_le": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Aggregate service observability: stages, statuses, kernel counts.
+
+    ``observe`` is called once per terminal response; the queue and
+    cache numbers are pulled in at export time by
+    :meth:`ContractionService.metrics_json`, so this object stays a
+    passive tally.
+    """
+
+    def __init__(self):
+        self.stages = {name: LatencyHistogram() for name in STAGES}
+        self.statuses = dict.fromkeys(TERMINAL_STATUSES, 0)
+        self.submitted = 0
+        self.completed = 0
+        self.degrade_rungs: dict[str, int] = {}
+        self.kernel = Counters()
+        self._lock = threading.Lock()
+
+    def note_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def observe(self, response: Response) -> None:
+        """Tally one terminal response and its stage timings."""
+        with self._lock:
+            self.completed += 1
+            self.statuses[response.status] = (
+                self.statuses.get(response.status, 0) + 1
+            )
+            if response.degrade_rung:
+                self.degrade_rungs[response.degrade_rung] = (
+                    self.degrade_rungs.get(response.degrade_rung, 0) + 1
+                )
+        for stage, hist in self.stages.items():
+            if stage in response.timings:
+                hist.record(response.timings[stage])
+
+    def rate(self, status: str) -> float:
+        """Fraction of completed requests with the given status."""
+        with self._lock:
+            return (
+                self.statuses.get(status, 0) / self.completed
+                if self.completed
+                else 0.0
+            )
+
+    def to_json(self) -> dict:
+        with self._lock:
+            statuses = dict(self.statuses)
+            payload = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "statuses": statuses,
+                "degrade_rungs": dict(self.degrade_rungs),
+            }
+        payload["latency"] = {
+            stage: hist.to_json() for stage, hist in self.stages.items()
+        }
+        payload["kernel_counters"] = self.kernel.snapshot()
+        return payload
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        with self._lock:
+            statuses = dict(self.statuses)
+            completed = self.completed
+            submitted = self.submitted
+            rungs = dict(self.degrade_rungs)
+        lines = [f"requests: {submitted} submitted, {completed} completed"]
+        status_bits = ", ".join(
+            f"{name}={n}" for name, n in statuses.items() if n
+        )
+        lines.append(f"  statuses: {status_bits or '(none)'}")
+        if rungs:
+            lines.append(
+                "  degrade rungs: "
+                + ", ".join(f"{name}={n}" for name, n in rungs.items())
+            )
+        for stage, hist in self.stages.items():
+            if hist.count:
+                lines.append(
+                    f"  {stage:<10} p50={hist.p50 * 1e3:8.2f}ms  "
+                    f"p95={hist.p95 * 1e3:8.2f}ms  "
+                    f"p99={hist.p99 * 1e3:8.2f}ms  "
+                    f"mean={hist.mean * 1e3:8.2f}ms  (n={hist.count})"
+                )
+        return "\n".join(lines)

@@ -44,6 +44,11 @@ from repro.staticcheck.graph_lint import (
     write_sets_for_pairs,
 )
 from repro.staticcheck.registry_audit import audit_code_registry
+from repro.staticcheck.service_lint import (
+    cost_floor_seconds,
+    lint_request_deadline,
+    lint_service_config,
+)
 
 __all__ = [
     "CODES",
@@ -57,11 +62,14 @@ __all__ = [
     "audit_code_registry",
     "audit_registry",
     "case_problem",
+    "cost_floor_seconds",
     "has_errors",
     "hazards_for_stats",
     "lint_expression",
     "lint_file",
     "lint_problem",
+    "lint_request_deadline",
+    "lint_service_config",
     "lint_source",
     "lint_tree",
     "make_diagnostic",

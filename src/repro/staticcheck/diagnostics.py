@@ -103,6 +103,10 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC201": (ERROR, "write-write conflict on a shared accumulator tile"),
     "FSTC202": (WARNING, "order-dependent floating-point reduction"),
     "FSTC203": (INFO, "task grid smaller than the worker count"),
+    # --- service configuration lints -------------------------------------
+    "FSTC301": (ERROR, "service admission queue is unbounded or undrainable"),
+    "FSTC302": (WARNING, "request deadline below the model-predicted cost floor"),
+    "FSTC303": (WARNING, "worker pool oversubscribes the machine's cores"),
 }
 
 

@@ -1,9 +1,13 @@
-"""Differential fuzzing across every contraction method.
+"""Differential fuzzing across every contraction method and the
+serving layer.
 
 Hypothesis generates random self-contraction problems (random tensor,
 random contracted-mode subset) and all applicable methods must agree
 with the dense ground truth — the widest net for cross-kernel
-divergence bugs.
+divergence bugs.  The serve mode pushes the same problems through a
+live ContractionService (every admission policy, degradation on and
+off) and requires the served results *bit-identical* to the direct
+path that produced the same plan.
 """
 
 import numpy as np
@@ -12,6 +16,8 @@ from hypothesis import strategies as st
 
 from repro import COOTensor, contract
 from repro.errors import PlanError
+from repro.machine.specs import DESKTOP
+from repro.serve import ContractionService, Request, ServiceConfig
 from repro.tensors.dense import dense_contract
 
 ALL_METHODS = ["fastcc", "sparta", "sparta_improved", "taco", "taco_mm", "ci", "cm", "co"]
@@ -36,6 +42,45 @@ def self_contraction_problems(draw):
         st.permutations(range(ndim)).map(lambda p: sorted(p[:n_contracted]))
     )
     return tensor, [(m, m) for m in modes]
+
+
+@settings(max_examples=10, deadline=None)
+@given(problem=self_contraction_problems())
+def test_serve_differential_bitwise(problem):
+    """Served results must be bit-identical to the direct call that
+    runs the same plan: the service adds scheduling, not arithmetic.
+
+    Non-degraded requests compare against plain ``contract()``; forced
+    cheap-path degradation compares against
+    ``contract(accumulator="sparse")`` (a different plan changes float
+    accumulation order, so each served path gets the reference that
+    shares its plan parameters).
+    """
+    tensor, pairs = problem
+    expected_full = contract(tensor, tensor, pairs)
+    expected_sparse = contract(tensor, tensor, pairs, accumulator="sparse")
+    for policy in ("reject", "shed_oldest", "block"):
+        for force_degraded in (False, True):
+            config = ServiceConfig(
+                queue_capacity=8, policy=policy, n_workers=1,
+                force_degraded=force_degraded,
+            )
+            with ContractionService(machine=DESKTOP, config=config) as svc:
+                response = svc.call(
+                    Request.pairwise(tensor, tensor, pairs), timeout=60.0
+                )
+            assert response.ok, (policy, force_degraded, response.detail)
+            expected = expected_sparse if force_degraded else expected_full
+            if force_degraded:
+                assert response.degrade_rung == "cheap-path"
+            np.testing.assert_array_equal(
+                response.result.coords, expected.coords,
+                err_msg=f"policy={policy}, degraded={force_degraded}",
+            )
+            np.testing.assert_array_equal(
+                response.result.values, expected.values,
+                err_msg=f"policy={policy}, degraded={force_degraded}",
+            )
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,85 @@
+"""Unit tests for signature-affinity micro-batching."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    Job,
+    Request,
+    Ticket,
+    affinity_groups,
+    affinity_order,
+    plan_microbatches,
+)
+
+
+def make_job(seq: int, affinity: str, priority: int = 0) -> Job:
+    return Job(
+        request=Request(kind="pairwise", name=f"j{seq}", priority=priority),
+        ticket=Ticket(),
+        seq=seq,
+        arrival=float(seq),
+        deadline_at=None,
+        affinity=affinity,
+    )
+
+
+def interleaved(n: int, signatures=("A", "B")) -> list:
+    return [make_job(k, signatures[k % len(signatures)]) for k in range(n)]
+
+
+class TestAffinityGroups:
+    def test_buckets_by_key_in_admission_order(self):
+        jobs = interleaved(6)
+        groups = affinity_groups(jobs)
+        assert list(groups) == ["A", "B"]
+        assert [j.seq for j in groups["A"]] == [0, 2, 4]
+        assert [j.seq for j in groups["B"]] == [1, 3, 5]
+
+
+class TestAffinityOrder:
+    def test_groups_run_consecutively(self):
+        ordered = affinity_order(interleaved(6))
+        keys = [j.affinity for j in ordered]
+        assert keys == ["A", "A", "A", "B", "B", "B"]
+
+    def test_is_a_permutation(self):
+        jobs = interleaved(9, signatures=("A", "B", "C"))
+        ordered = affinity_order(jobs)
+        assert sorted(j.seq for j in ordered) == list(range(9))
+
+    def test_priority_dominates_grouping(self):
+        jobs = [
+            make_job(0, "A", priority=0),
+            make_job(1, "B", priority=7),
+            make_job(2, "A", priority=0),
+        ]
+        ordered = affinity_order(jobs)
+        assert [j.seq for j in ordered] == [1, 0, 2]
+
+    def test_fifo_within_group(self):
+        jobs = [make_job(k, "A") for k in (5, 1, 3)]
+        assert [j.seq for j in affinity_order(jobs)] == [1, 3, 5]
+
+    def test_empty_batch(self):
+        assert affinity_order([]) == []
+
+
+class TestPlanMicrobatches:
+    def test_chunks_respect_max_batch(self):
+        batches = plan_microbatches(interleaved(10), max_batch=3)
+        assert all(len(b) <= 3 for b in batches)
+        assert sum(len(b) for b in batches) == 10
+
+    def test_prefers_group_boundaries(self):
+        # 3 As then 3 Bs with max_batch 4: the cut lands on the A|B
+        # boundary (>= max_batch // 2) rather than splitting B.
+        jobs = interleaved(6)
+        batches = plan_microbatches(jobs, max_batch=4)
+        assert [[j.affinity for j in b] for b in batches] == [
+            ["A", "A", "A"], ["B", "B", "B"],
+        ]
+
+    def test_bad_max_batch(self):
+        with pytest.raises(ConfigError):
+            plan_microbatches([], max_batch=0)

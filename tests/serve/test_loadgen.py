@@ -1,0 +1,102 @@
+"""Unit tests for the load generators and their report."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.specs import DESKTOP
+from repro.serve import (
+    ContractionService,
+    LoadReport,
+    ServiceConfig,
+    run_closed_loop,
+    run_open_loop,
+    synthetic_requests,
+)
+
+
+def service(**overrides) -> ContractionService:
+    defaults = dict(queue_capacity=32, n_workers=2)
+    defaults.update(overrides)
+    return ContractionService(machine=DESKTOP, config=ServiceConfig(**defaults))
+
+
+class TestSyntheticRequests:
+    def test_round_robin_signatures(self):
+        requests = synthetic_requests(8, n_signatures=3, seed=1)
+        assert len(requests) == 8
+        keys = [r.affinity_key(DESKTOP) for r in requests[:3]]
+        assert len(set(keys)) == 3
+        # Position k and k + n_signatures share a template (same tensors).
+        assert requests[0].left is requests[3].left
+        assert requests[0].affinity_key(DESKTOP) == keys[0]
+
+    def test_priority_classes(self):
+        requests = synthetic_requests(6, n_signatures=2, priority_classes=3)
+        assert sorted({r.priority for r in requests}) == [0, 1, 2]
+
+    def test_bad_signature_count(self):
+        with pytest.raises(ConfigError):
+            synthetic_requests(4, n_signatures=0)
+
+
+class TestOpenLoop:
+    def test_all_requests_reach_a_terminal_status(self):
+        requests = synthetic_requests(12, n_signatures=2, seed=2)
+        with service() as s:
+            report = run_open_loop(s, requests, rate_rps=500.0, seed=2)
+        assert report.mode == "open"
+        assert report.n_requests == 12
+        assert sum(report.statuses.values()) == 12
+        assert report.offered_rps == 500.0
+        assert report.duration_s > 0
+
+    def test_bad_rate(self):
+        with service() as s:
+            with pytest.raises(ConfigError):
+                run_open_loop(s, [], rate_rps=0.0)
+
+
+class TestClosedLoop:
+    def test_self_limits_without_shedding(self):
+        requests = synthetic_requests(10, n_signatures=2, seed=3)
+        with service(queue_capacity=4) as s:
+            report = run_closed_loop(s, requests, concurrency=2)
+        assert report.mode == "closed"
+        assert report.statuses.get("ok", 0) == 10
+        assert report.shed_rate == 0.0
+        assert report.achieved_rps > 0
+
+    def test_bad_concurrency(self):
+        with service() as s:
+            with pytest.raises(ConfigError):
+                run_closed_loop(s, [], concurrency=0)
+
+
+class TestLoadReport:
+    def test_rates_and_json(self):
+        report = LoadReport(
+            mode="open", n_requests=10, offered_rps=100.0, duration_s=0.5,
+            statuses={"ok": 8, "shed": 2}, p50_s=0.001, p99_s=0.01,
+        )
+        assert report.achieved_rps == pytest.approx(20.0)
+        assert report.shed_rate == pytest.approx(0.2)
+        assert report.rate("ok") == pytest.approx(0.8)
+        doc = report.to_json()
+        assert doc["statuses"] == {"ok": 8, "shed": 2}
+        assert "achieved_rps" in doc
+
+    def test_render_mentions_the_essentials(self):
+        report = LoadReport(
+            mode="open", n_requests=4, offered_rps=10.0, duration_s=1.0,
+            statuses={"ok": 4}, queue_high_water=3,
+        )
+        text = report.render()
+        assert "open-loop" in text
+        assert "ok=4" in text
+        assert "high-water 3" in text
+
+    def test_empty_report_rates_are_zero(self):
+        report = LoadReport(mode="open", n_requests=0, offered_rps=0.0,
+                            duration_s=0.0)
+        assert report.achieved_rps == 0.0
+        assert report.shed_rate == 0.0

@@ -1,0 +1,152 @@
+"""Unit tests for the bounded admission queue and its policies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import AdmissionQueue, Job, Request, Ticket
+
+
+def make_job(seq: int, priority: int = 0) -> Job:
+    # Queue behavior never inspects the operands, so a bare Request
+    # stand-in (no tensors) keeps these tests fast and shape-free.
+    return Job(
+        request=Request(kind="pairwise", name=f"j{seq}", priority=priority),
+        ticket=Ticket(),
+        seq=seq,
+        arrival=float(seq),
+        deadline_at=None,
+        affinity=f"sig{seq % 2}",
+    )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("capacity", [None, 0, -3])
+    def test_unbounded_capacity_rejected(self, capacity):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(capacity, "reject")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(4, "drop_newest")
+
+
+class TestRejectPolicy:
+    def test_admits_until_full_then_refuses(self):
+        q = AdmissionQueue(2, "reject")
+        assert q.offer(make_job(1)) == (True, None)
+        assert q.offer(make_job(2)) == (True, None)
+        admitted, evicted = q.offer(make_job(3))
+        assert not admitted and evicted is None
+        stats = q.stats()
+        assert stats["depth"] == 2
+        assert stats["rejected"] == 1
+
+
+class TestShedOldestPolicy:
+    def test_evicts_oldest_of_lowest_class(self):
+        q = AdmissionQueue(3, "shed_oldest")
+        q.offer(make_job(1, priority=1))
+        q.offer(make_job(2, priority=0))  # lowest class, oldest of it
+        q.offer(make_job(3, priority=0))
+        admitted, evicted = q.offer(make_job(4, priority=2))
+        assert admitted
+        assert evicted is not None and evicted.seq == 2
+        assert q.depth == 3
+
+    def test_depth_never_exceeds_capacity(self):
+        q = AdmissionQueue(4, "shed_oldest")
+        for k in range(50):
+            q.offer(make_job(k))
+            assert q.depth <= 4
+        assert q.stats()["high_water"] <= 4
+
+
+class TestBlockPolicy:
+    def test_timeout_refuses(self):
+        q = AdmissionQueue(1, "block")
+        q.offer(make_job(1))
+        t0 = time.perf_counter()
+        admitted, evicted = q.offer(make_job(2), timeout=0.02)
+        assert not admitted and evicted is None
+        assert time.perf_counter() - t0 >= 0.02
+
+    def test_unblocks_when_space_frees(self):
+        q = AdmissionQueue(1, "block")
+        q.offer(make_job(1))
+        result = {}
+
+        def submitter():
+            result["offer"] = q.offer(make_job(2), timeout=5.0)
+
+        t = threading.Thread(target=submitter)
+        t.start()
+        time.sleep(0.02)
+        assert q.drain(1)  # frees the slot
+        t.join(timeout=5.0)
+        assert result["offer"] == (True, None)
+
+
+class TestDrain:
+    def test_priority_then_fifo_order(self):
+        q = AdmissionQueue(8, "reject")
+        q.offer(make_job(1, priority=0))
+        q.offer(make_job(2, priority=5))
+        q.offer(make_job(3, priority=5))
+        taken = q.drain(3)
+        assert [j.seq for j in taken] == [2, 3, 1]
+
+    def test_respects_max_items(self):
+        q = AdmissionQueue(8, "reject")
+        for k in range(5):
+            q.offer(make_job(k))
+        assert len(q.drain(2)) == 2
+        assert q.depth == 3
+
+    def test_empty_drain_times_out(self):
+        q = AdmissionQueue(2, "reject")
+        assert q.drain(1, timeout=0.01) == []
+
+    def test_closed_queue_hands_out_leftovers(self):
+        q = AdmissionQueue(4, "reject")
+        q.offer(make_job(1))
+        q.close()
+        assert len(q.drain(4)) == 1
+        assert q.drain(4, timeout=0.01) == []
+
+    def test_bad_max_items(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(2, "reject").drain(0)
+
+
+class TestLifecycle:
+    def test_closed_queue_refuses_offers(self):
+        q = AdmissionQueue(2, "reject")
+        q.close()
+        assert q.offer(make_job(1)) == (False, None)
+        assert q.closed
+
+    def test_close_wakes_blocked_submitter(self):
+        q = AdmissionQueue(1, "block")
+        q.offer(make_job(1))
+        result = {}
+
+        def submitter():
+            result["offer"] = q.offer(make_job(2), timeout=10.0)
+
+        t = threading.Thread(target=submitter)
+        t.start()
+        time.sleep(0.02)
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert result["offer"] == (False, None)
+
+    def test_drain_all_empties(self):
+        q = AdmissionQueue(4, "reject")
+        for k in range(3):
+            q.offer(make_job(k))
+        assert len(q.drain_all()) == 3
+        assert q.depth == 0

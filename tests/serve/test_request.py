@@ -1,0 +1,115 @@
+"""Unit tests for the serve request/response/ticket vocabulary."""
+
+import threading
+
+import pytest
+
+from repro.data.random_tensors import random_coo
+from repro.errors import ConfigError, SchedulerError
+from repro.machine.specs import DESKTOP
+from repro.serve import (
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_SHED,
+    TERMINAL_STATUSES,
+    Request,
+    Response,
+    Ticket,
+)
+
+
+@pytest.fixture
+def operands():
+    a = random_coo((10, 8), nnz=20, seed=1)
+    b = random_coo((8, 6), nnz=15, seed=2)
+    return a, b
+
+
+class TestRequest:
+    def test_pairwise_fields(self, operands):
+        a, b = operands
+        req = Request.pairwise(a, b, [(1, 0)], name="r", priority=3,
+                               deadline_s=0.5)
+        assert req.kind == "pairwise"
+        assert req.pairs == ((1, 0),)
+        assert req.priority == 3
+        assert req.deadline_s == 0.5
+
+    def test_network_fields(self, operands):
+        a, b = operands
+        req = Request.network("ij,jk->ik", a, b, name="n")
+        assert req.kind == "network"
+        assert req.operands == (a, b)
+
+    def test_nonpositive_deadline_rejected(self, operands):
+        a, b = operands
+        with pytest.raises(ConfigError):
+            Request.pairwise(a, b, [(1, 0)], deadline_s=0.0)
+        with pytest.raises(ConfigError):
+            Request.network("ij,jk->ik", a, b, deadline_s=-1.0)
+
+    def test_network_needs_operands(self):
+        with pytest.raises(ConfigError):
+            Request.network("ij->ij")
+
+    def test_requests_are_immutable(self, operands):
+        a, b = operands
+        req = Request.pairwise(a, b, [(1, 0)])
+        with pytest.raises(AttributeError):
+            req.priority = 9
+
+
+class TestAffinityKey:
+    def test_same_structure_same_key(self, operands):
+        a, b = operands
+        k1 = Request.pairwise(a, b, [(1, 0)], name="x").affinity_key(DESKTOP)
+        k2 = Request.pairwise(a, b, [(1, 0)], name="y").affinity_key(DESKTOP)
+        assert k1 == k2
+
+    def test_different_structure_different_key(self, operands):
+        a, b = operands
+        c = random_coo((8, 6), nnz=30, seed=3)  # different nnz
+        k1 = Request.pairwise(a, b, [(1, 0)]).affinity_key(DESKTOP)
+        k2 = Request.pairwise(a, c, [(1, 0)]).affinity_key(DESKTOP)
+        assert k1 != k2
+
+    def test_network_key_is_stable(self, operands):
+        a, b = operands
+        k1 = Request.network("ij,jk->ik", a, b).affinity_key(DESKTOP)
+        k2 = Request.network("ij,jk->ik", a, b).affinity_key(DESKTOP)
+        assert k1 == k2
+
+
+class TestResponse:
+    def test_ok_property(self):
+        assert Response(name="r", status=STATUS_OK).ok
+        assert Response(name="r", status=STATUS_DEGRADED).ok
+        assert not Response(name="r", status=STATUS_SHED).ok
+
+    def test_terminal_statuses_cover_the_vocabulary(self):
+        assert set(TERMINAL_STATUSES) == {
+            "ok", "degraded", "shed", "timeout", "failed",
+        }
+
+
+class TestTicket:
+    def test_first_resolution_wins(self):
+        ticket = Ticket()
+        ticket.resolve(Response(name="a", status=STATUS_OK))
+        ticket.resolve(Response(name="b", status=STATUS_SHED))
+        assert ticket.done()
+        assert ticket.result().name == "a"
+
+    def test_wait_timeout_raises(self):
+        ticket = Ticket()
+        with pytest.raises(SchedulerError):
+            ticket.result(timeout=0.01)
+
+    def test_result_unblocks_on_resolve(self):
+        ticket = Ticket()
+        timer = threading.Timer(
+            0.02, ticket.resolve, [Response(name="r", status=STATUS_OK)]
+        )
+        timer.start()
+        assert ticket.result(timeout=5.0).status == STATUS_OK
+        timer.join()

@@ -1,0 +1,132 @@
+"""Unit tests for the SLO metrics layer."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import LatencyHistogram, Response, ServiceMetrics
+from repro.serve.slo import STAGES
+
+
+class TestLatencyHistogram:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(base=0.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(factor=1.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(n_buckets=1)
+
+    def test_quantiles_bound_the_samples(self):
+        hist = LatencyHistogram()
+        samples = [0.001, 0.002, 0.004, 0.008, 0.1]
+        for s in samples:
+            hist.record(s)
+        assert hist.count == 5
+        # Bucket upper bounds: within a factor of 2 above the true value,
+        # clamped to the maximum ever seen.
+        assert max(samples) <= hist.p99 <= max(samples) * 2
+        assert hist.quantile(1.0) == max(samples)
+        # p50's true value is 0.004; the estimate is its bucket's upper
+        # edge, at most one factor-of-2 above.
+        assert 0.004 <= hist.p50 <= 0.008
+
+    def test_mean_is_exact(self):
+        hist = LatencyHistogram()
+        for s in (0.01, 0.03):
+            hist.record(s)
+        assert hist.mean == pytest.approx(0.02)
+
+    def test_negative_clamps_to_zero(self):
+        hist = LatencyHistogram()
+        hist.record(-1.0)
+        assert hist.count == 1
+        assert hist.max_seen == 0.0
+
+    def test_empty_quantile_is_zero(self):
+        assert LatencyHistogram().p99 == 0.0
+
+    def test_bad_quantile(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.01)
+        b.record(0.04)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_seen == 0.04
+
+    def test_merge_layout_mismatch(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().merge(LatencyHistogram(base=1e-3))
+
+    def test_to_json_shape(self):
+        hist = LatencyHistogram()
+        hist.record(0.005)
+        doc = hist.to_json()
+        assert doc["count"] == 1
+        assert doc["max_seconds"] == 0.005
+        assert len(doc["buckets_le"]) == 1
+
+    def test_concurrent_records_are_all_counted(self):
+        hist = LatencyHistogram()
+        n, threads = 500, 8
+
+        def worker():
+            for _ in range(n):
+                hist.record(0.001)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert hist.count == n * threads
+
+
+class TestServiceMetrics:
+    def test_observe_tallies_everything(self):
+        metrics = ServiceMetrics()
+        metrics.note_submitted()
+        metrics.observe(Response(
+            name="r", status="degraded", degrade_rung="cheap-path",
+            timings={"queue_wait": 0.001, "execute": 0.002, "total": 0.004},
+        ))
+        assert metrics.submitted == 1
+        assert metrics.completed == 1
+        assert metrics.statuses["degraded"] == 1
+        assert metrics.degrade_rungs == {"cheap-path": 1}
+        for stage in STAGES:
+            assert metrics.stages[stage].count == 1
+
+    def test_rate(self):
+        metrics = ServiceMetrics()
+        for status in ("ok", "ok", "shed", "timeout"):
+            metrics.observe(Response(name="r", status=status))
+        assert metrics.rate("ok") == pytest.approx(0.5)
+        assert metrics.rate("shed") == pytest.approx(0.25)
+        assert ServiceMetrics().rate("ok") == 0.0
+
+    def test_to_json_keys(self):
+        metrics = ServiceMetrics()
+        metrics.observe(Response(name="r", status="ok",
+                                 timings={"total": 0.01}))
+        doc = metrics.to_json()
+        assert set(doc) == {
+            "submitted", "completed", "statuses", "degrade_rungs",
+            "latency", "kernel_counters",
+        }
+        assert set(doc["latency"]) == set(STAGES)
+
+    def test_render_mentions_statuses_and_stages(self):
+        metrics = ServiceMetrics()
+        metrics.note_submitted()
+        metrics.observe(Response(name="r", status="ok",
+                                 timings={"total": 0.01}))
+        text = metrics.render()
+        assert "1 submitted, 1 completed" in text
+        assert "ok=1" in text
+        assert "total" in text

@@ -32,6 +32,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.policy == "reject"
+        assert args.capacity == 64
+        assert args.workers == 2
+        assert args.closed == 0
+        assert not args.demo
+
+    def test_serve_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "drop"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -123,6 +135,38 @@ class TestBatchCommand:
         assert main(["batch", "uber_123", "--cache-file", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "plan cache: 1 hits / 0 misses" in out
+
+
+class TestServeCommand:
+    def test_demo_quick_passes_the_smoke_bars(self, capsys):
+        """The CI smoke step: bounded queue holds, nothing fails."""
+        assert main(["serve", "--demo", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "demo PASS" in out
+        assert "phase 2 — overload" in out
+
+    def test_open_loop_run_prints_slo_report(self, capsys):
+        rc = main([
+            "serve", "--requests", "8", "--rate", "200",
+            "--signatures", "2", "--capacity", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "open-loop: 8 requests" in out
+        assert "statuses:" in out
+
+    def test_closed_loop_json_document(self, capsys):
+        import json
+
+        rc = main([
+            "serve", "--requests", "6", "--closed", "2", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["load"]["mode"] == "closed"
+        assert doc["load"]["statuses"].get("ok") == 6
+        assert "queue" in doc["service"]
+        assert "latency" in doc["service"]
 
 
 class TestDnfHandling:
