@@ -39,6 +39,7 @@ HARNESSES = [
     "bench_validation_matrix",
     "bench_runtime_cache",
     "bench_serve_slo",
+    "bench_serve_shards",
 ]
 
 

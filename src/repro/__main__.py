@@ -380,12 +380,58 @@ def _audit_hazards(
     return out
 
 
+def _serve_backend(args, machine, config):
+    """The serving backend the CLI flags select.
+
+    ``--shards 1`` (the default) runs the in-process
+    :class:`~repro.serve.ContractionService`; ``--shards N`` fronts N
+    spawned shard processes with the consistent-hash
+    :class:`~repro.serve.ShardRouter`.  Both speak the same
+    ``submit``/context-manager surface, so the load generators drive
+    either.
+    """
+    from repro.serve import ContractionService, ShardedConfig, ShardRouter
+
+    if args.shards > 1:
+        sharded = ShardedConfig(
+            n_shards=args.shards,
+            service=config,
+            cache_dir=getattr(args, "cache_dir", None),
+        )
+        return ShardRouter(machine=machine, config=sharded)
+    return ContractionService(machine=machine, config=config)
+
+
+def _render_service(service) -> str:
+    """Human-readable metrics for either backend."""
+    metrics = getattr(service, "metrics", None)
+    if metrics is not None:
+        return metrics.render()
+    doc = service.metrics_json()
+    router = doc["router"]
+    agg = doc["aggregate"]
+    lines = [
+        f"sharded service: {router['live_shards']}/{router['n_shards']} "
+        f"shards live, deaths={router['deaths']}, "
+        f"requeued={router['requeued']}, respawns={router['respawns']}",
+        f"  aggregate statuses: {agg['statuses']}",
+        f"  aggregate plan hit rate: "
+        f"{agg['runtime']['plan_hit_rate']:.1%}",
+    ]
+    for shard_id, shard in sorted(doc["shards"].items()):
+        runtime = shard.get("runtime", {})
+        lines.append(
+            f"  shard {shard_id}: statuses {shard['statuses']}, "
+            f"plan hit rate {runtime.get('plan_hit_rate', 0.0):.1%}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_serve(args) -> int:
     import json
 
     from repro.machine.specs import DESKTOP, SERVER
     from repro.serve import (
-        ContractionService,
         ServiceConfig,
         run_closed_loop,
         run_open_loop,
@@ -409,10 +455,10 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         deadline_s=args.deadline,
     )
-    with ContractionService(machine=machine, config=config) as service:
+    with _serve_backend(args, machine, config) as service:
         if args.closed:
             report = run_closed_loop(
-                service, requests, concurrency=args.closed
+                service, requests, concurrency=args.closed, seed=args.seed
             )
         else:
             report = run_open_loop(
@@ -424,7 +470,7 @@ def _cmd_serve(args) -> int:
         else:
             print(report.render())
             print()
-            print(service.metrics.render())
+            print(_render_service(service))
     return 0
 
 
@@ -434,15 +480,16 @@ def _serve_demo(args, machine) -> int:
     Phase 1 measures capacity closed-loop; phase 2 offers a multiple of
     it open-loop against a small bounded queue so the admission policy
     visibly sheds.  Exit is nonzero if any request fails outright or
-    the queue ever exceeds its bound.
+    the queue ever exceeds its bound.  With ``--shards N`` the same
+    two phases run against the process-sharded router instead.
     """
     from repro.serve import (
-        ContractionService,
         ServiceConfig,
         run_closed_loop,
         run_open_loop,
         synthetic_requests,
     )
+    from repro.serve.loadgen import _queue_stats
 
     n = 12 if args.quick else 60
     capacity = 4 if args.quick else 16
@@ -451,8 +498,10 @@ def _serve_demo(args, machine) -> int:
         n_workers=args.workers, max_batch=args.max_batch,
     )
     requests = synthetic_requests(n, n_signatures=3, seed=args.seed)
-    with ContractionService(machine=machine, config=config) as service:
-        closed = run_closed_loop(service, requests, concurrency=2)
+    with _serve_backend(args, machine, config) as service:
+        closed = run_closed_loop(
+            service, requests, concurrency=2, seed=args.seed
+        )
         print("phase 1 — capacity (closed loop):")
         print(closed.render())
         # Offer well above the measured capacity so shedding engages.
@@ -462,9 +511,9 @@ def _serve_demo(args, machine) -> int:
         )
         print("\nphase 2 — overload (open loop):")
         print(open_report.render())
-        queue_stats = service.queue.stats()
+        queue_stats = _queue_stats(service)
         print()
-        print(service.metrics.render())
+        print(_render_service(service))
         ok = (
             open_report.statuses.get("failed", 0) == 0
             and closed.statuses.get("failed", 0) == 0
@@ -609,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use N closed-loop clients instead of the "
                             "open-loop Poisson generator")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--shards", type=int, default=1,
+                       help="front N shard processes with the "
+                            "consistent-hash router (1 = in-process)")
+    serve.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="per-shard plan-cache directory for "
+                            "warm-start across restarts")
     serve.add_argument("--machine", default="desktop",
                        choices=["desktop", "server"])
     serve.add_argument("--json", action="store_true",

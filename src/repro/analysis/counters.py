@@ -38,7 +38,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, fields
 
-__all__ = ["Counters", "ensure_counters"]
+__all__ = ["Counters", "ensure_counters", "merge_snapshots"]
 
 #: Serializes cross-thread aggregation (merge/snapshot/reset).  One
 #: module-level lock keeps the dataclass field list clean and is
@@ -93,6 +93,26 @@ class Counters:
         with _AGGREGATE_LOCK:
             for f in fields(self):
                 setattr(self, f.name, 0)
+
+
+def merge_snapshots(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+    """Merge two :meth:`Counters.snapshot` dicts (pure, associative).
+
+    This is the cross-process face of :meth:`Counters.merge`: shard
+    worker processes export snapshots over IPC and the router folds
+    them into one aggregate, so the merge must work on plain dicts and
+    must be associative (the router merges in whatever order shards
+    reply).  Every field sums except ``workspace_cells``, which is a
+    peak — both sum and max are associative, so any fold order yields
+    the same aggregate.
+    """
+    out = dict(a)
+    for name, value in b.items():
+        if name == "workspace_cells":
+            out[name] = max(out.get(name, 0), value)
+        else:
+            out[name] = out.get(name, 0) + value
+    return out
 
 
 def ensure_counters(counters: Counters | None) -> Counters:

@@ -343,6 +343,20 @@ class ContractionRuntime:
         """Persist the plan cache to its configured path, if any."""
         return self.plan_cache.flush()
 
+    def warm_start(self, path) -> int:
+        """Merge persisted Algorithm 7 decisions into the plan cache.
+
+        The cross-process half of plan-cache reuse: a shard (or any
+        fresh runtime) loads another process's exported cache and its
+        first call on a covered signature is already warm.  Returns the
+        number of entries in the file; corruption is a recorded no-op.
+        """
+        return self.plan_cache.load(path)
+
+    def export_plans(self, path) -> str:
+        """Write the current plan cache to ``path`` (atomic JSON)."""
+        return self.plan_cache.save(path)
+
     def metrics(self) -> dict:
         """Aggregate runtime metrics (counter-derived, JSON-friendly)."""
         c = self.counters

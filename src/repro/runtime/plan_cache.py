@@ -189,8 +189,30 @@ class PlanCache:
         """Persist to the default path, if one was configured."""
         return self.save() if self.path is not None else None
 
-    def _load(self, path: str) -> None:
-        """Warm from a JSON file; corruption degrades to a cold cache."""
+    def load(self, path: str | os.PathLike, *, replace: bool = False) -> int:
+        """Warm-start from a JSON cache file; returns entries loaded.
+
+        By default loaded entries *merge under* the live ones (an entry
+        already decided in this process wins over the persisted copy —
+        it is at least as fresh).  ``replace=True`` drops the live
+        entries first.  Corrupt files degrade to a no-op with the
+        problem recorded on :attr:`load_error`, same as construction.
+        """
+        loaded = self._parse(os.fspath(path))
+        if loaded is None:
+            return 0
+        with self._lock:
+            if replace:
+                self._entries = loaded
+            else:
+                for key, cached in loaded.items():
+                    self._entries.setdefault(key, cached)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return len(loaded)
+
+    def _parse(self, path: str) -> "OrderedDict[str, CachedPlan] | None":
+        """Parse one cache file; ``None`` (plus ``load_error``) on corruption."""
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
@@ -205,6 +227,13 @@ class PlanCache:
             # json.JSONDecodeError subclasses ValueError; a bad field
             # set raises TypeError from the dataclass constructor.
             self.load_error = f"{type(exc).__name__}: {exc}"
+            return None
+        return entries
+
+    def _load(self, path: str) -> None:
+        """Warm from a JSON file; corruption degrades to a cold cache."""
+        entries = self._parse(path)
+        if entries is None:
             return
         with self._lock:
             self._entries = entries

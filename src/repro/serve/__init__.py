@@ -46,12 +46,21 @@ from repro.serve.request import (
     Response,
     Ticket,
 )
+from repro.serve.router import ShardedConfig, ShardRouter
 from repro.serve.service import ContractionService, ServiceConfig
-from repro.serve.slo import LatencyHistogram, ServiceMetrics
+from repro.serve.shard_worker import ShardSpec
+from repro.serve.sharding import HashRing, ring_shares, suggest_weights
+from repro.serve.slo import (
+    LatencyHistogram,
+    ServiceMetrics,
+    merge_histogram_json,
+    merge_metrics_json,
+)
 
 __all__ = [
     "AdmissionQueue",
     "ContractionService",
+    "HashRing",
     "Job",
     "LatencyHistogram",
     "LoadReport",
@@ -60,6 +69,9 @@ __all__ = [
     "Response",
     "ServiceConfig",
     "ServiceMetrics",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedConfig",
     "STATUS_DEGRADED",
     "STATUS_FAILED",
     "STATUS_OK",
@@ -69,8 +81,12 @@ __all__ = [
     "Ticket",
     "affinity_groups",
     "affinity_order",
+    "merge_histogram_json",
+    "merge_metrics_json",
     "plan_microbatches",
+    "ring_shares",
     "run_closed_loop",
     "run_open_loop",
+    "suggest_weights",
     "synthetic_requests",
 ]

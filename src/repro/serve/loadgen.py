@@ -30,7 +30,6 @@ import numpy as np
 from repro.data.random_tensors import random_coo
 from repro.errors import ConfigError
 from repro.serve.request import Request
-from repro.serve.service import ContractionService
 
 __all__ = [
     "LoadReport",
@@ -42,7 +41,13 @@ __all__ = [
 
 @dataclass
 class LoadReport:
-    """Outcome of one load-generation run."""
+    """Outcome of one load-generation run.
+
+    ``seed`` records the RNG seed the generator actually ran with
+    (``None`` when the caller supplied a pre-built generator), so a
+    benchmark JSON document carries everything needed to reproduce the
+    arrival process bit-for-bit.
+    """
 
     mode: str                 # "open" | "closed"
     n_requests: int
@@ -53,6 +58,7 @@ class LoadReport:
     p95_s: float = 0.0
     p99_s: float = 0.0
     queue_high_water: int = 0
+    seed: int | None = None
 
     @property
     def achieved_rps(self) -> float:
@@ -78,6 +84,7 @@ class LoadReport:
             "p95_s": self.p95_s,
             "p99_s": self.p99_s,
             "queue_high_water": self.queue_high_water,
+            "seed": self.seed,
         }
 
     def render(self) -> str:
@@ -136,8 +143,37 @@ def synthetic_requests(
     return out
 
 
+def _resolve_rng(
+    seed: int | None, rng: np.random.Generator | None
+) -> tuple[np.random.Generator, int | None]:
+    """One RNG for a generator run, plus the seed to document.
+
+    An explicit ``rng`` wins (its seed is unknowable, so the report
+    carries ``None``); otherwise the generator is built from ``seed``,
+    which is what lands in the report/benchmark JSON — the whole
+    arrival process is reproducible from that one integer.
+    """
+    if rng is not None:
+        return rng, None
+    used = 0 if seed is None else int(seed)
+    return np.random.default_rng(used), used
+
+
+def _queue_stats(service) -> dict:
+    """Queue stats from either a service or a sharded router.
+
+    :class:`ContractionService` exposes ``queue.stats()``; the
+    process-sharded :class:`~repro.serve.router.ShardRouter` exposes
+    the same shape as ``queue_stats()``.
+    """
+    stats = getattr(service, "queue_stats", None)
+    if callable(stats):
+        return stats()
+    return service.queue.stats()
+
+
 def _aggregate(
-    service: ContractionService,
+    service,
     tickets,
     requests,
     *,
@@ -145,6 +181,7 @@ def _aggregate(
     offered_rps: float,
     duration_s: float,
     wait_timeout_s: float,
+    seed: int | None = None,
 ) -> LoadReport:
     statuses: dict[str, int] = {}
     latencies = []
@@ -169,22 +206,29 @@ def _aggregate(
         p50_s=pct(0.50),
         p95_s=pct(0.95),
         p99_s=pct(0.99),
-        queue_high_water=service.queue.stats()["high_water"],
+        queue_high_water=_queue_stats(service)["high_water"],
+        seed=seed,
     )
 
 
 def run_open_loop(
-    service: ContractionService,
+    service,
     requests,
     rate_rps: float,
     *,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
     wait_timeout_s: float = 60.0,
 ) -> LoadReport:
-    """Submit with Poisson inter-arrival gaps at ``rate_rps``; wait all."""
+    """Submit with Poisson inter-arrival gaps at ``rate_rps``; wait all.
+
+    Arrivals are fully determined by ``seed`` (or by an explicit
+    ``rng``, which takes precedence); the seed used is recorded on the
+    returned report so benchmark JSON documents the run.
+    """
     if rate_rps <= 0:
         raise ConfigError(f"rate_rps must be > 0, got {rate_rps}")
-    rng = np.random.default_rng(seed)
+    rng, used_seed = _resolve_rng(seed, rng)
     gaps = rng.exponential(1.0 / rate_rps, size=len(requests))
     tickets = []
     t_start = time.perf_counter()
@@ -200,25 +244,40 @@ def run_open_loop(
         service, tickets, requests,
         mode="open", offered_rps=rate_rps,
         duration_s=submit_done - t_start, wait_timeout_s=wait_timeout_s,
+        seed=used_seed,
     )
     return report
 
 
 def run_closed_loop(
-    service: ContractionService,
+    service,
     requests,
     *,
     concurrency: int = 4,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+    think_time_s: float = 0.0,
     wait_timeout_s: float = 60.0,
 ) -> LoadReport:
-    """N clients each submit-wait-repeat until the stream is drained."""
+    """N clients each submit-wait-repeat until the stream is drained.
+
+    With ``think_time_s > 0`` each client sleeps an exponentially
+    distributed think time (mean ``think_time_s``) between requests;
+    the per-client think-time streams are split deterministically off
+    ``seed``/``rng``, so a closed-loop run is reproducible from the one
+    recorded seed exactly like the open-loop generator.
+    """
     if concurrency < 1:
         raise ConfigError(f"concurrency must be >= 1, got {concurrency}")
+    if think_time_s < 0:
+        raise ConfigError(f"think_time_s must be >= 0, got {think_time_s}")
+    root_rng, used_seed = _resolve_rng(seed, rng)
+    client_rngs = root_rng.spawn(concurrency) if think_time_s > 0 else None
     tickets = [None] * len(requests)
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
 
-    def client() -> None:
+    def client(k: int) -> None:
         while True:
             with cursor_lock:
                 i = cursor["next"]
@@ -228,10 +287,12 @@ def run_closed_loop(
             ticket = service.submit(requests[i])
             tickets[i] = ticket
             ticket.result(wait_timeout_s)
+            if client_rngs is not None:
+                time.sleep(client_rngs[k].exponential(think_time_s))
 
     t_start = time.perf_counter()
     threads = [
-        threading.Thread(target=client, name=f"loadgen-client-{k}")
+        threading.Thread(target=client, args=(k,), name=f"loadgen-client-{k}")
         for k in range(min(concurrency, max(1, len(requests))))
     ]
     for t in threads:
@@ -243,4 +304,5 @@ def run_closed_loop(
         service, tickets, requests,
         mode="closed", offered_rps=0.0,
         duration_s=duration, wait_timeout_s=wait_timeout_s,
+        seed=used_seed,
     )

@@ -19,11 +19,17 @@ from __future__ import annotations
 
 import threading
 
-from repro.analysis.counters import Counters
+from repro.analysis.counters import Counters, merge_snapshots
 from repro.errors import ConfigError
 from repro.serve.request import TERMINAL_STATUSES, Response
 
-__all__ = ["LatencyHistogram", "ServiceMetrics", "STAGES"]
+__all__ = [
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "STAGES",
+    "merge_histogram_json",
+    "merge_metrics_json",
+]
 
 #: Pipeline stages every request is timed across.
 STAGES = ("queue_wait", "execute", "total")
@@ -172,6 +178,29 @@ class ServiceMetrics:
             if stage in response.timings:
                 hist.record(response.timings[stage])
 
+    def merge(self, other: "ServiceMetrics") -> "ServiceMetrics":
+        """Fold another tally into this one (in-process aggregation).
+
+        The cross-process equivalent — shards exporting JSON snapshots
+        over IPC — goes through :func:`merge_metrics_json` instead.
+        """
+        with other._lock:
+            submitted = other.submitted
+            completed = other.completed
+            statuses = dict(other.statuses)
+            rungs = dict(other.degrade_rungs)
+        with self._lock:
+            self.submitted += submitted
+            self.completed += completed
+            for status, n in statuses.items():
+                self.statuses[status] = self.statuses.get(status, 0) + n
+            for rung, n in rungs.items():
+                self.degrade_rungs[rung] = self.degrade_rungs.get(rung, 0) + n
+        for stage, hist in self.stages.items():
+            hist.merge(other.stages[stage])
+        self.kernel.merge(other.kernel)
+        return self
+
     def rate(self, status: str) -> float:
         """Fraction of completed requests with the given status."""
         with self._lock:
@@ -222,3 +251,176 @@ class ServiceMetrics:
                     f"mean={hist.mean * 1e3:8.2f}ms  (n={hist.count})"
                 )
         return "\n".join(lines)
+
+
+# -- cross-process snapshot merging -------------------------------------
+#
+# Shard worker processes export `ContractionService.metrics_json()`
+# documents over IPC; the router folds them into one aggregate view.
+# The merge works on the plain JSON dicts (no live objects cross the
+# process boundary) and every rule is associative — sums, key-wise
+# sums, maxima — with derived fields (rates, quantiles, means)
+# recomputed from the merged primaries, so the fold order in which
+# shards happen to reply cannot change the aggregate.
+
+#: Snapshot keys that merge by maximum (peaks), not by sum.
+_MAX_KEYS = frozenset({"high_water", "max_seconds", "workspace_cells"})
+
+#: Snapshot keys recomputed from merged primaries (never summed).
+_DERIVED_KEYS = frozenset({
+    "mean_seconds", "p50", "p95", "p99",
+    "plan_hit_rate", "table_reuse_rate", "estimated_speedup",
+    "network_plan_hit_rate",
+    "pairwise_plan_hit_rate", "pairwise_table_reuse_rate",
+    "pairwise_estimated_speedup",
+})
+
+
+def merge_histogram_json(a: dict, b: dict) -> dict:
+    """Merge two :meth:`LatencyHistogram.to_json` documents.
+
+    Buckets are keyed by their upper edge (``None`` = the unbounded
+    overflow bucket); counts sum, the peak takes the max, and the
+    quantiles are re-read from the merged buckets with the same
+    upper-edge rule the live histogram uses.
+    """
+    buckets: dict = {}
+    for doc in (a, b):
+        for edge, count in doc.get("buckets_le", []):
+            buckets[edge] = buckets.get(edge, 0) + count
+    count = a.get("count", 0) + b.get("count", 0)
+    total = a.get("total_seconds", 0.0) + b.get("total_seconds", 0.0)
+    max_seen = max(a.get("max_seconds", 0.0), b.get("max_seconds", 0.0))
+    ordered = sorted(
+        buckets.items(), key=lambda kv: (kv[0] is None, kv[0])
+    )
+
+    def quantile(q: float) -> float:
+        if count == 0:
+            return 0.0
+        rank = q * count
+        seen = 0
+        for edge, c in ordered:
+            seen += c
+            if seen >= rank and c:
+                if edge is None:
+                    return max_seen
+                return min(edge, max_seen)
+        return max_seen
+
+    return {
+        "count": count,
+        "total_seconds": total,
+        "mean_seconds": total / count if count else 0.0,
+        "max_seconds": max_seen,
+        "p50": quantile(0.50),
+        "p95": quantile(0.95),
+        "p99": quantile(0.99),
+        "buckets_le": [[edge, c] for edge, c in ordered],
+    }
+
+
+def _merge_numeric_section(a: dict, b: dict) -> dict:
+    """Key-wise merge of a flat metrics dict: sums, peaks, recomputed
+    rates, and ``'mixed'`` markers for disagreeing labels."""
+    out: dict = {}
+    for key in list(a) + [k for k in b if k not in a]:
+        va, vb = a.get(key), b.get(key)
+        if va is None or vb is None:
+            out[key] = va if vb is None else vb
+        elif key in _DERIVED_KEYS:
+            continue
+        elif isinstance(va, bool) or isinstance(vb, bool):
+            out[key] = va and vb
+        elif isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            out[key] = max(va, vb) if key in _MAX_KEYS else va + vb
+        else:
+            out[key] = va if va == vb else "mixed"
+    _recompute_derived(out)
+    return out
+
+
+def _recompute_derived(d: dict) -> None:
+    """Rebuild rate/speedup fields from their merged inputs, in place."""
+
+    def ratio(hits, misses):
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    for prefix in ("", "pairwise_"):
+        if f"{prefix}plan_cache_hits" in d:
+            d[f"{prefix}plan_hit_rate"] = ratio(
+                d[f"{prefix}plan_cache_hits"],
+                d.get(f"{prefix}plan_cache_misses", 0),
+            )
+        if f"{prefix}table_reuse_hits" in d:
+            d[f"{prefix}table_reuse_rate"] = ratio(
+                d[f"{prefix}table_reuse_hits"],
+                d.get(f"{prefix}table_builds", 0),
+            )
+        if f"{prefix}measured_seconds" in d:
+            measured = d[f"{prefix}measured_seconds"]
+            saved = d.get(f"{prefix}seconds_saved", 0.0)
+            d[f"{prefix}estimated_speedup"] = (
+                (measured + saved) / measured if measured > 0 else 1.0
+            )
+    if "network_plan_hits" in d:
+        d["network_plan_hit_rate"] = ratio(
+            d["network_plan_hits"], d.get("network_plan_misses", 0)
+        )
+
+
+def _merge_two_metrics(a: dict, b: dict) -> dict:
+    """Merge two ``metrics_json`` documents (associative)."""
+    out: dict = {}
+    keys = list(a) + [k for k in b if k not in a]
+    for key in keys:
+        va, vb = a.get(key), b.get(key)
+        if va is None or vb is None:
+            out[key] = va if vb is None else vb
+        elif key in ("statuses", "degrade_rungs"):
+            merged = dict(va)
+            for name, n in vb.items():
+                merged[name] = merged.get(name, 0) + n
+            out[key] = merged
+        elif key == "latency":
+            out[key] = {
+                stage: merge_histogram_json(va.get(stage, {}), vb.get(stage, {}))
+                for stage in {*va, *vb}
+            }
+        elif key == "kernel_counters":
+            out[key] = merge_snapshots(va, vb)
+        elif key in ("queue", "runtime", "network"):
+            out[key] = _merge_numeric_section(va, vb)
+        elif isinstance(va, bool) or isinstance(vb, bool):
+            out[key] = va and vb
+        elif isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            out[key] = max(va, vb) if key in _MAX_KEYS else va + vb
+        else:
+            out[key] = va if va == vb else "mixed"
+    return out
+
+
+def merge_metrics_json(snapshots) -> dict:
+    """Fold per-shard ``metrics_json`` snapshots into one aggregate.
+
+    Associative and order-independent in the merged primaries: counts
+    and seconds sum, peaks take the max, histograms merge bucket-wise,
+    kernel counters go through
+    :func:`repro.analysis.counters.merge_snapshots`, and derived fields
+    (hit rates, quantiles, speedups) are recomputed from the merged
+    inputs rather than averaged.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        return {}
+    merged = dict(snapshots[0])
+    # Normalize the first snapshot's derived fields through the same
+    # path later merges take, so a single-shard aggregate is identical
+    # to a two-shard aggregate with an empty peer.
+    for section in ("queue", "runtime", "network"):
+        if isinstance(merged.get(section), dict):
+            merged[section] = _merge_numeric_section(merged[section], {})
+    for other in snapshots[1:]:
+        merged = _merge_two_metrics(merged, other)
+    return merged

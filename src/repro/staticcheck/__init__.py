@@ -49,6 +49,7 @@ from repro.staticcheck.service_lint import (
     lint_request_deadline,
     lint_service_config,
 )
+from repro.staticcheck.shard_lint import lint_ring_balance, lint_shard_config
 
 __all__ = [
     "CODES",
@@ -69,7 +70,9 @@ __all__ = [
     "lint_file",
     "lint_problem",
     "lint_request_deadline",
+    "lint_ring_balance",
     "lint_service_config",
+    "lint_shard_config",
     "lint_source",
     "lint_tree",
     "make_diagnostic",

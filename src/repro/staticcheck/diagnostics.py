@@ -107,6 +107,8 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC301": (ERROR, "service admission queue is unbounded or undrainable"),
     "FSTC302": (WARNING, "request deadline below the model-predicted cost floor"),
     "FSTC303": (WARNING, "worker pool oversubscribes the machine's cores"),
+    "FSTC304": (WARNING, "shard processes oversubscribe the host's CPUs"),
+    "FSTC305": (WARNING, "consistent-hash ring is pathologically unbalanced"),
 }
 
 

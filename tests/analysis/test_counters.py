@@ -1,6 +1,6 @@
 """Unit tests for the counters."""
 
-from repro.analysis.counters import Counters, ensure_counters
+from repro.analysis.counters import Counters, ensure_counters, merge_snapshots
 
 
 class TestCounters:
@@ -39,3 +39,38 @@ class TestCounters:
         c = ensure_counters(None)
         assert isinstance(c, Counters)
         assert ensure_counters(None) is not c
+
+
+class TestMergeSnapshots:
+    """Dict-level merge used for cross-process (serialized) counters."""
+
+    def test_sums_and_peaks_match_live_merge(self):
+        a = Counters(hash_queries=5, probes=2, workspace_cells=10)
+        b = Counters(hash_queries=3, probes=7, workspace_cells=20)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged == a.merge(b).snapshot()
+
+    def test_associative_and_commutative(self):
+        snaps = [
+            Counters(hash_queries=1, workspace_cells=5).snapshot(),
+            Counters(data_volume=9, workspace_cells=50).snapshot(),
+            Counters(probes=4, workspace_cells=2).snapshot(),
+        ]
+        a, b, c = snaps
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    def test_missing_keys_treated_as_zero(self):
+        full = Counters(hash_queries=4).snapshot()
+        merged = merge_snapshots(full, {"hash_queries": 1})
+        assert merged["hash_queries"] == 5
+        assert merged["probes"] == 0
+
+    def test_inputs_not_mutated(self):
+        a = Counters(hash_queries=2).snapshot()
+        b = Counters(hash_queries=3).snapshot()
+        merge_snapshots(a, b)
+        assert a["hash_queries"] == 2
+        assert b["hash_queries"] == 3

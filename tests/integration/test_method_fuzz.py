@@ -11,13 +11,20 @@ path that produced the same plan.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import COOTensor, contract
 from repro.errors import PlanError
 from repro.machine.specs import DESKTOP
-from repro.serve import ContractionService, Request, ServiceConfig
+from repro.serve import (
+    ContractionService,
+    Request,
+    ServiceConfig,
+    ShardedConfig,
+    ShardRouter,
+)
 from repro.tensors.dense import dense_contract
 
 ALL_METHODS = ["fastcc", "sparta", "sparta_improved", "taco", "taco_mm", "ci", "cm", "co"]
@@ -81,6 +88,34 @@ def test_serve_differential_bitwise(problem):
                 response.result.values, expected.values,
                 err_msg=f"policy={policy}, degraded={force_degraded}",
             )
+
+
+@pytest.fixture(scope="module")
+def sharded_router():
+    """One 2-shard router shared by the whole fuzz module (spawning
+    processes per example would dominate the run)."""
+    config = ShardedConfig(
+        n_shards=2,
+        service=ServiceConfig(queue_capacity=8, policy="block", n_workers=1),
+    )
+    with ShardRouter(machine=DESKTOP, config=config) as router:
+        yield router
+
+
+@settings(max_examples=5, deadline=None)
+@given(problem=self_contraction_problems())
+def test_sharded_serve_differential_bitwise(sharded_router, problem):
+    """Process sharding must not change a single bit either: the shard
+    worker runs the same runtime the direct call does, and results only
+    cross the IPC boundary by pickling."""
+    tensor, pairs = problem
+    expected = contract(tensor, tensor, pairs)
+    response = sharded_router.call(
+        Request.pairwise(tensor, tensor, pairs), timeout=60.0
+    )
+    assert response.ok, response.detail
+    np.testing.assert_array_equal(response.result.coords, expected.coords)
+    np.testing.assert_array_equal(response.result.values, expected.values)
 
 
 @settings(max_examples=30, deadline=None)

@@ -192,3 +192,74 @@ class TestPersistence:
         # The *most* recent entries survive the truncation.
         assert sig(5) in small and sig(3) in small
         assert sig(0) not in small
+
+
+class TestWarmStart:
+    """Cross-process plan reuse: one cache exports, another load()s."""
+
+    def test_load_merges_under_live_entries(self, tmp_path):
+        path = tmp_path / "shard_a.json"
+        _, plan = make_plan()
+        donor = PlanCache(maxsize=8)
+        donor.put(sig(0), plan)
+        donor.put(sig(1), plan)
+        donor.save(path)
+
+        fresh = PlanCache(maxsize=8)
+        fresh.put(sig(1), plan)  # live entry must win over the file's
+        live = fresh.get(sig(1))
+        assert fresh.load(path) == 2
+        assert len(fresh) == 2
+        assert fresh.get(sig(0)) is not None
+        assert fresh.get(sig(1)) == live
+
+    def test_load_replace_drops_live_entries(self, tmp_path):
+        path = tmp_path / "shard_a.json"
+        _, plan = make_plan()
+        donor = PlanCache(maxsize=8)
+        donor.put(sig(0), plan)
+        donor.save(path)
+
+        fresh = PlanCache(maxsize=8)
+        fresh.put(sig(5), plan)
+        assert fresh.load(path, replace=True) == 1
+        assert sig(0) in fresh and sig(5) not in fresh
+
+    def test_load_corrupt_file_is_recorded_noop(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ nope")
+        _, plan = make_plan()
+        cache = PlanCache(maxsize=4)
+        cache.put(sig(0), plan)
+        assert cache.load(path) == 0
+        assert cache.load_error is not None
+        assert sig(0) in cache
+
+    def test_load_respects_maxsize(self, tmp_path):
+        path = tmp_path / "big.json"
+        _, plan = make_plan()
+        donor = PlanCache(maxsize=16)
+        for n in range(6):
+            donor.put(sig(n), plan)
+        donor.save(path)
+        small = PlanCache(maxsize=3)
+        small.load(path)
+        assert len(small) == 3
+
+    def test_runtime_warm_start_and_export(self, tmp_path):
+        from repro.data.random_tensors import random_coo
+        from repro.runtime import ContractionRuntime
+
+        path = tmp_path / "plans.json"
+        a = random_coo((24, 16), nnz=80, seed=41)
+        b = random_coo((16, 20), nnz=80, seed=42)
+
+        donor = ContractionRuntime(DESKTOP)
+        donor.contract(a, b, [(1, 0)])
+        assert donor.export_plans(path) == str(path)
+
+        warmed = ContractionRuntime(DESKTOP)
+        assert warmed.warm_start(path) == 1
+        warmed.contract(a, b, [(1, 0)])
+        assert warmed.counters.plan_cache_hits == 1
+        assert warmed.counters.plan_cache_misses == 0
