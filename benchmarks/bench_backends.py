@@ -1,0 +1,132 @@
+"""Cross-backend kernel timings: the pluggable-backend dividend.
+
+Runs the same pairwise contractions through every detected
+:mod:`repro.backends` backend and reports per-backend wall clock next
+to the ``numpy`` reference.  Two workload families:
+
+* **high-sparsity synthetic pairs** — square matrix products at
+  densities around ``5e-4``, the regime the ``auto`` policy routes to
+  scipy: SpGEMM's compiled inner loop must beat the tiled Python
+  kernel here (the acceptance bar below);
+* **registry cases** — a slice of the paper's Table 3 problems, where
+  backends mostly ride the same tiled kernel and the bar is parity,
+  not speedup.
+
+Every backend's output is differentially checked against the reference
+before its timing is accepted (a fast wrong answer is not a result).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_backends.py``
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from common import effective_repeats
+from repro import contract
+from repro.backends import available_backends, backend_status
+from repro.data.random_tensors import random_coo
+from repro.data.registry import get_case
+
+#: (name, extent, nnz): density = nnz / extent^2.
+SYNTHETIC_CASES = [
+    ("sp-3000-d5e-4", 3000, 4500),
+    ("sp-3000-d2e-3", 3000, 18000),
+    ("sp-1500-d1e-3", 1500, 2250),
+]
+
+REGISTRY_CASES = ["chic_01", "NIPS_23"]
+
+#: Acceptance: scipy must beat the reference on at least one
+#: high-sparsity synthetic pair by this factor.
+SCIPY_SPEEDUP_FLOOR = 1.05
+
+
+def _load_synthetic(extent: int, nnz: int):
+    left = random_coo((extent, extent), nnz, seed=11)
+    right = random_coo((extent, extent), nnz, seed=13)
+    return left, right, [(1, 0)]
+
+
+def _time_backend(backend: str, left, right, pairs, repeats: int):
+    """Median wall clock plus the dense-checked output."""
+    out = None
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = contract(left, right, pairs, backend=backend)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), out
+
+
+def bench_case(label, left, right, pairs, backends, repeats):
+    density = left.nnz / max(1, int(np.prod(left.shape)))
+    rows = {}
+    reference = None
+    for backend in backends:
+        seconds, out = _time_backend(backend, left, right, pairs, repeats)
+        if backend == "numpy":
+            reference = out
+        rows[backend] = (seconds, out)
+    checked = {}
+    for backend, (seconds, out) in rows.items():
+        if reference is not None and not reference.allclose(
+            out, rtol=1e-8, atol=1e-10
+        ):
+            raise AssertionError(
+                f"{label}: backend {backend} diverged from reference"
+            )
+        checked[backend] = seconds
+    return {"case": label, "density": density, "seconds": checked}
+
+
+def main() -> None:
+    repeats = effective_repeats(5)
+    backends = available_backends()
+    print("Kernel backends detected:")
+    for name, (ok, reason) in backend_status().items():
+        mark = "+" if ok else "-"
+        print(f"  [{mark}] {name:<9} {reason}")
+    print()
+
+    rows = []
+    for label, extent, nnz in SYNTHETIC_CASES:
+        left, right, pairs = _load_synthetic(extent, nnz)
+        rows.append(bench_case(label, left, right, pairs, backends, repeats))
+    for case_name in REGISTRY_CASES:
+        left, right, pairs = get_case(case_name).load()
+        rows.append(bench_case(case_name, left, right, pairs, backends, repeats))
+
+    header = f"{'case':<16} {'density':>9} " + " ".join(
+        f"{b + ' (s)':>14}" for b in backends
+    ) + f" {'best':>9}"
+    print("Per-backend pairwise timings (differentially checked, "
+          f"median of {repeats}):")
+    print(header)
+    for row in rows:
+        seconds = row["seconds"]
+        best = min(seconds, key=seconds.get)
+        cells = " ".join(f"{seconds[b]:>14.5f}" for b in backends)
+        print(f"{row['case']:<16} {row['density']:>9.1e} {cells} {best:>9}")
+
+    if "scipy" in backends:
+        wins = [
+            row["case"]
+            for row in rows[: len(SYNTHETIC_CASES)]
+            if row["seconds"]["scipy"] * SCIPY_SPEEDUP_FLOOR
+            <= row["seconds"]["numpy"]
+        ]
+        verdict = "PASS" if wins else "FAIL"
+        print(f"\nscipy SpGEMM vs reference on high-sparsity pairs: "
+              f"{len(wins)}/{len(SYNTHETIC_CASES)} wins "
+              f"(>= {SCIPY_SPEEDUP_FLOOR:.2f}x) [{verdict}]")
+    else:
+        print("\nscipy backend not available here; speedup bar skipped "
+              f"({backend_status()['scipy'][1]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ HARNESSES = [
     "bench_format_memory",
     "bench_validation_matrix",
     "bench_runtime_cache",
+    "bench_backends",
     "bench_serve_slo",
     "bench_serve_shards",
 ]

@@ -57,10 +57,16 @@ def _cmd_info(args) -> int:
     from repro.data.registry import all_cases
     from repro.machine.specs import DESKTOP, SERVER
 
+    from repro.backends import backend_status
+
     print(f"repro {repro.__version__} — FaSTCC reproduction (SC '25)")
     for m in (DESKTOP, SERVER):
         print(f"  machine {m.name}: {m.n_cores} cores, "
               f"L3 {m.l3_bytes >> 20} MiB, dense tile {m.dense_tile_size()}")
+    print("\nkernel backends:")
+    for name, (ok, reason) in backend_status().items():
+        mark = "available" if ok else "unavailable"
+        print(f"  {name:<10} {mark:<12} {reason}")
     print(f"\nregistered benchmark cases ({len(all_cases())}):")
     for name, case in all_cases().items():
         print(f"  {name:<10} [{case.family}]  paper model: {case.paper['model']}")
@@ -85,6 +91,7 @@ def _cmd_run(args) -> int:
             method=args.method, machine=machine,
             accumulator=args.accumulator, tile_size=args.tile,
             n_workers=args.workers, counters=counters, return_stats=True,
+            backend=args.backend,
         )
     except WorkspaceLimitError as exc:
         # The paper's DNF regime (Table 3, NIPS mode 2 with dense tiles).
@@ -133,7 +140,7 @@ def _cmd_contract(args) -> int:
         a, b = token.split(":")
         pairs.append((int(a), int(b)))
     t0 = time.perf_counter()
-    out = contract(left, right, pairs, method=args.method)
+    out = contract(left, right, pairs, method=args.method, backend=args.backend)
     dt = time.perf_counter() - t0
     write_tns(out, args.output)
     print(f"contracted {left.nnz} x {right.nnz} nonzeros over {pairs} "
@@ -151,6 +158,7 @@ def _cmd_batch(args) -> int:
         cache_path=args.cache_file,
         n_workers=args.workers,
         calibrate=not args.no_calibrate,
+        backend=args.backend,
         # Size the operand cache so a full pass over the distinct cases
         # fits — otherwise --repeat evicts every table before reuse.
         operand_cache_size=max(8, 2 * len(set(args.cases))),
@@ -227,7 +235,7 @@ def _cmd_network(args) -> int:
         out, report = executor.contract(
             args.expr, *operands,
             optimizer=args.optimizer, method=args.method,
-            return_report=True,
+            return_report=True, backend=args.backend,
         )
         print(f"run {r}:")
         print(report.summary())
@@ -448,6 +456,7 @@ def _cmd_serve(args) -> int:
         n_workers=args.workers,
         max_batch=args.max_batch,
         default_deadline_s=args.deadline,
+        backend=args.backend or "numpy",
     )
     requests = synthetic_requests(
         args.requests,
@@ -455,7 +464,12 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         deadline_s=args.deadline,
     )
-    with _serve_backend(args, machine, config) as service:
+    # Not a ``with`` block: a KeyboardInterrupt would unwind the context
+    # manager, but ``close()`` in ``finally`` also reaps shard processes
+    # spawned before ``start()`` finished (see ShardRouter.close).
+    service = _serve_backend(args, machine, config)
+    try:
+        service.start()
         if args.closed:
             report = run_closed_loop(
                 service, requests, concurrency=args.closed, seed=args.seed
@@ -471,6 +485,8 @@ def _cmd_serve(args) -> int:
             print(report.render())
             print()
             print(_render_service(service))
+    finally:
+        service.close()
     return 0
 
 
@@ -496,9 +512,15 @@ def _serve_demo(args, machine) -> int:
     config = ServiceConfig(
         queue_capacity=capacity, policy="shed_oldest",
         n_workers=args.workers, max_batch=args.max_batch,
+        backend=args.backend or "numpy",
     )
     requests = synthetic_requests(n, n_signatures=3, seed=args.seed)
-    with _serve_backend(args, machine, config) as service:
+    # try/finally rather than ``with``: Ctrl-C during the demo must
+    # still reap any spawned shard processes (the old context-manager
+    # form leaked them when the interrupt landed inside ``start()``).
+    service = _serve_backend(args, machine, config)
+    try:
+        service.start()
         closed = run_closed_loop(
             service, requests, concurrency=2, seed=args.seed
         )
@@ -519,6 +541,8 @@ def _serve_demo(args, machine) -> int:
             and closed.statuses.get("failed", 0) == 0
             and queue_stats["high_water"] <= queue_stats["capacity"]
         )
+    finally:
+        service.close()
     if ok:
         print(f"\ndemo PASS: bounded queue high-water "
               f"{queue_stats['high_water']}/{queue_stats['capacity']}, "
@@ -527,6 +551,16 @@ def _serve_demo(args, machine) -> int:
         print(f"\ndemo FAIL: statuses {open_report.statuses}, "
               f"queue {queue_stats}")
     return 0 if ok else 1
+
+
+def _add_backend_flag(subparser) -> None:
+    """Shared ``--backend`` flag (kernel backend selection)."""
+    subparser.add_argument(
+        "--backend", default=None,
+        choices=["numpy", "scipy", "arrayapi", "auto"],
+        help="kernel backend (default: $REPRO_BACKEND or the numpy "
+             "reference; 'auto' picks per problem)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -547,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["auto", "dense", "sparse"])
     run.add_argument("--tile", type=int, default=None)
     run.add_argument("--workers", type=int, default=1)
+    _add_backend_flag(run)
 
     plan = sub.add_parser("plan", help="evaluate Algorithm 7 for parameters")
     plan.add_argument("--L", type=int, required=True)
@@ -572,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "saved on exit)")
     batch.add_argument("--no-calibrate", action="store_true",
                        help="skip cost-model calibration")
+    _add_backend_flag(batch)
 
     check = sub.add_parser(
         "check", help="static analysis: audit cases, lint an expression, "
@@ -627,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execute the network N times (repeats hit the "
                           "plan caches)")
     net.add_argument("--workers", type=int, default=1)
+    _add_backend_flag(net)
 
     serve = sub.add_parser(
         "serve", help="run a load generator against a live contraction "
@@ -669,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the load report and service metrics "
                             "as one JSON document")
+    _add_backend_flag(serve)
 
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
@@ -677,6 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mode pairs as 'a:b,c:d' (left:right)")
     con.add_argument("--output", default="out.tns")
     con.add_argument("--method", default="fastcc")
+    _add_backend_flag(con)
 
     return parser
 

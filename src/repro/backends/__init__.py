@@ -1,0 +1,47 @@
+"""Pluggable kernel backends (see ``docs/backends.md``).
+
+The hot loops of every contraction scheme run through a
+:class:`~repro.backends.base.KernelBackend` — five narrow ops (gather,
+scatter-accumulate, dense GEMM-on-slices, hash-accumulate, dense
+reduce) plus an optional whole-contraction fast path.  The ``numpy``
+backend is the bit-exact reference extracted from the original
+kernels; ``scipy`` adds a CSR SpGEMM pairwise path; ``arrayapi``
+speaks the array-API standard so torch/cupy arrays drop in unmodified.
+Selection goes through :func:`~repro.backends.registry.resolve_backend`
+(explicit name → ``$REPRO_BACKEND`` → ``numpy``; ``"auto"`` picks per
+problem).
+"""
+
+from repro.backends.arrayapi_backend import ArrayAPIBackend
+from repro.backends.base import KernelBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import (
+    AUTO_DENSITY_CEILING,
+    ENV_VAR,
+    available_backends,
+    backend_status,
+    choose_backend,
+    choose_backend_for_densities,
+    get_backend,
+    known_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.scipy_backend import ScipyBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "ArrayAPIBackend",
+    "AUTO_DENSITY_CEILING",
+    "ENV_VAR",
+    "available_backends",
+    "backend_status",
+    "choose_backend",
+    "choose_backend_for_densities",
+    "get_backend",
+    "known_backends",
+    "register_backend",
+    "resolve_backend",
+]

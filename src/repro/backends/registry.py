@@ -1,0 +1,153 @@
+"""Backend discovery, feature detection, and per-problem selection.
+
+The registry maps stable names to :class:`~repro.backends.base.
+KernelBackend` classes, caches one instance of each, and memoizes
+feature detection so a scipy-less host pays the failed import once.
+Selection happens in three tiers:
+
+1. **Explicit** — ``backend="scipy"`` anywhere a backend parameter is
+   accepted (``contract``, the runtime, serve configs, CLI
+   ``--backend``).  Unknown or unavailable names raise
+   :class:`~repro.errors.BackendError` carrying the detection reason.
+2. **Environment** — ``REPRO_BACKEND`` supplies the default when no
+   explicit choice is made; unset means the bit-exact ``numpy``
+   reference, so existing callers see identical results.
+3. **Auto** — ``backend="auto"`` applies the per-problem policy of
+   :func:`choose_backend`: high-sparsity pairwise problems go to
+   scipy's SpGEMM when available (the regime where compiled SpGEMM
+   beats the tiled Python kernel; see ``benchmarks/bench_backends.py``),
+   everything else stays on the reference.  The policy is a pure
+   function of the :class:`~repro.runtime.signature.ProblemSignature`
+   densities, so plan caching stays valid.
+
+Third-party backends register with the :func:`register_backend`
+decorator.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.arrayapi_backend import ArrayAPIBackend
+from repro.backends.base import KernelBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.scipy_backend import ScipyBackend
+from repro.errors import BackendError
+
+__all__ = [
+    "ENV_VAR",
+    "register_backend",
+    "known_backends",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "resolve_backend",
+    "choose_backend",
+    "choose_backend_for_densities",
+]
+
+#: Environment variable naming the default backend.
+ENV_VAR = "REPRO_BACKEND"
+
+#: ``auto`` routes to scipy only when both operands are at most this
+#: dense — the regime where SpGEMM's compiled inner loop wins and a
+#: dense workspace would mostly hold zeros.
+AUTO_DENSITY_CEILING = 0.05
+
+_CLASSES: dict[str, type[KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+_STATUS: dict[str, tuple[bool, str]] = {}
+
+
+def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
+    """Register a backend class under ``cls.name`` (decorator-friendly)."""
+    if not cls.name or cls.name == "abstract":
+        raise BackendError(f"backend class {cls.__name__} needs a name")
+    _CLASSES[cls.name] = cls
+    _STATUS.pop(cls.name, None)
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+for _cls in (NumpyBackend, ScipyBackend, ArrayAPIBackend):
+    register_backend(_cls)
+
+
+def known_backends() -> list[str]:
+    """All registered backend names (available or not), sorted."""
+    return sorted(_CLASSES)
+
+
+def backend_status(*, refresh: bool = False) -> dict[str, tuple[bool, str]]:
+    """``{name: (available, reason)}`` for every registered backend."""
+    for name, cls in _CLASSES.items():
+        if refresh or name not in _STATUS:
+            try:
+                _STATUS[name] = cls.detect()
+            except Exception as exc:  # pragma: no cover - defensive
+                _STATUS[name] = (False, f"detection failed: {exc}")
+    return {name: _STATUS[name] for name in sorted(_CLASSES)}
+
+
+def available_backends() -> list[str]:
+    """Names of backends that pass feature detection, sorted."""
+    return [name for name, (ok, _) in backend_status().items() if ok]
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The cached instance for ``name``; raises :class:`BackendError`
+    for unknown names or backends that fail detection."""
+    if name not in _CLASSES:
+        raise BackendError(
+            f"unknown backend {name!r}; known backends: "
+            f"{', '.join(known_backends())} (or 'auto')"
+        )
+    ok, reason = backend_status()[name]
+    if not ok:
+        raise BackendError(
+            f"backend {name!r} is not available on this host: {reason}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _CLASSES[name]()
+    return _INSTANCES[name]
+
+
+def resolve_backend(
+    backend: "str | KernelBackend | None" = None,
+    signature=None,
+) -> KernelBackend:
+    """Resolve a user-facing backend argument to an instance.
+
+    ``None`` defers to ``$REPRO_BACKEND`` and then the ``numpy``
+    reference; ``"auto"`` applies the per-problem policy (``signature``
+    — anything with ``density_l``/``density_r`` — sharpens it); an
+    instance passes through untouched.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    name = backend or os.environ.get(ENV_VAR) or "numpy"
+    if name == "auto":
+        return choose_backend(signature)
+    return get_backend(name)
+
+
+def choose_backend(signature=None) -> KernelBackend:
+    """The ``auto`` policy: pick a backend for one problem signature."""
+    if signature is None:
+        return get_backend("numpy")
+    return choose_backend_for_densities(
+        float(signature.density_l), float(signature.density_r)
+    )
+
+
+def choose_backend_for_densities(
+    density_l: float, density_r: float
+) -> KernelBackend:
+    """Density-only form of the ``auto`` policy (used by ``contract``
+    before any :class:`ProblemSignature` exists)."""
+    ceiling = AUTO_DENSITY_CEILING
+    if density_l <= ceiling and density_r <= ceiling:
+        ok, _ = backend_status().get("scipy", (False, ""))
+        if ok:
+            return get_backend("scipy")
+    return get_backend("numpy")

@@ -25,9 +25,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
+from repro.backends.base import KernelBackend
 from repro.errors import ConfigError, ShapeError, WorkspaceLimitError
 from repro.hashing.open_addressing import OpenAddressingMap
 from repro.util.arrays import INDEX_DTYPE, VALUE_DTYPE
+
+
+def _default_backend() -> KernelBackend:
+    from repro.backends.registry import get_backend
+
+    return get_backend("numpy")
 
 __all__ = [
     "DenseTileAccumulator",
@@ -52,7 +59,7 @@ class DenseTileAccumulator:
     """
 
     __slots__ = ("tile_l", "tile_r", "buf", "bm", "apos", "_napos", "counters",
-                 "_packed", "trace")
+                 "_packed", "trace", "backend")
 
     def __init__(
         self,
@@ -63,6 +70,7 @@ class DenseTileAccumulator:
         cell_guard: int = DEFAULT_DENSE_CELL_GUARD,
         bitmask: str = "bool",
         trace=None,
+        backend: KernelBackend | None = None,
     ):
         cells = int(tile_l) * int(tile_r)
         if cells > cell_guard:
@@ -75,7 +83,8 @@ class DenseTileAccumulator:
             raise ConfigError(f"bitmask must be bool|packed, got {bitmask!r}")
         self.tile_l = int(tile_l)
         self.tile_r = int(tile_r)
-        self.buf = np.zeros(cells, dtype=VALUE_DTYPE)
+        self.backend = backend if backend is not None else _default_backend()
+        self.buf = self.backend.zeros(cells, dtype=VALUE_DTYPE)
         self._packed = bitmask == "packed"
         if self._packed:
             from repro.util.bitmask import PackedBitmask
@@ -101,9 +110,11 @@ class DenseTileAccumulator:
     def update_batch(self, positions: np.ndarray, values: np.ndarray) -> None:
         """Accumulate ``values`` at flattened intra-tile ``positions``.
 
-        Batch duplicates are handled by ``np.add.at`` (unbuffered add);
-        fresh positions — bit not yet set — are appended to ``apos``
-        exactly once even when repeated within the batch.
+        The scatter itself (duplicate handling, the batch-size
+        heuristic) lives in the backend's ``scatter_accumulate``; this
+        method keeps the bookkeeping: fresh positions — bit not yet
+        set — are appended to ``apos`` exactly once even when repeated
+        within the batch.
         """
         positions = np.asarray(positions, dtype=INDEX_DTYPE)
         values = np.asarray(values, dtype=VALUE_DTYPE)
@@ -115,28 +126,22 @@ class DenseTileAccumulator:
         if self.trace is not None:
             self.trace.record(positions)
         if self._packed:
-            np.add.at(self.buf, positions, values)
+            self.backend.scatter_accumulate(self.buf, positions, values)
             fresh_mask = self.bm.test_and_set(positions)
             if fresh_mask.any():
                 self._append_apos(positions[fresh_mask])
             return
-        cells = self.buf.shape[0]
-        if positions.shape[0] >= cells // 8:
-            # Large batch: one dense bincount pass beats the unbuffered
-            # scatter of np.add.at (which serializes on duplicates).
-            self.buf += np.bincount(positions, weights=values, minlength=cells)
-            hit = np.bincount(positions, minlength=cells).astype(bool)
-            fresh = np.flatnonzero(hit & ~self.bm).astype(INDEX_DTYPE)
-            if fresh.shape[0]:
-                self.bm[fresh] = True
-                self._append_apos(fresh)
-        else:
-            np.add.at(self.buf, positions, values)
-            fresh_mask = ~self.bm[positions]
-            if fresh_mask.any():
-                fresh = np.unique(positions[fresh_mask])
-                self.bm[fresh] = True
-                self._append_apos(fresh)
+        touched = self.backend.scatter_accumulate(
+            self.buf, positions, values, return_touched=True
+        )
+        if not self.backend.native_numpy:
+            touched = np.asarray(
+                self.backend.to_numpy(touched), dtype=INDEX_DTYPE
+            )
+        fresh = touched[~self.bm[touched]]
+        if fresh.shape[0]:
+            self.bm[fresh] = True
+            self._append_apos(fresh)
 
     def _append_apos(self, fresh: np.ndarray) -> None:
         need = self._napos + fresh.shape[0]
@@ -155,13 +160,20 @@ class DenseTileAccumulator:
         area (Section 4.2's fast drain).
         """
         active = self.apos[: self._napos]
-        return active.copy(), self.buf[active].copy()
+        return active.copy(), self._read_buf(active)
+
+    def _read_buf(self, positions: np.ndarray) -> np.ndarray:
+        """Gather buffer cells as a fresh NumPy value array."""
+        if self.backend.native_numpy:
+            return self.buf[positions].copy()
+        gathered = self.backend.gather(self.buf, positions)
+        return np.array(self.backend.to_numpy(gathered), dtype=VALUE_DTYPE)
 
     def drain_full_scan(self) -> tuple[np.ndarray, np.ndarray]:
         """Drain by scanning the entire tile (ablation baseline only)."""
         mask = self.bm.to_bool_array() if self._packed else self.bm
         positions = np.flatnonzero(mask).astype(INDEX_DTYPE)
-        return positions, self.buf[positions].copy()
+        return positions, self._read_buf(positions)
 
     def reset(self) -> None:
         """Clear for reuse on the next tile (clears only touched cells)."""
@@ -177,7 +189,7 @@ class DenseTileAccumulator:
 class SparseTileAccumulator:
     """Sparse tile: an open-addressing upsert table."""
 
-    __slots__ = ("tile_l", "tile_r", "_table", "counters", "trace")
+    __slots__ = ("tile_l", "tile_r", "_table", "counters", "trace", "backend")
 
     def __init__(
         self,
@@ -187,10 +199,12 @@ class SparseTileAccumulator:
         expected_nnz: int = 64,
         counters: Counters | None = None,
         trace=None,
+        backend: KernelBackend | None = None,
     ):
         self.tile_l = int(tile_l)
         self.tile_r = int(tile_r)
         self.counters = ensure_counters(counters)
+        self.backend = backend if backend is not None else _default_backend()
         self._table = OpenAddressingMap(
             max(8, int(expected_nnz / 0.7) + 1), counters=self.counters
         )
@@ -206,6 +220,16 @@ class SparseTileAccumulator:
         self.counters.accum_updates += positions.shape[0]
         if self.trace is not None:
             self.trace.record(positions)
+        if not self.backend.native_numpy:
+            # Pre-combine on the foreign substrate, then upsert the
+            # (now duplicate-free) partial sums into the host table.
+            uniq, sums = self.backend.hash_accumulate(
+                self.backend.asarray(positions), self.backend.asarray(values)
+            )
+            positions = np.asarray(
+                self.backend.to_numpy(uniq), dtype=INDEX_DTYPE
+            )
+            values = np.asarray(self.backend.to_numpy(sums), dtype=VALUE_DTYPE)
         self._table.upsert_batch(positions, values)
         self.counters.note_workspace(self._table.capacity)
 
@@ -228,16 +252,17 @@ def make_accumulator(
     counters: Counters | None = None,
     cell_guard: int = DEFAULT_DENSE_CELL_GUARD,
     trace=None,
+    backend: KernelBackend | None = None,
 ):
     """Factory dispatching on the plan's accumulator kind."""
     if kind == "dense":
         return DenseTileAccumulator(
             tile_l, tile_r, counters=counters, cell_guard=cell_guard,
-            trace=trace,
+            trace=trace, backend=backend,
         )
     if kind == "sparse":
         return SparseTileAccumulator(
             tile_l, tile_r, expected_nnz=expected_nnz, counters=counters,
-            trace=trace,
+            trace=trace, backend=backend,
         )
     raise ConfigError(f"unknown accumulator kind {kind!r}")

@@ -24,6 +24,8 @@ import time
 from typing import Sequence
 
 from repro.analysis.counters import Counters, ensure_counters
+from repro.backends.base import KernelBackend
+from repro.backends.registry import choose_backend_for_densities, resolve_backend
 from repro.core.model import choose_plan
 from repro.core.plan import ContractionSpec, Plan
 from repro.core.tiled_co import ContractionStats, tiled_co_contract
@@ -52,6 +54,7 @@ def contract(
     counters: Counters | None = None,
     return_stats: bool = False,
     canonical: bool = True,
+    backend: "str | KernelBackend | None" = None,
 ):
     """Contract two sparse COO tensors.
 
@@ -92,6 +95,14 @@ def contract(
     canonical:
         Sort and deduplicate the output (deterministic ordering).  The
         raw kernels already emit unique coordinates; this only reorders.
+    backend:
+        Kernel backend for the FaSTCC path: a registered name
+        (``"numpy"``/``"scipy"``/``"arrayapi"``), ``"auto"`` (pick per
+        problem from operand densities), a
+        :class:`~repro.backends.KernelBackend` instance, or ``None``
+        (``$REPRO_BACKEND``, defaulting to the bit-exact ``numpy``
+        reference).  Non-reference backends may reassociate float
+        accumulation; see ``docs/backends.md`` for the tolerance policy.
 
     Returns
     -------
@@ -144,8 +155,13 @@ def contract(
         )
 
     if method == "fastcc":
+        if backend == "auto":
+            backend = choose_backend_for_densities(
+                left_op.density, right_op.density
+            )
         l_idx, r_idx, values, stats = tiled_co_contract(
-            left_op, right_op, plan, n_workers=n_workers, counters=counters
+            left_op, right_op, plan, n_workers=n_workers, counters=counters,
+            backend=resolve_backend(backend),
         )
     else:
         l_idx, r_idx, values, stats = _run_baseline(

@@ -65,6 +65,7 @@ def einsum(
     machine: MachineSpec = DESKTOP,
     method: str = "fastcc",
     optimize: str = "greedy",
+    backend=None,
 ) -> COOTensor:
     """Sparse einsum over COO tensors through the FaSTCC kernel.
 
@@ -78,9 +79,12 @@ def einsum(
     model-scored pair ordering), ``"left"`` (left-to-right, for
     reproducible cost comparisons), ``"dp"`` (optimal search for small
     networks), ``"sparsity"`` (density-through-cost-model scoring), or
-    ``"auto"``.
+    ``"auto"``.  ``backend`` selects the kernel backend for every
+    pairwise step (a name, ``"auto"``, or an instance; see
+    :mod:`repro.backends`).
     """
     executor = default_executor(machine)
     return executor.contract(
-        subscripts, *operands, optimizer=optimize, method=method
+        subscripts, *operands, optimizer=optimize, method=method,
+        backend=backend,
     )

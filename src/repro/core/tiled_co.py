@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.counters import Counters, ensure_counters
+from repro.backends.base import KernelBackend
+from repro.backends.registry import resolve_backend
 from repro.core.accumulators import DEFAULT_DENSE_CELL_GUARD, make_accumulator
 from repro.core.plan import LinearizedOperand, Plan
 from repro.errors import ConfigError, PlanError, ShapeError, WorkspaceLimitError
@@ -213,6 +215,7 @@ def tiled_co_contract(
     schedule: str = "heavy_first",
     tables: "tuple[TiledTables, TiledTables] | None" = None,
     check_hazards: bool = False,
+    backend: "str | KernelBackend | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, ContractionStats]:
     """Run Algorithm 6 on linearized operands.
 
@@ -237,6 +240,12 @@ def tiled_co_contract(
     invariant (:mod:`repro.staticcheck.graph_lint`) before executing —
     raising :class:`~repro.errors.SchedulerError` instead of racing if a
     tile pair is ever repeated.
+
+    ``backend`` selects the kernel backend (name, instance, or ``None``
+    for the environment default; see :mod:`repro.backends`).  A backend
+    with a native pairwise path (scipy's SpGEMM, the array-API dense
+    GEMM) short-circuits the tiled loop entirely when it accepts the
+    problem; otherwise its element ops run inside Algorithm 6.
     """
     if schedule not in ("heavy_first", "fifo"):
         raise ConfigError(f"schedule must be heavy_first|fifo, got {schedule!r}")
@@ -247,6 +256,19 @@ def tiled_co_contract(
     counters = ensure_counters(counters)
     stats = ContractionStats(plan=plan, counters=counters)
     tile_l, tile_r = plan.tile_l, plan.tile_r
+    backend = resolve_backend(backend)
+
+    # A backend-native pairwise path replaces the whole tiled loop.
+    # Instrumented runs (``trace``) stay on the tiled kernel — the trace
+    # records accumulator access patterns the native path doesn't have.
+    if trace is None:
+        t0 = time.perf_counter()
+        native = backend.contract_linearized(left, right, plan, counters=counters)
+        if native is not None:
+            l_idx, r_idx, values = native
+            stats.phase_seconds["contract"] = time.perf_counter() - t0
+            stats.output_nnz = int(values.shape[0])
+            return l_idx, r_idx, values, stats
 
     # Step 1: parallel construction of the tiled hash tables, with the
     # thread pool split between the two operands (paper Section 4.2).
@@ -290,6 +312,7 @@ def tiled_co_contract(
                 counters=counters,
                 cell_guard=dense_cell_guard,
                 trace=trace,
+                backend=backend,
             )
             builder = COOBuilder(chunk_rows=builder_chunk_rows)
             local.acc = acc
@@ -334,8 +357,14 @@ def tiled_co_contract(
                 sl = slice(chunk_start, chunk_end)
                 ia, ib = grouped_cartesian(g_sl[sl], g_cl[sl], g_sr[sl], g_cr[sl])
                 if ia.shape[0]:
-                    positions = idx_l_payload[ia] * tile_r_np + idx_r_payload[ib]
-                    acc.update_batch(positions, vals_l[ia] * vals_r[ib])
+                    positions = (
+                        backend.gather(idx_l_payload, ia) * tile_r_np
+                        + backend.gather(idx_r_payload, ib)
+                    )
+                    vals = backend.multiply(
+                        backend.gather(vals_l, ia), backend.gather(vals_r, ib)
+                    )
+                    acc.update_batch(positions, vals)
                 base = int(cum[chunk_end - 1])
                 chunk_start = chunk_end
 

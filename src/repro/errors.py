@@ -19,6 +19,7 @@ __all__ = [
     "WorkspaceLimitError",
     "SchedulerError",
     "StaticCheckError",
+    "BackendError",
 ]
 
 
@@ -71,4 +72,14 @@ class StaticCheckError(ReproError, ValueError):
     Raised for malformed checker *inputs* (unknown diagnostic codes,
     unparsable lint targets) — never for findings, which are reported as
     :class:`repro.staticcheck.Diagnostic` records instead.
+    """
+
+
+class BackendError(ReproError, RuntimeError):
+    """A kernel backend is unknown or unavailable on this host.
+
+    Raised by :mod:`repro.backends.registry` when an explicitly
+    requested backend fails feature detection (e.g. ``scipy`` without
+    scipy installed); the message carries the detection reason so
+    callers — and the test harness's skip messages — can surface it.
     """

@@ -149,11 +149,13 @@ class ChainingMultiMap:
 
     def chain_lengths(self) -> np.ndarray:
         """Length of every bucket chain (diagnostics / ablation)."""
+        from repro.backends import get_backend
+
         lengths = np.zeros(self.num_buckets, dtype=INDEX_DTYPE)
         if self._size:
             mask = np.uint64(self.num_buckets - 1)
             buckets = (self._hash(self._keys) & mask).astype(INDEX_DTYPE)
-            np.add.at(lengths, buckets, 1)
+            get_backend("numpy").scatter_accumulate(lengths, buckets, 1)
         return lengths
 
     def items(self) -> tuple[np.ndarray, np.ndarray]:

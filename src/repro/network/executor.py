@@ -91,6 +91,7 @@ class StepRecord:
     seconds: float
     output_nnz: int
     plan_source: str    # "planner" | "cache" | "outer"
+    backend: str = "numpy"  # kernel backend that executed the step
 
 
 @dataclass
@@ -233,10 +234,11 @@ class NetworkExecutor:
         optimizer: str = "auto",
         method: str = "fastcc",
         return_report: bool = False,
+        backend=None,
     ):
         """Plan (or replay) and execute one network contraction."""
         plan, source = self.plan(subscripts, operands, optimizer=optimizer)
-        out, report = self.execute(plan, operands, method=method)
+        out, report = self.execute(plan, operands, method=method, backend=backend)
         report.plan_source = source
         if return_report:
             return out, report
@@ -248,6 +250,7 @@ class NetworkExecutor:
         operands: Sequence[COOTensor],
         *,
         method: str = "fastcc",
+        backend=None,
     ) -> tuple[COOTensor, NetworkReport]:
         """Run a frozen plan over concrete tensors.
 
@@ -255,6 +258,8 @@ class NetworkExecutor:
         through the shared runtime (FaSTCC) or the one-shot ``contract``
         dispatcher for baseline methods.  Inputs to each step are
         dropped from the live list before the next step runs.
+        ``backend`` overrides the runtime's kernel backend for every
+        pairwise step (see :mod:`repro.backends`).
         """
         network = TensorNetwork.parse(plan.subscripts, operands)
         report = NetworkReport(plan=plan, plan_source="given")
@@ -287,6 +292,7 @@ class NetworkExecutor:
                 )
             left, right = live[step.i], live[step.j]
             t0 = time.perf_counter()
+            step_backend = "numpy"
             if step.kind == "outer":
                 result = outer_product(left, right)
                 plan_source = "outer"
@@ -294,8 +300,10 @@ class NetworkExecutor:
                 result, run_record = self.runtime.contract(
                     left, right, step.pairs,
                     name=f"net:{step.subscripts}", return_record=True,
+                    backend=backend,
                 )
                 plan_source = run_record.plan_source
+                step_backend = run_record.backend
             else:
                 result = contract(
                     left, right, step.pairs,
@@ -325,6 +333,7 @@ class NetworkExecutor:
                 seconds=dt,
                 output_nnz=result.nnz,
                 plan_source=plan_source,
+                backend=step_backend,
             ))
 
         if len(live) != 1:
@@ -397,6 +406,7 @@ def contract_network(
     method: str = "fastcc",
     executor: NetworkExecutor | None = None,
     return_report: bool = False,
+    backend=None,
 ):
     """One-call network contraction through the shared default executor."""
     if executor is None:
@@ -404,4 +414,5 @@ def contract_network(
     return executor.contract(
         subscripts, *operands,
         optimizer=optimizer, method=method, return_report=return_report,
+        backend=backend,
     )

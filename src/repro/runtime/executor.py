@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.counters import Counters
+from repro.backends.base import KernelBackend
+from repro.backends.registry import resolve_backend
 from repro.core.contraction import contract
 from repro.core.model import choose_plan
 from repro.core.plan import ContractionSpec, LinearizedOperand
@@ -136,6 +138,7 @@ class RunRecord:
     tables_reused: tuple[bool, bool]
     seconds_saved: float  # measured cost of the skipped phases
     phase_seconds: dict = field(default_factory=dict)
+    backend: str = "numpy"  # kernel backend that executed the call
 
 
 class ContractionRuntime:
@@ -157,6 +160,10 @@ class ContractionRuntime:
     operand_cache_size:
         How many distinct operand tensors keep their linearized forms
         and tiled tables alive.
+    backend:
+        Default kernel backend for every call: a registered name,
+        ``"auto"`` (per-signature policy), an instance, or ``None``
+        (``$REPRO_BACKEND`` → ``numpy``).  Overridable per call.
     """
 
     def __init__(
@@ -169,8 +176,10 @@ class ContractionRuntime:
         calibrate: bool = True,
         n_workers: int = 1,
         operand_cache_size: int = 8,
+        backend: "str | KernelBackend | None" = None,
     ):
         self.machine = machine
+        self.backend = backend
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
@@ -249,6 +258,7 @@ class ContractionRuntime:
         return_stats: bool = False,
         return_record: bool = False,
         canonical: bool = True,
+        backend: "str | KernelBackend | None" = None,
     ):
         """Contract through the plan/table caches (FaSTCC method only).
 
@@ -258,6 +268,8 @@ class ContractionRuntime:
         :class:`RunRecord` to the return value — under a multi-threaded
         caller (the serve worker pool) this is the only race-free way
         to read the record, since ``self.records`` interleaves calls.
+        ``backend`` overrides the runtime's default kernel backend for
+        this call (``"auto"`` resolves from the problem signature).
         """
         call_counters = Counters()
         t_call = time.perf_counter()
@@ -265,6 +277,9 @@ class ContractionRuntime:
         sig = signature_for(
             left, right, pairs, self.machine,
             accumulator=accumulator, tile_size=tile_size,
+        )
+        kernel_backend = resolve_backend(
+            backend if backend is not None else self.backend, signature=sig
         )
         cached = self.plan_cache.get(sig)
         spec = ContractionSpec(left.shape, right.shape, pairs)
@@ -285,18 +300,29 @@ class ContractionRuntime:
             call_counters.plan_cache_misses += 1
             plan_source = "planner"
 
-        hl, reused_l, saved_l = self._tables(
-            left, "L", spec, left_op, plan.tile_l, call_counters
-        )
-        hr, reused_r, saved_r = self._tables(
-            right, "R", spec, right_op, plan.tile_r, call_counters
-        )
+        if kernel_backend.has_native_path(left_op, right_op, plan):
+            # The backend will run the whole contraction itself; tiled
+            # tables would be built and then ignored, so skip them.
+            reused_l = reused_r = False
+            saved_l = saved_r = 0.0
+            l_idx, r_idx, values, stats = tiled_co_contract(
+                left_op, right_op, plan,
+                n_workers=self.n_workers, counters=call_counters,
+                backend=kernel_backend,
+            )
+        else:
+            hl, reused_l, saved_l = self._tables(
+                left, "L", spec, left_op, plan.tile_l, call_counters
+            )
+            hr, reused_r, saved_r = self._tables(
+                right, "R", spec, right_op, plan.tile_r, call_counters
+            )
 
-        l_idx, r_idx, values, stats = tiled_co_contract(
-            left_op, right_op, plan,
-            n_workers=self.n_workers, counters=call_counters,
-            tables=(hl, hr),
-        )
+            l_idx, r_idx, values, stats = tiled_co_contract(
+                left_op, right_op, plan,
+                n_workers=self.n_workers, counters=call_counters,
+                tables=(hl, hr), backend=kernel_backend,
+            )
 
         t0 = time.perf_counter()
         out = spec.delinearize_output(l_idx, r_idx, values)
@@ -319,6 +345,7 @@ class ContractionRuntime:
             tables_reused=(reused_l, reused_r),
             seconds_saved=saved_l + saved_r,
             phase_seconds=dict(stats.phase_seconds),
+            backend=kernel_backend.name,
         )
         self.records.append(record)
         self.counters.merge(call_counters)

@@ -238,23 +238,29 @@ class ShardRouter:
         if self._started:
             return self
         self._started = True
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, name="shard-router-monitor",
-            daemon=True,
-        )
-        self._monitor.start()
-        with self._lock:
+        # Everything after the spawn loop runs under a BaseException
+        # guard: a KeyboardInterrupt landing in the ready-wait would
+        # otherwise leak N live shard processes.
+        try:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="shard-router-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+            with self._lock:
+                for shard in self._shards.values():
+                    self._spawn(shard)
+            deadline = time.monotonic() + self.config.start_timeout_s
             for shard in self._shards.values():
-                self._spawn(shard)
-        deadline = time.monotonic() + self.config.start_timeout_s
-        for shard in self._shards.values():
-            remaining = deadline - time.monotonic()
-            if not shard.ready.wait(max(0.0, remaining)):
-                self.stop(drain=False)
-                raise SchedulerError(
-                    f"shard {shard.shard_id} did not become ready within "
-                    f"{self.config.start_timeout_s}s"
-                )
+                remaining = deadline - time.monotonic()
+                if not shard.ready.wait(max(0.0, remaining)):
+                    raise SchedulerError(
+                        f"shard {shard.shard_id} did not become ready "
+                        f"within {self.config.start_timeout_s}s"
+                    )
+        except BaseException:
+            self.close()
+            raise
         return self
 
     def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
@@ -303,6 +309,24 @@ class ShardRouter:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    def close(self) -> None:
+        """Reap every shard process without draining (idempotent).
+
+        Safe at any point of the lifecycle — including after an
+        interrupt that landed mid-:meth:`start`, when shards are
+        spawned but not yet ready.  After the cooperative ``stop`` it
+        hard-kills any process that still has not exited, so a caller's
+        ``finally: router.close()`` can never leak children.
+        """
+        try:
+            self.stop(drain=False, timeout=10.0)
+        finally:
+            for shard in list(self._shards.values()):
+                process = shard.process
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
 
     @property
     def running(self) -> bool:

@@ -78,6 +78,12 @@ class ServiceConfig:
     cost_floor``.  ``force_degraded`` pins every request to the ladder
     regardless of budget — a test/bench knob for exercising the
     degraded paths deterministically.
+
+    ``backend`` names the kernel backend the service's runtime executes
+    on (``"numpy"`` reference, ``"scipy"``, ``"arrayapi"``, or
+    ``"auto"`` for the per-signature policy; see
+    :mod:`repro.backends`).  The default keeps served results
+    bit-identical to direct ``contract()`` calls.
     """
 
     queue_capacity: int = 64
@@ -91,6 +97,7 @@ class ServiceConfig:
     drain_timeout_s: float = 0.05
     plan_cache_size: int = 128
     operand_cache_size: int = 16
+    backend: str = "numpy"
 
     def __post_init__(self):
         if self.policy not in POLICIES:
@@ -100,6 +107,13 @@ class ServiceConfig:
         if self.degrade_margin < 0:
             raise ConfigError(
                 f"degrade_margin must be >= 0, got {self.degrade_margin}"
+            )
+        from repro.backends.registry import known_backends
+
+        if self.backend != "auto" and self.backend not in known_backends():
+            raise ConfigError(
+                f"backend must be 'auto' or one of {known_backends()}, "
+                f"got {self.backend!r}"
             )
 
 
@@ -146,6 +160,7 @@ class ContractionService:
             machine=machine,
             cache_size=self.config.plan_cache_size,
             operand_cache_size=self.config.operand_cache_size,
+            backend=self.config.backend,
         )
         self.executor = executor if executor is not None else NetworkExecutor(
             machine=machine, runtime=self.runtime
@@ -207,6 +222,16 @@ class ContractionService:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    def close(self) -> None:
+        """Tear down without draining (idempotent, interrupt-safe).
+
+        The CLI calls this from a ``finally`` so a KeyboardInterrupt
+        still sheds queued work and winds down worker threads; the
+        sharded front end's :meth:`ShardRouter.close` additionally
+        reaps shard processes.
+        """
+        self.stop(drain=False, timeout=5.0)
 
     @property
     def running(self) -> bool:

@@ -29,6 +29,14 @@ Rules
 ``FSTC104``
     Every public module under ``src/repro/`` declares ``__all__``
     (dunder modules like ``__main__`` are exempt).
+``FSTC401``
+    Kernel modules outside the :mod:`repro.backends` layer must not
+    call the NumPy kernel primitives directly (``np.add.at``,
+    ``np.subtract.at``, ``np.bincount``, ``np.matmul``, ``np.dot``,
+    ``np.einsum``, ``np.tensordot``) — those go through the active
+    :class:`~repro.backends.KernelBackend` so foreign-array backends
+    keep working.  The backend implementations themselves are exempt
+    (they *are* the layer).
 
 A finding is suppressed by a pragma comment on its line (or on the
 ``def``/``for`` header line)::
@@ -54,7 +62,7 @@ __all__ = [
 ]
 
 #: Packages whose modules are "hot": exception discipline applies.
-HOT_PACKAGES = ("core", "hashing", "baselines", "tensors")
+HOT_PACKAGES = ("core", "hashing", "baselines", "tensors", "backends")
 
 #: Modules forming the FaSTCC kernel proper: loop and determinism rules
 #: apply (paths relative to the ``repro`` package root, no extension).
@@ -67,10 +75,19 @@ KERNEL_MODULES = (
     "hashing/chaining",
     "hashing/slice_table",
     "hashing/hash_functions",
+    "backends/numpy_backend",
+    "backends/scipy_backend",
+    "backends/arrayapi_backend",
 )
 
 #: Builtin exception names FSTC102 refuses in hot modules.
 _BANNED_RAISES = ("ValueError", "RuntimeError", "MemoryError", "KeyError", "Exception")
+
+#: NumPy kernel primitives FSTC401 confines to the backend layer.
+_BACKEND_ONLY_CALLS = (
+    "add.at", "subtract.at", "bincount", "matmul", "dot", "einsum",
+    "tensordot",
+)
 
 _PRAGMA = re.compile(r"#\s*staticcheck:\s*ignore\[([A-Z0-9,\s]+)\]")
 
@@ -155,12 +172,13 @@ def lint_source(
     hot: bool = False,
     kernel: bool = False,
     public: bool = True,
+    backend_layer: bool = False,
 ) -> list[Diagnostic]:
     """Lint one module's source text.
 
     ``module`` is the package-relative path (``core/tiled_co``); ``hot``
-    /``kernel``/``public`` select which rule groups apply (computed from
-    the path by :func:`lint_file`).
+    /``kernel``/``public``/``backend_layer`` select which rule groups
+    apply (computed from the path by :func:`lint_file`).
     """
     diags: list[Diagnostic] = []
     try:
@@ -248,6 +266,25 @@ def lint_source(
                              "seeded np.random.default_rng for randomness",
                         location=loc(node),
                     ))
+                confined = (
+                    not backend_layer
+                    and any(
+                        name == f"{prefix}.{op}"
+                        for prefix in ("np", "numpy")
+                        for op in _BACKEND_ONLY_CALLS
+                    )
+                )
+                if confined and not _suppressed(lines, node.lineno, "FSTC401"):
+                    diags.append(make_diagnostic(
+                        "FSTC401",
+                        f"direct NumPy kernel call {name}() in a kernel "
+                        "module outside repro.backends",
+                        hint="route it through the active KernelBackend "
+                             "(gather/scatter_accumulate/gemm_slices/"
+                             "hash_accumulate) so foreign-array backends "
+                             "keep working",
+                        location=loc(node),
+                    ))
     return diags
 
 
@@ -262,11 +299,12 @@ def lint_file(path: str, *, root: str | None = None) -> list[Diagnostic]:
         module == pkg or module.startswith(pkg + "/") for pkg in HOT_PACKAGES
     )
     kernel = module in KERNEL_MODULES
+    backend_layer = module == "backends" or module.startswith("backends/")
     with open(path, encoding="utf-8") as fh:
         source = fh.read()
     return lint_source(
         source, filename=os.path.relpath(path), module=module,
-        hot=hot, kernel=kernel, public=public,
+        hot=hot, kernel=kernel, public=public, backend_layer=backend_layer,
     )
 
 

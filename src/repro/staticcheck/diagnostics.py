@@ -17,6 +17,11 @@ Code ranges
 ``FSTC2xx``
     Task-graph hazards: conflicts detectable from tile-task write sets
     before execution.
+``FSTC3xx``
+    Service/shard configuration lints.
+``FSTC4xx``
+    Backend-layer discipline: kernel code reaching around the
+    :mod:`repro.backends` interface.
 """
 
 from __future__ import annotations
@@ -109,6 +114,8 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC303": (WARNING, "worker pool oversubscribes the machine's cores"),
     "FSTC304": (WARNING, "shard processes oversubscribe the host's CPUs"),
     "FSTC305": (WARNING, "consistent-hash ring is pathologically unbalanced"),
+    # --- backend-layer discipline -----------------------------------------
+    "FSTC401": (ERROR, "direct NumPy kernel call outside the backend layer"),
 }
 
 

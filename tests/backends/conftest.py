@@ -1,0 +1,27 @@
+"""Fixtures parameterizing differential tests over every backend.
+
+Every test taking ``backend_name`` (or ``backend``) runs once per
+*registered* backend; backends that fail feature detection on this host
+(scipy not installed, no array-API namespace, …) skip cleanly with the
+detection reason, so the suite reports exactly which substrates were
+exercised rather than silently shrinking.
+"""
+
+import pytest
+
+from repro.backends import backend_status, get_backend, known_backends
+
+
+@pytest.fixture(params=known_backends())
+def backend_name(request):
+    """Each registered backend name, skipping the undetected ones."""
+    available, reason = backend_status()[request.param]
+    if not available:
+        pytest.skip(f"backend {request.param!r} unavailable: {reason}")
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_name):
+    """The detected backend instance for ``backend_name``."""
+    return get_backend(backend_name)

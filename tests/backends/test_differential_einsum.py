@@ -1,0 +1,84 @@
+"""The 220-case einsum fuzzer, re-run against every detected backend.
+
+Reuses the seeded generator from the integration suite so every backend
+sees the exact expressions the reference is validated on.  Assertions
+follow the tolerance policy of ``docs/backends.md``:
+
+* ``numpy`` — bit-identical to the default path (it *is* the default);
+* ``scipy``/``arrayapi`` — dense reconstruction to ``rtol=1e-8``
+  (SpGEMM and cumulative-sum segment reduction reassociate float adds,
+  and the array-API dense fast path drops exact-zero cells).
+"""
+
+import numpy as np
+import pytest
+
+from repro import einsum
+from repro.machine.specs import DESKTOP, SERVER
+
+from tests.integration.test_properties import (
+    FUZZ_CASES_PER_MACHINE,
+    FUZZ_OPTIMIZERS,
+    _random_einsum_problem,
+)
+
+MACHINES = {"desktop": DESKTOP, "server": SERVER}
+N_BATCHES = 5
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("batch", range(N_BATCHES))
+def test_einsum_fuzz_against_oracle(backend_name, machine_name, batch):
+    """Every backend must agree with the numpy.einsum dense oracle on
+    the full fuzz corpus (110 seeds x 2 machines)."""
+    machine = MACHINES[machine_name]
+    per_batch = FUZZ_CASES_PER_MACHINE // N_BATCHES
+    for k in range(per_batch):
+        seed = batch * per_batch + k
+        expr, operands = _random_einsum_problem(seed)
+        optimizer = FUZZ_OPTIMIZERS[seed % len(FUZZ_OPTIMIZERS)]
+        expected = np.einsum(expr, *[t.to_dense() for t in operands])
+        out = einsum(
+            expr, *operands, machine=machine, optimize=optimizer,
+            backend=backend_name,
+        )
+        np.testing.assert_allclose(
+            out.to_dense(), expected, rtol=1e-8, atol=1e-10,
+            err_msg=(
+                f"backend={backend_name} seed={seed} expr={expr} "
+                f"machine={machine.name} optimizer={optimizer}"
+            ),
+        )
+
+
+@pytest.mark.parametrize("batch", range(N_BATCHES))
+def test_numpy_backend_is_bit_identical_to_default(batch):
+    """Selecting backend="numpy" explicitly must not change one bit
+    relative to the implicit default — it is the same code."""
+    per_batch = FUZZ_CASES_PER_MACHINE // N_BATCHES
+    for k in range(per_batch):
+        seed = batch * per_batch + k
+        expr, operands = _random_einsum_problem(seed)
+        optimizer = FUZZ_OPTIMIZERS[seed % len(FUZZ_OPTIMIZERS)]
+        default = einsum(expr, *operands, optimize=optimizer)
+        explicit = einsum(expr, *operands, optimize=optimizer, backend="numpy")
+        np.testing.assert_array_equal(
+            default.coords, explicit.coords, err_msg=f"seed={seed} {expr}"
+        )
+        np.testing.assert_array_equal(
+            default.values, explicit.values, err_msg=f"seed={seed} {expr}"
+        )
+
+
+def test_auto_backend_matches_oracle():
+    """backend="auto" (per-problem scipy/numpy routing) stays correct
+    across the corpus sample regardless of which backend each pairwise
+    step lands on."""
+    for seed in range(0, FUZZ_CASES_PER_MACHINE, 7):
+        expr, operands = _random_einsum_problem(seed)
+        expected = np.einsum(expr, *[t.to_dense() for t in operands])
+        out = einsum(expr, *operands, backend="auto")
+        np.testing.assert_allclose(
+            out.to_dense(), expected, rtol=1e-8, atol=1e-10,
+            err_msg=f"seed={seed} expr={expr}",
+        )

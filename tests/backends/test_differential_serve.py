@@ -1,0 +1,81 @@
+"""Serve fuzz mode, per backend: a service configured with a backend
+must return exactly what the direct call with the same backend returns
+(scheduling adds no arithmetic), and stay within tolerance of the
+numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro import COOTensor, contract
+from repro.machine.specs import DESKTOP
+from repro.serve import ContractionService, Request, ServiceConfig
+from repro.errors import ConfigError
+
+
+def _self_problem(seed):
+    """Seeded self-contraction problem (mirrors the integration fuzz
+    strategy without hypothesis, so the backend fixture parameterizes
+    cleanly)."""
+    rng = np.random.default_rng(0x5E4E + seed)
+    ndim = int(rng.integers(2, 5))
+    shape = tuple(int(rng.integers(1, 6)) for _ in range(ndim))
+    cells = int(np.prod(shape))
+    nnz = int(rng.integers(0, min(18, cells) + 1))
+    coords = np.array(
+        [rng.integers(0, e, size=nnz) for e in shape], dtype=np.int64
+    ).reshape(ndim, nnz)
+    values = rng.uniform(-6, 6, size=nnz)
+    tensor = COOTensor(coords, values, shape)
+    n_contracted = int(rng.integers(1, ndim))
+    modes = sorted(rng.permutation(ndim)[:n_contracted].tolist())
+    return tensor, [(int(m), int(m)) for m in modes]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_served_bit_identical_to_direct_same_backend(backend_name, seed):
+    tensor, pairs = _self_problem(seed)
+    direct = contract(tensor, tensor, pairs, backend=backend_name)
+    config = ServiceConfig(
+        queue_capacity=8, policy="block", n_workers=1, backend=backend_name,
+    )
+    with ContractionService(machine=DESKTOP, config=config) as svc:
+        response = svc.call(Request.pairwise(tensor, tensor, pairs), timeout=60.0)
+    assert response.ok, (backend_name, seed, response.detail)
+    np.testing.assert_array_equal(
+        response.result.coords, direct.coords,
+        err_msg=f"backend={backend_name} seed={seed}",
+    )
+    np.testing.assert_array_equal(
+        response.result.values, direct.values,
+        err_msg=f"backend={backend_name} seed={seed}",
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_served_matches_numpy_reference(backend_name, seed):
+    """Cross-backend: any served backend agrees with the numpy
+    reference through dense reconstruction (tolerance policy of
+    docs/backends.md)."""
+    tensor, pairs = _self_problem(seed)
+    reference = contract(tensor, tensor, pairs)
+    config = ServiceConfig(
+        queue_capacity=8, policy="block", n_workers=1, backend=backend_name,
+    )
+    with ContractionService(machine=DESKTOP, config=config) as svc:
+        response = svc.call(Request.pairwise(tensor, tensor, pairs), timeout=60.0)
+    assert response.ok, response.detail
+    np.testing.assert_allclose(
+        response.result.to_dense(), reference.to_dense(),
+        rtol=1e-8, atol=1e-10,
+        err_msg=f"backend={backend_name} seed={seed}",
+    )
+
+
+def test_service_config_rejects_unknown_backend():
+    with pytest.raises(ConfigError, match="backend"):
+        ServiceConfig(backend="not-a-backend")
+
+
+def test_service_config_accepts_auto():
+    config = ServiceConfig(backend="auto")
+    assert config.backend == "auto"

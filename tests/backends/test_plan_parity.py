@@ -1,0 +1,58 @@
+"""Per-backend golden Algorithm 7 plan parity.
+
+The backend executes a plan; it must never influence which plan the
+planner picks (otherwise the plan cache — keyed without the backend —
+would replay wrong decisions).  Running registry cases through the
+runtime under every backend must reproduce the frozen golden decisions
+of ``tests/data/algorithm7_plans.json`` bit for bit.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.data.registry import all_cases
+from repro.machine.specs import DESKTOP
+from repro.runtime.executor import ContractionRuntime
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "data", "algorithm7_plans.json"
+)
+
+#: Small registry cases (by nnz) — enough to cover both accumulator
+#: kinds and non-default tile sizes without dominating the suite.
+PARITY_CASES = ("G-ovov", "C-ovov", "chic_01", "chic_123", "NIPS_23")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_parity_cases_cover_both_accumulators(golden):
+    kinds = {golden[name]["desktop"]["accumulator"] for name in PARITY_CASES}
+    assert kinds == {"dense", "sparse"}
+
+
+@pytest.mark.parametrize("case_name", PARITY_CASES)
+def test_plan_matches_golden_under_every_backend(
+    backend_name, case_name, golden
+):
+    left, right, pairs = all_cases()[case_name].load()
+    runtime = ContractionRuntime(machine=DESKTOP, backend=backend_name)
+    out, record = runtime.contract(
+        left, right, pairs, name=case_name, return_record=True
+    )
+    frozen = golden[case_name]["desktop"]
+    assert record.accumulator == frozen["accumulator"], (
+        f"{case_name} under backend={backend_name}: accumulator decision "
+        f"drifted from the golden plan"
+    )
+    assert record.tile == frozen["tile_l"], (
+        f"{case_name} under backend={backend_name}: tile size drifted "
+        f"from the golden plan"
+    )
+    assert record.backend == backend_name
+    assert out.nnz == record.output_nnz

@@ -1,0 +1,136 @@
+"""Registry behavior: discovery, selection precedence, the auto policy."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    AUTO_DENSITY_CEILING,
+    ENV_VAR,
+    KernelBackend,
+    available_backends,
+    backend_status,
+    choose_backend,
+    choose_backend_for_densities,
+    get_backend,
+    known_backends,
+    resolve_backend,
+)
+from repro.errors import BackendError
+
+
+def test_builtin_backends_registered():
+    names = known_backends()
+    assert {"numpy", "scipy", "arrayapi"} <= set(names)
+    assert names == sorted(names)
+
+
+def test_numpy_always_available():
+    assert "numpy" in available_backends()
+    status = backend_status()
+    ok, reason = status["numpy"]
+    assert ok and reason
+
+
+def test_backend_status_has_reason_for_every_backend():
+    for name, (ok, reason) in backend_status().items():
+        assert isinstance(ok, bool)
+        assert reason, f"backend {name} reported no detection reason"
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(BackendError, match="unknown backend"):
+        get_backend("cuda-magic")
+
+
+def test_get_backend_is_cached():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_resolve_default_is_numpy(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve_backend(None).name == "numpy"
+
+
+def test_resolve_env_var_supplies_default(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "arrayapi")
+    if "arrayapi" not in available_backends():
+        pytest.skip("array-API backend unavailable here")
+    assert resolve_backend(None).name == "arrayapi"
+
+
+def test_resolve_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "arrayapi")
+    assert resolve_backend("numpy").name == "numpy"
+
+
+def test_resolve_instance_passthrough():
+    instance = get_backend("numpy")
+    assert resolve_backend(instance) is instance
+
+
+def test_resolve_unavailable_reports_reason():
+    unavailable = [
+        name for name, (ok, _) in backend_status().items() if not ok
+    ]
+    if not unavailable:
+        pytest.skip("every registered backend is available on this host")
+    with pytest.raises(BackendError, match="not available"):
+        get_backend(unavailable[0])
+
+
+class _Sig:
+    """Duck-typed stand-in for ProblemSignature's density fields."""
+
+    def __init__(self, dl, dr):
+        self.density_l = dl
+        self.density_r = dr
+
+
+def test_auto_without_signature_is_numpy():
+    assert choose_backend(None).name == "numpy"
+
+
+def test_auto_routes_sparse_problems_to_scipy():
+    picked = choose_backend_for_densities(1e-4, 1e-4)
+    if "scipy" in available_backends():
+        assert picked.name == "scipy"
+    else:
+        assert picked.name == "numpy"
+
+
+def test_auto_keeps_dense_problems_on_numpy():
+    dense = 10 * AUTO_DENSITY_CEILING
+    assert choose_backend_for_densities(dense, dense).name == "numpy"
+    assert choose_backend_for_densities(1e-4, dense).name == "numpy"
+
+
+def test_auto_respects_signature_densities():
+    picked = resolve_backend("auto", signature=_Sig(1e-4, 1e-4))
+    expected = "scipy" if "scipy" in available_backends() else "numpy"
+    assert picked.name == expected
+    assert resolve_backend("auto", signature=_Sig(0.9, 0.9)).name == "numpy"
+
+
+def test_register_backend_requires_name():
+    from repro.backends import register_backend
+
+    class Nameless(KernelBackend):
+        pass
+
+    with pytest.raises(BackendError, match="needs a name"):
+        register_backend(Nameless)
+
+
+def test_contract_accepts_backend_names(backend_name):
+    """Smoke: the public contract() entry accepts every detected name."""
+    from repro import COOTensor, contract
+
+    rng = np.random.default_rng(7)
+    coords = rng.integers(0, 4, size=(2, 6)).astype(np.int64)
+    values = rng.uniform(-1, 1, size=6)
+    t = COOTensor(coords, values, (4, 4))
+    out = contract(t, t, [(1, 1)], backend=backend_name)
+    reference = contract(t, t, [(1, 1)])
+    np.testing.assert_allclose(
+        out.to_dense(), reference.to_dense(), rtol=1e-8, atol=1e-10
+    )

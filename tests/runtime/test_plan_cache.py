@@ -235,6 +235,47 @@ class TestWarmStart:
         assert cache.load_error is not None
         assert sig(0) in cache
 
+    def test_load_missing_file_is_recorded_noop(self, tmp_path):
+        """load() of a path that does not exist must not raise: it
+        returns 0, records the problem, and leaves the cache usable."""
+        _, plan = make_plan()
+        cache = PlanCache(maxsize=4)
+        cache.put(sig(0), plan)
+        assert cache.load(tmp_path / "never_written.json") == 0
+        assert "FileNotFoundError" in cache.load_error
+        assert sig(0) in cache
+        cache.put(sig(1), plan)
+        assert cache.get(sig(1)) is not None
+
+    def test_load_version_mismatch_falls_back_cold(self, tmp_path):
+        """A cache file from a future format version merges nothing —
+        the running process keeps its live entries and keeps working."""
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 2, "entries": []}))
+        _, plan = make_plan()
+        cache = PlanCache(maxsize=4)
+        cache.put(sig(0), plan)
+        assert cache.load(path) == 0
+        assert "version" in cache.load_error
+        assert sig(0) in cache
+
+    def test_load_failure_never_poisons_later_loads(self, tmp_path):
+        """A failed load must not wedge the cache: a subsequent load of
+        a good file still warms it."""
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2")
+        good = tmp_path / "good.json"
+        _, plan = make_plan()
+        donor = PlanCache(maxsize=8)
+        donor.put(sig(3), plan)
+        donor.save(good)
+
+        cache = PlanCache(maxsize=4)
+        assert cache.load(bad) == 0
+        assert cache.load_error is not None
+        assert cache.load(good) == 1
+        assert sig(3) in cache
+
     def test_load_respects_maxsize(self, tmp_path):
         path = tmp_path / "big.json"
         _, plan = make_plan()

@@ -201,3 +201,67 @@ class TestConfigValidation:
         assert any(
             d.code == "FSTC304" for d in router.config_diagnostics
         )
+
+
+class TestInterruptSafety:
+    """Regression: `serve --demo` used to leak spawned shard processes
+    when a KeyboardInterrupt landed during startup — the CLI's context
+    manager never ran __exit__ for an exception raised inside start().
+    The CLI now calls close() from a finally block, and close() must
+    reap every child no matter where the interrupt landed."""
+
+    class _InterruptingEvent:
+        """Stands in for a shard's ready event; the wait is where a
+        Ctrl-C lands in the leaked-process scenario."""
+
+        def wait(self, timeout=None):
+            raise KeyboardInterrupt
+
+        def clear(self):
+            pass
+
+        def set(self):
+            pass
+
+        def is_set(self):
+            return False
+
+    def test_interrupt_during_start_reaps_all_shards(self):
+        router = ShardRouter(machine=DESKTOP, config=small_config())
+        router._shards[1].ready = self._InterruptingEvent()
+        with pytest.raises(KeyboardInterrupt):
+            router.start()
+        for shard in router._shards.values():
+            assert shard.process is None or not shard.process.is_alive(), (
+                f"shard {shard.shard_id} leaked its process"
+            )
+        assert not router.running
+        router.close()  # the CLI's finally must be safe to run after
+
+    def test_close_before_start_is_safe_and_idempotent(self):
+        router = ShardRouter(machine=DESKTOP, config=small_config())
+        router.close()
+        router.close()
+        assert not router.running
+
+    def test_close_after_normal_start_reaps_processes(self):
+        router = ShardRouter(machine=DESKTOP, config=small_config())
+        router.start()
+        processes = [s.process for s in router._shards.values()]
+        assert all(p is not None and p.is_alive() for p in processes)
+        router.close()
+        assert all(not p.is_alive() for p in processes)
+        router.close()  # idempotent
+
+    def test_service_close_stops_and_is_idempotent(self):
+        from repro.serve import ContractionService
+
+        service = ContractionService(machine=DESKTOP, config=SERVICE)
+        service.start()
+        assert service.running
+        service.close()
+        assert not service.running
+        service.close()
+        # A closed queue sheds new arrivals instead of hanging them.
+        ticket = service.submit(synthetic_requests(1, n_signatures=1, seed=3)[0])
+        assert ticket.result(5.0).status == "shed"

@@ -123,3 +123,85 @@ class TestSuggestWeights:
     def test_gain_validated(self):
         with pytest.raises(ConfigError):
             suggest_weights(HashRing(range(2)), {0: 1.0}, gain=0.0)
+
+
+class TestHashRingProperties:
+    """Hypothesis property tests for the ring's edge cases: single-shard
+    totality, weight clamping at the extremes, and virtual-node
+    determinism across independently built rings (and across
+    processes — BLAKE2b placement must not depend on PYTHONHASHSEED)."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(key=st.text(min_size=0, max_size=40),
+           replicas=st.integers(1, 64),
+           shard=st.integers(-1000, 1000))
+    def test_single_shard_ring_routes_everything_to_it(self, key, replicas, shard):
+        ring = HashRing([shard], replicas=replicas)
+        assert ring.route(key) == shard
+
+    @settings(max_examples=40, deadline=None)
+    @given(weight=st.floats(0.01, 50.0, allow_nan=False))
+    def test_any_positive_weight_keeps_at_least_one_vnode(self, weight):
+        ring = HashRing(replicas=4)
+        ring.add_shard(0, weight=weight)
+        assert len(ring._points) >= 1
+        assert ring.route("anything") == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(weight=st.floats(-10.0, 0.0))
+    def test_nonpositive_weight_rejected(self, weight):
+        ring = HashRing()
+        with pytest.raises(ConfigError):
+            ring.add_shard(0, weight=weight)
+
+    @settings(max_examples=30, deadline=None)
+    @given(loads=st.dictionaries(st.integers(0, 3),
+                                 st.floats(0, 1e9, allow_nan=False),
+                                 min_size=1, max_size=4),
+           gain=st.floats(0.05, 1.0))
+    def test_suggested_weights_always_inside_clamp(self, loads, gain):
+        from repro.serve.sharding import MAX_WEIGHT, MIN_WEIGHT
+
+        ring = HashRing(range(4))
+        out = suggest_weights(ring, loads, gain=gain)
+        assert set(out) == set(ring.shards)
+        for weight in out.values():
+            assert MIN_WEIGHT <= weight <= MAX_WEIGHT
+        ring.set_weights(out)  # the suggestion must always be applicable
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 8),
+           replicas=st.integers(1, 128),
+           keys=st.lists(st.text(max_size=24), min_size=1, max_size=30))
+    def test_independent_rings_route_identically(self, n, replicas, keys):
+        a = HashRing(range(n), replicas=replicas)
+        b = HashRing(range(n), replicas=replicas)
+        for key in keys:
+            assert a.route(key) == b.route(key)
+
+    def test_vnode_placement_is_stable_across_processes(self):
+        """Routing decisions must survive a process boundary: a child
+        interpreter (fresh hash seed) routes the key set exactly as the
+        parent does."""
+        import json
+        import subprocess
+        import sys
+
+        keys = [f"sig{i}" for i in range(64)]
+        parent = {k: HashRing(range(4)).route(k) for k in keys}
+        script = (
+            "import json, sys\n"
+            "from repro.serve.sharding import HashRing\n"
+            "ring = HashRing(range(4))\n"
+            "keys = json.load(sys.stdin)\n"
+            "json.dump({k: ring.route(k) for k in keys}, sys.stdout)\n"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(keys), capture_output=True, text=True,
+            check=True,
+        )
+        assert {k: int(v) for k, v in json.loads(child.stdout).items()} == parent
