@@ -33,6 +33,7 @@ HARNESSES = [
     "bench_ablation_order_vs_tables",
     "bench_ablation_network",
     "bench_network_paths",
+    "bench_network_passes",
     "bench_ablation_pool",
     "bench_model_accuracy",
     "bench_format_memory",

@@ -225,7 +225,9 @@ def _cmd_network(args) -> int:
     # Execute mode: draw random operands at the declared shapes/nnz and
     # run the plan through a fresh executor, --repeat times (repeats
     # after the first replay cached plans at both levels).
-    executor = NetworkExecutor(machine=machine, n_workers=args.workers)
+    executor = NetworkExecutor(
+        machine=machine, n_workers=args.workers, passes=args.passes,
+    )
     operands = [
         random_coo(meta.shape, nnz=meta.nnz, seed=args.seed + k)
         for k, meta in enumerate(network.operands)
@@ -259,12 +261,30 @@ def _parse_shapes(text: str) -> list[tuple[int, ...]]:
 _HAZARD_PAIR_LIMIT = 1 << 18
 
 
-def _cmd_check(args) -> int:
+def _emit_diagnostics(args, diags, extra: dict | None = None) -> int:
+    """Print findings (text or ``--json``) and return the exit status."""
     from repro.staticcheck import (
-        lint_expression,
+        diagnostics_to_json,
         max_exit_status,
         render_diagnostics,
     )
+
+    if getattr(args, "json", False):
+        import json
+
+        doc = diagnostics_to_json(diags)
+        if extra:
+            doc.update(extra)
+        print(json.dumps(doc, indent=2))
+    elif diags:
+        print(render_diagnostics(diags))
+    else:
+        print("no findings")
+    return max_exit_status(diags)
+
+
+def _cmd_check(args) -> int:
+    from repro.staticcheck import lint_expression
 
     if args.self_check:
         from repro.staticcheck import audit_code_registry, lint_tree
@@ -273,8 +293,17 @@ def _cmd_check(args) -> int:
         # The FSTC catalogue itself is part of the checked surface: the
         # registry and docs/staticcheck.md must agree code-for-code.
         diags.extend(audit_code_registry())
-        print(render_diagnostics(diags))
-        return max_exit_status(diags)
+        return _emit_diagnostics(args, diags)
+
+    if args.passes_check:
+        from repro.staticcheck import self_test_passes
+
+        diags, summary = self_test_passes()
+        if not args.json:
+            print(f"pass self-test: {summary['scenarios']} scenarios, "
+                  f"{summary['clean_pipelines']} clean pipeline runs, "
+                  f"{summary['corruptions_caught']} corruptions caught")
+        return _emit_diagnostics(args, diags, extra={"summary": summary})
 
     if args.expr is not None:
         from repro.machine.specs import DESKTOP, SERVER
@@ -296,21 +325,24 @@ def _cmd_check(args) -> int:
             dtypes=args.dtypes.split(",") if args.dtypes else None,
             location=f"expr {args.expr!r}",
         )
-        if report.prediction is not None:
-            p = report.prediction
-            print(f"predicted plan on {machine.name}: {p.accumulator} "
-                  f"accumulator, tile {p.tile_l}x{p.tile_r}, grid "
-                  f"{p.grid_l}x{p.grid_r} (<= {p.est_nonempty_pairs} tasks)")
-        print(f"verdict: {report.verdict}")
-        print(render_diagnostics(report.diagnostics))
-        return max_exit_status(report.diagnostics)
+        if not args.json:
+            if report.prediction is not None:
+                p = report.prediction
+                print(f"predicted plan on {machine.name}: {p.accumulator} "
+                      f"accumulator, tile {p.tile_l}x{p.tile_r}, grid "
+                      f"{p.grid_l}x{p.grid_r} "
+                      f"(<= {p.est_nonempty_pairs} tasks)")
+            print(f"verdict: {report.verdict}")
+        return _emit_diagnostics(
+            args, report.diagnostics, extra={"verdict": report.verdict}
+        )
 
     return _check_audit(args)
 
 
 def _check_audit(args) -> int:
     """Registry-wide static audit (the Table 3 reproduction)."""
-    from repro.staticcheck import audit_registry, max_exit_status
+    from repro.staticcheck import audit_registry
     from repro.staticcheck.audit import occupied_tile_pairs
     from repro.staticcheck.graph_lint import (
         analyze_task_graph,
@@ -330,19 +362,23 @@ def _check_audit(args) -> int:
     )
 
     diags = []
+    verdicts = {}
     header = f"{'case':<12}" + "".join(
         f"{m}/{a:<8}" for m in machines for a in accumulators
     )
-    print(header)
+    if not args.json:
+        print(header)
     for audit in audits:
         cells = []
         for m in machines:
             for a in accumulators:
                 v = audit.verdict(m, a)
+                verdicts[f"{audit.case}/{m}/{a}"] = v
                 cells.append("DNF" if v == "dnf" else v)
-        print(f"{audit.case:<12}" + "".join(f"{c:<{len(m) + 9}}"
-              for c, m in zip(cells, [m for m in machines
-                                      for _ in accumulators])))
+        if not args.json:
+            print(f"{audit.case:<12}" + "".join(f"{c:<{len(m) + 9}}"
+                  for c, m in zip(cells, [m for m in machines
+                                          for _ in accumulators])))
         diags.extend(audit.diagnostics)
         if args.hazards:
             diags.extend(_audit_hazards(
@@ -351,14 +387,9 @@ def _check_audit(args) -> int:
                 n_workers=args.workers,
             ))
 
-    from repro.staticcheck import render_diagnostics
-
-    if diags:
+    if not args.json:
         print()
-        print(render_diagnostics(diags))
-    else:
-        print("\nno findings")
-    return max_exit_status(diags)
+    return _emit_diagnostics(args, diags, extra={"verdicts": verdicts})
 
 
 def _audit_hazards(
@@ -636,6 +667,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tile-size override to lint")
     check.add_argument("--self", dest="self_check", action="store_true",
                        help="AST-lint the repro source tree")
+    check.add_argument("--passes", dest="passes_check", action="store_true",
+                       help="self-test the network optimizer-pass "
+                            "pipeline and its verifier (FSTC5xx)")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable findings (code, severity, "
+                            "location, message) instead of text")
 
     net = sub.add_parser(
         "network", help="plan (and optionally execute) a multi-operand "
@@ -662,6 +699,9 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--repeat", type=int, default=1,
                      help="execute the network N times (repeats hit the "
                           "plan caches)")
+    net.add_argument("--passes", default="default",
+                     help="optimizer pass pipeline: 'default', 'none', "
+                          "or a comma-separated pass list")
     net.add_argument("--workers", type=int, default=1)
     _add_backend_flag(net)
 

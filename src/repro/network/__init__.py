@@ -9,16 +9,41 @@ The subsystem splits multi-operand einsum into four layers:
 * :mod:`repro.network.plan` — the serializable, explainable plan and its
   network-level :class:`NetworkSignature`;
 * :mod:`repro.network.executor` — plan-cached execution through the
-  adaptive :class:`~repro.runtime.ContractionRuntime`.
+  adaptive :class:`~repro.runtime.ContractionRuntime`;
+* :mod:`repro.network.dataflow` — SSA-style :class:`PlanGraph` plus the
+  forward/backward analysis framework (liveness, reachability,
+  available expressions, nnz intervals);
+* :mod:`repro.network.passes` — the verified optimizer pass pipeline
+  (CSE, dead-operand elimination, table hoisting) rewriting plans via
+  annotations only, every rewrite checked by the :class:`PassVerifier`.
 """
 
+from repro.network.dataflow import (
+    AvailableExpressions,
+    LiveValues,
+    NnzIntervals,
+    PlanGraph,
+    ReachableOperands,
+    expression_key,
+    run_analysis,
+)
 from repro.network.executor import (
     NetworkExecutor,
     NetworkReport,
+    PreparedNetwork,
+    StepResultCache,
     contract_network,
     default_executor,
     outer_product,
     sum_out_modes,
+)
+from repro.network.passes import (
+    DEFAULT_PASSES,
+    PASS_REGISTRY,
+    PassContext,
+    PassPipeline,
+    PassVerifier,
+    resolve_pipeline,
 )
 from repro.network.ir import (
     OperandMeta,
@@ -39,23 +64,38 @@ from repro.network.plan import NetworkPlan, NetworkSignature, PlanStep
 
 __all__ = [
     "AUTO_DP_LIMIT",
+    "AvailableExpressions",
+    "DEFAULT_PASSES",
     "DP_OPERAND_LIMIT",
+    "LiveValues",
     "NetworkExecutor",
     "NetworkPlan",
     "NetworkReport",
     "NetworkSignature",
+    "NnzIntervals",
     "OPTIMIZERS",
     "OperandMeta",
+    "PASS_REGISTRY",
+    "PassContext",
+    "PassPipeline",
+    "PassVerifier",
+    "PlanGraph",
     "PlanStep",
+    "PreparedNetwork",
+    "ReachableOperands",
+    "StepResultCache",
     "TensorNetwork",
     "build_plan",
     "contract_network",
     "default_executor",
+    "expression_key",
     "optimize_path",
     "outer_product",
     "parse_subscripts",
     "plan_network",
+    "resolve_pipeline",
     "resolve_optimizer",
+    "run_analysis",
     "subscript_counts",
     "sum_out_modes",
 ]

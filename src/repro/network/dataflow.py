@@ -1,0 +1,450 @@
+"""Dataflow analysis over network plans (the optimizer-pass substrate).
+
+A :class:`~repro.network.plan.NetworkPlan` is a straight-line program:
+each step consumes two live operands and defines one intermediate, in
+the shrinking-live-list position convention.  Positions are convenient
+for execution but hostile to analysis — the same value sits at a
+different index before and after every step — so this module first
+rebuilds the plan as an SSA-style :class:`PlanGraph`: every network
+input and every step result is a :class:`Value` with a stable id, and
+every step is an :class:`Op` referencing value ids.
+
+On top of the graph sits a small generic framework
+(:class:`Analysis` / :func:`run_analysis`): an analysis declares a
+direction and a transfer function and receives per-program-point facts.
+Plans are branch-free, so no fixpoint iteration is needed — a single
+forward or backward sweep is exact — but the framework keeps the
+classic shape so each concrete analysis stays ~20 lines.
+
+Concrete analyses (the facts the optimizer passes and the
+:class:`~repro.network.passes.PassVerifier` consume):
+
+* :class:`LiveValues` — backward liveness of value ids, the
+  use-after-free oracle for the executor's eager-free discipline;
+* :class:`ReachableOperands` — which original operand positions feed
+  each value (forward);
+* :class:`AvailableExpressions` — structural, rename-invariant
+  expression keys to their first defining step (forward; the CSE
+  oracle);
+* :class:`NnzIntervals` — ``[lo, hi]`` bounds on every value's nonzero
+  count under the Section 5.1 density model, with exact zero
+  propagation (the dead-step oracle).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.network.ir import TensorNetwork
+from repro.network.plan import NetworkPlan, PlanStep
+
+__all__ = [
+    "Value",
+    "Op",
+    "PlanGraph",
+    "Analysis",
+    "DataflowResult",
+    "run_analysis",
+    "LiveValues",
+    "ReachableOperands",
+    "AvailableExpressions",
+    "NnzIntervals",
+    "expression_key",
+    "canonical_pattern",
+]
+
+
+@dataclass(frozen=True)
+class Value:
+    """One SSA value: a network input or a step result."""
+
+    id: int
+    sub: str
+    shape: tuple[int, ...]
+    est_nnz: float
+    origin: tuple  # ("input", operand position) | ("step", step index)
+
+    @property
+    def is_input(self) -> bool:
+        return self.origin[0] == "input"
+
+    @property
+    def cells(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+
+@dataclass(frozen=True)
+class Op:
+    """One plan step in value-id form."""
+
+    index: int
+    left: int
+    right: int
+    out: int
+    step: PlanStep
+
+
+class PlanGraph:
+    """SSA-style view of a plan: values and ops instead of positions.
+
+    Construction simulates the shrinking live list and checks, step by
+    step, that positions are in range and that each step's recorded
+    ``sub_l``/``sub_r`` match the values actually at those positions —
+    so merely *building* the graph validates the plan's structural
+    skeleton (the :class:`~repro.network.passes.PassVerifier` leans on
+    this: a rewrite that breaks the skeleton fails here).
+    """
+
+    __slots__ = ("values", "ops", "output_value", "n_inputs", "network")
+
+    def __init__(
+        self,
+        values: Sequence[Value],
+        ops: Sequence[Op],
+        output_value: int,
+        n_inputs: int,
+        network: TensorNetwork,
+    ):
+        self.values = tuple(values)
+        self.ops = tuple(ops)
+        self.output_value = output_value
+        self.n_inputs = n_inputs
+        self.network = network
+
+    @classmethod
+    def from_plan(cls, plan: NetworkPlan, network: TensorNetwork) -> "PlanGraph":
+        if len(plan.input_subs) != network.n_operands:
+            raise PlanError(
+                f"plan names {len(plan.input_subs)} operands but the "
+                f"network has {network.n_operands}"
+            )
+        values: list[Value] = []
+        for k, (meta, reduced) in enumerate(
+            zip(network.operands, plan.input_subs)
+        ):
+            if set(reduced) - set(meta.subscript):
+                raise PlanError(
+                    f"plan operand {k} subscript {reduced!r} names indices "
+                    f"absent from the network operand {meta.subscript!r}"
+                )
+            shape = tuple(network.extents[ch] for ch in reduced)
+            cells = float(math.prod(shape)) if shape else 1.0
+            values.append(Value(
+                id=k, sub=reduced, shape=shape,
+                est_nnz=min(float(meta.nnz), cells), origin=("input", k),
+            ))
+
+        live = list(range(network.n_operands))
+        ops: list[Op] = []
+        for s, step in enumerate(plan.steps):
+            if not (0 <= step.i < step.j < len(live)):
+                raise PlanError(
+                    f"step {s} positions ({step.i}, {step.j}) do not fit "
+                    f"the live list (length {len(live)})"
+                )
+            vl, vr = values[live[step.i]], values[live[step.j]]
+            if (vl.sub, vr.sub) != (step.sub_l, step.sub_r):
+                raise PlanError(
+                    f"step {s} records inputs "
+                    f"{step.sub_l!r},{step.sub_r!r} but the live values "
+                    f"are {vl.sub!r},{vr.sub!r}"
+                )
+            expected_out = _derive_out_sub(step.sub_l, step.sub_r, step.kind)
+            if step.sub_out != expected_out:
+                raise PlanError(
+                    f"step {s} output {step.sub_out!r} is inconsistent "
+                    f"with its inputs (expected {expected_out!r})"
+                )
+            out_shape = tuple(network.extents[ch] for ch in step.sub_out)
+            out = Value(
+                id=len(values), sub=step.sub_out, shape=out_shape,
+                est_nnz=float(step.est_nnz), origin=("step", s),
+            )
+            values.append(out)
+            ops.append(Op(
+                index=s, left=vl.id, right=vr.id, out=out.id, step=step,
+            ))
+            del live[step.j], live[step.i]
+            live.append(out.id)
+
+        if len(live) != 1:
+            raise PlanError(
+                f"plan leaves {len(live)} live operands; expected exactly 1"
+            )
+        final = values[live[0]]
+        if final.sub != plan.final_sub:
+            raise PlanError(
+                f"plan final_sub {plan.final_sub!r} does not match the "
+                f"computed result {final.sub!r}"
+            )
+        if set(final.sub) != set(plan.output):
+            raise PlanError(
+                f"plan result carries indices {final.sub!r} but the "
+                f"output wants {plan.output!r}"
+            )
+        return cls(values, ops, final.id, network.n_operands, network)
+
+    def value_of_step(self, step_index: int) -> Value:
+        return self.values[self.n_inputs + step_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanGraph(values={len(self.values)}, ops={len(self.ops)}, "
+            f"out=v{self.output_value})"
+        )
+
+
+def _derive_out_sub(sub_l: str, sub_r: str, kind: str) -> str:
+    """The output subscript a step must produce from its inputs."""
+    if kind == "outer":
+        return sub_l + sub_r
+    shared = {ch for ch in sub_l if ch in sub_r}
+    return (
+        "".join(ch for ch in sub_l if ch not in shared)
+        + "".join(ch for ch in sub_r if ch not in shared)
+    )
+
+
+# -- the generic framework ----------------------------------------------
+
+
+class Analysis:
+    """One dataflow analysis: a direction plus a transfer function.
+
+    ``direction`` is ``"forward"`` (facts flow from inputs to the
+    output) or ``"backward"``.  ``initial(graph)`` is the boundary fact
+    — before the first op (forward) or after the last (backward).
+    ``transfer(graph, op, fact)`` maps the fact across one op.  Facts
+    must be immutable (transfer returns a new fact).
+    """
+
+    direction = "forward"
+    name = "analysis"
+
+    def initial(self, graph: PlanGraph):
+        raise NotImplementedError
+
+    def transfer(self, graph: PlanGraph, op: Op, fact):
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult:
+    """Per-program-point facts: ``before[k]``/``after[k]`` bracket op k."""
+
+    analysis: str
+    direction: str
+    before: list
+    after: list
+
+    def at_entry(self):
+        """The boundary fact at the plan's entry (forward direction)."""
+        return self.before[0] if self.before else None
+
+    def at_exit(self):
+        """The fact after the last op (forward) / before the first
+        (backward), i.e. at the plan's result."""
+        return self.after[-1] if self.after else None
+
+
+def run_analysis(graph: PlanGraph, analysis: Analysis) -> DataflowResult:
+    """Run one analysis over a plan graph.
+
+    Straight-line programs need no fixpoint: a single sweep in the
+    analysis's direction computes the exact solution.
+    """
+    n = len(graph.ops)
+    before: list = [None] * n
+    after: list = [None] * n
+    fact = analysis.initial(graph)
+    if analysis.direction == "forward":
+        for op in graph.ops:
+            before[op.index] = fact
+            fact = analysis.transfer(graph, op, fact)
+            after[op.index] = fact
+    elif analysis.direction == "backward":
+        for op in reversed(graph.ops):
+            after[op.index] = fact
+            fact = analysis.transfer(graph, op, fact)
+            before[op.index] = fact
+    else:
+        raise PlanError(
+            f"analysis direction must be forward|backward, "
+            f"got {analysis.direction!r}"
+        )
+    return DataflowResult(
+        analysis=analysis.name, direction=analysis.direction,
+        before=before, after=after,
+    )
+
+
+# -- concrete analyses ---------------------------------------------------
+
+
+class LiveValues(Analysis):
+    """Backward liveness: the set of value ids still needed at a point.
+
+    ``after[k]`` is what must be alive once step k has run.  The
+    executor frees a step's inputs eagerly; a pass annotation that
+    requires a value beyond its last structural use (a ``cse_of``
+    target's result) must therefore be modeled as an extra retention —
+    the verifier compares annotations against these baseline facts.
+    """
+
+    direction = "backward"
+    name = "live-values"
+
+    def initial(self, graph: PlanGraph) -> frozenset:
+        return frozenset({graph.output_value})
+
+    def transfer(self, graph: PlanGraph, op: Op, fact: frozenset) -> frozenset:
+        return (fact - {op.out}) | {op.left, op.right}
+
+
+class ReachableOperands(Analysis):
+    """Forward reachability: value id -> original operand positions.
+
+    The fact is a mapping for *every value defined so far*; the exit
+    fact therefore answers "which inputs feed the output" (all of them,
+    for any well-formed plan — the verifier checks exactly that).
+    """
+
+    direction = "forward"
+    name = "reachable-operands"
+
+    def initial(self, graph: PlanGraph) -> dict:
+        return {
+            v.id: frozenset({v.origin[1]})
+            for v in graph.values[: graph.n_inputs]
+        }
+
+    def transfer(self, graph: PlanGraph, op: Op, fact: dict) -> dict:
+        out = dict(fact)
+        out[op.out] = fact[op.left] | fact[op.right]
+        return out
+
+
+def canonical_pattern(step: PlanStep) -> tuple:
+    """The step's index structure with letters renamed positionally.
+
+    Two steps with equal patterns perform the same array computation on
+    their inputs regardless of what the indices are called: the rename
+    maps each distinct letter to its first-occurrence rank across
+    ``sub_l + sub_r + sub_out``, so ``ab,bc->ac`` and ``de,ef->df``
+    collapse to the same pattern while ``ab,cb->ac`` does not.
+    """
+    rename: dict[str, int] = {}
+    for ch in step.sub_l + step.sub_r + step.sub_out:
+        if ch not in rename:
+            rename[ch] = len(rename)
+    canon = lambda sub: tuple(rename[ch] for ch in sub)  # noqa: E731
+    return (
+        step.kind,
+        canon(step.sub_l),
+        canon(step.sub_r),
+        canon(step.sub_out),
+        tuple(step.pairs),
+    )
+
+
+def expression_key(
+    graph: PlanGraph,
+    value_id: int,
+    dtypes: Sequence[str] | None = None,
+) -> tuple:
+    """Structural identity of the expression computing a value.
+
+    Inputs are keyed by their declared metadata (shape, nnz, dtype when
+    known) — *not* by position, so two metadata-identical operands are
+    CSE candidates whose actual equality the executor confirms with
+    content digests at run time.  Step values key recursively on the
+    canonical index pattern plus both input keys, which makes duplicate
+    subtrees match bottom-up.
+    """
+    value = graph.values[value_id]
+    if value.is_input:
+        pos = value.origin[1]
+        dtype = dtypes[pos] if dtypes is not None else ""
+        meta = graph.network.operands[pos]
+        kept = tuple(
+            m for m, ch in enumerate(meta.subscript) if ch in value.sub
+        )
+        return ("in", meta.shape, meta.nnz, kept, dtype)
+    op = graph.ops[value.origin[1]]
+    return (
+        "step",
+        canonical_pattern(op.step),
+        expression_key(graph, op.left, dtypes),
+        expression_key(graph, op.right, dtypes),
+    )
+
+
+class AvailableExpressions(Analysis):
+    """Forward available expressions: key -> first defining step index.
+
+    Nothing in a plan mutates a value, so an expression once computed
+    stays *computed*; what expires is the executor's retention of its
+    result (eager frees).  The verifier combines these facts with
+    :class:`LiveValues` to decide whether a ``cse_of`` annotation is
+    honorable.
+    """
+
+    direction = "forward"
+    name = "available-expressions"
+
+    def __init__(self, dtypes: Sequence[str] | None = None):
+        self.dtypes = tuple(dtypes) if dtypes is not None else None
+
+    def initial(self, graph: PlanGraph) -> dict:
+        return {}
+
+    def transfer(self, graph: PlanGraph, op: Op, fact: dict) -> dict:
+        key = expression_key(graph, op.out, self.dtypes)
+        if key in fact:
+            return fact
+        out = dict(fact)
+        out[key] = op.index
+        return out
+
+
+class NnzIntervals(Analysis):
+    """Forward ``[lo, hi]`` nonzero-count intervals per value.
+
+    The declared nnz of a live input is exact, so inputs start at
+    ``[nnz, nnz]``.  Steps widen: a contraction can cancel or miss, so
+    ``lo`` drops to 0, while ``hi`` is the product bound capped by the
+    output's cell count.  The one exact propagation is zero: an empty
+    input makes every downstream product empty, which is what the
+    dead-step pass acts on.  Monotonicity (``0 <= lo <= hi <= cells``)
+    is a verifier invariant.
+    """
+
+    direction = "forward"
+    name = "nnz-intervals"
+
+    def initial(self, graph: PlanGraph) -> dict:
+        return {
+            v.id: (float(v.est_nnz), float(v.est_nnz))
+            for v in graph.values[: graph.n_inputs]
+        }
+
+    def transfer(self, graph: PlanGraph, op: Op, fact: dict) -> dict:
+        lo_l, hi_l = fact[op.left]
+        lo_r, hi_r = fact[op.right]
+        cells = float(graph.values[op.out].cells)
+        hi = min(hi_l * hi_r, cells)
+        if op.step.kind == "outer":
+            # Distinct coordinate pairs: the product is exact on both
+            # ends (duplicates cannot arise from canonical inputs).
+            lo = min(lo_l * lo_r, cells)
+        else:
+            lo = 0.0
+        out = dict(fact)
+        out[op.out] = (lo, hi)
+        return out

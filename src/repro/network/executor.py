@@ -13,14 +13,32 @@ The executor owns two caches:
 Intermediates are freed eagerly — each step drops its inputs from the
 live list before the next step runs — and the executor reports the peak
 intermediate footprint (nnz and bytes) alongside per-step records.
+
+Plans are rewritten by a verified optimizer pass pipeline
+(:mod:`repro.network.passes`) before caching; the executor honors the
+resulting annotations with runtime guards that keep results
+bit-identical to the unoptimized plan:
+
+* ``dead`` steps short-circuit to an empty result once the plan's zero
+  premise is confirmed against the live tensors;
+* ``cse_of`` steps reuse the earlier step's retained result only when
+  both inputs' content digests match the ones observed there;
+* ``hoist_l``/``hoist_r`` feed :meth:`NetworkExecutor.prepare`, which
+  builds and *pins* the invariant linearizations/tables up front.
+
+A :class:`StepResultCache` extends the digest-guarded reuse across
+requests: the serve micro-batcher hands one cache per drained batch to
+every request in it, so structurally shared subnetworks with byte-equal
+inputs compute once per batch.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -28,8 +46,10 @@ import numpy as np
 from repro.core.contraction import contract
 from repro.errors import PlanError, WorkspaceLimitError
 from repro.machine.specs import DESKTOP, MachineSpec
+from repro.network.dataflow import PlanGraph, canonical_pattern
 from repro.network.ir import OperandMeta, TensorNetwork
 from repro.network.optimize import build_plan, resolve_optimizer
+from repro.network.passes import PassContext, resolve_pipeline
 from repro.network.plan import NetworkPlan, NetworkSignature
 from repro.runtime.executor import ContractionRuntime
 from repro.tensors.coo import COOTensor
@@ -39,7 +59,9 @@ from repro.util.groups import segment_sum
 __all__ = [
     "NetworkExecutor",
     "NetworkReport",
+    "PreparedNetwork",
     "StepRecord",
+    "StepResultCache",
     "contract_network",
     "default_executor",
     "outer_product",
@@ -129,6 +151,87 @@ def _tensor_bytes(t: COOTensor) -> int:
     return int(t.coords.nbytes + t.values.nbytes)
 
 
+def _content_digest(t: COOTensor) -> bytes:
+    """Content identity of a COO tensor (order-sensitive, canonical
+    tensors compare equal iff byte-equal).  This is the runtime guard
+    behind every speculative-CSE reuse."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((t.shape, t.coords.dtype.str, t.values.dtype.str)).encode())
+    h.update(np.ascontiguousarray(t.coords).tobytes())
+    h.update(np.ascontiguousarray(t.values).tobytes())
+    return h.digest()
+
+
+class _DigestMemo:
+    """Per-execution digest cache, identity-keyed.
+
+    Holds a strong reference alongside each digest so a freed tensor's
+    recycled ``id`` can never alias a stale entry.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: dict[int, tuple[COOTensor, bytes]] = {}
+
+    def digest(self, t: COOTensor) -> bytes:
+        hit = self._entries.get(id(t))
+        if hit is not None and hit[0] is t:
+            return hit[1]
+        d = _content_digest(t)
+        self._entries[id(t)] = (t, d)
+        return d
+
+
+class StepResultCache:
+    """Digest-keyed step-result memo for cross-request CSE.
+
+    The serve micro-batcher creates one per drained batch and threads it
+    through every request's execution: a step whose (canonical pattern,
+    input digests, method, backend) key was already computed by *any*
+    request in the batch reuses that result outright.  Keys are content
+    digests, so reuse is sound across requests regardless of plan or
+    operand identity; values are immutable COO results shared by
+    reference.  Thread-safe; bounded LRU.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise PlanError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, COOTensor] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> COOTensor | None:
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return hit
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, value: COOTensor) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
 class NetworkExecutor:
     """Plan-cached network contraction over a shared runtime.
 
@@ -141,6 +244,13 @@ class NetworkExecutor:
         (``runtime_kw`` configures the private one).
     plan_cache_size:
         How many :class:`NetworkPlan` entries the network-level LRU keeps.
+    passes:
+        Optimizer pass pipeline configuration (``"default"``, a
+        comma-separated name list, a
+        :class:`~repro.network.passes.PassPipeline`, or ``None`` to
+        disable).  The resolved pipeline's key becomes part of every
+        plan-cache key, so plans produced under different pipeline (or
+        no-pipeline) configurations can never collide.
     """
 
     def __init__(
@@ -149,6 +259,7 @@ class NetworkExecutor:
         *,
         runtime: ContractionRuntime | None = None,
         plan_cache_size: int = 64,
+        passes="default",
         **runtime_kw,
     ):
         if plan_cache_size < 1:
@@ -162,13 +273,35 @@ class NetworkExecutor:
             else ContractionRuntime(machine=machine, **runtime_kw)
         )
         self.plan_cache_size = int(plan_cache_size)
+        self.pipeline = resolve_pipeline(passes)
         self._plans: OrderedDict[str, NetworkPlan] = OrderedDict()
         # Shared by the serve worker pool: LRU reorder/evict and the
         # hit/miss tallies must not interleave across threads.
         self._plans_lock = threading.Lock()
         self.plan_hits = 0
         self.plan_misses = 0
+        self.cse_hits = 0
+        self.cse_misses = 0
+        self.batch_cse_hits = 0
+        self.dead_skips = 0
         self.reports: list[NetworkReport] = []
+
+    @property
+    def pipeline_key(self) -> str:
+        """The pass-pipeline half of every plan-cache key (``""`` when
+        the pipeline is disabled, keeping historical keys stable)."""
+        return self.pipeline.key if self.pipeline is not None else ""
+
+    @staticmethod
+    def _operand_dtypes(operands: Sequence) -> tuple[str, ...] | None:
+        """Per-operand dtype names when live tensors were passed."""
+        names = []
+        for op in operands:
+            values = getattr(op, "values", None)
+            if values is None or not hasattr(values, "dtype"):
+                return None
+            names.append(values.dtype.name)
+        return tuple(names)
 
     # -- planning -------------------------------------------------------
 
@@ -180,10 +313,18 @@ class NetworkExecutor:
         optimizer: str = "auto",
         nnz: Sequence[int] | None = None,
     ) -> tuple[NetworkPlan, str]:
-        """The (cached) plan for a network; returns ``(plan, source)``."""
+        """The (cached) plan for a network; returns ``(plan, source)``.
+
+        A cache miss runs the path optimizer and then the executor's
+        pass pipeline; every rewrite is checked by the pipeline's
+        verifier before the plan is cached under its pipeline-qualified
+        signature key.
+        """
         network = TensorNetwork.parse(subscripts, operands, nnz=nnz)
         concrete = resolve_optimizer(optimizer, network)
-        key = NetworkSignature.for_network(network, self.machine, concrete).key
+        key = NetworkSignature.for_network(
+            network, self.machine, concrete, pipeline=self.pipeline_key
+        ).key
         with self._plans_lock:
             hit = self._plans.get(key)
             if hit is not None:
@@ -191,6 +332,11 @@ class NetworkExecutor:
                 self.plan_hits += 1
                 return hit, "cache"
         plan = build_plan(network, self.machine, concrete)
+        if self.pipeline is not None:
+            context = PassContext(dtypes=self._operand_dtypes(operands))
+            plan = self.pipeline.run(plan, network, context=context)
+        if plan.signature_key != key:
+            plan = replace(plan, signature_key=key)
         self.seed_plan(plan)
         with self._plans_lock:
             self.plan_misses += 1
@@ -213,7 +359,9 @@ class NetworkExecutor:
         """
         network = TensorNetwork.parse(subscripts, operands, nnz=nnz)
         concrete = resolve_optimizer(optimizer, network)
-        key = NetworkSignature.for_network(network, self.machine, concrete).key
+        key = NetworkSignature.for_network(
+            network, self.machine, concrete, pipeline=self.pipeline_key
+        ).key
         with self._plans_lock:
             return self._plans.get(key)
 
@@ -235,10 +383,14 @@ class NetworkExecutor:
         method: str = "fastcc",
         return_report: bool = False,
         backend=None,
+        cse_cache: StepResultCache | None = None,
     ):
         """Plan (or replay) and execute one network contraction."""
         plan, source = self.plan(subscripts, operands, optimizer=optimizer)
-        out, report = self.execute(plan, operands, method=method, backend=backend)
+        out, report = self.execute(
+            plan, operands, method=method, backend=backend,
+            cse_cache=cse_cache,
+        )
         report.plan_source = source
         if return_report:
             return out, report
@@ -251,6 +403,8 @@ class NetworkExecutor:
         *,
         method: str = "fastcc",
         backend=None,
+        cse_cache: StepResultCache | None = None,
+        _reduced: Sequence[COOTensor] | None = None,
     ) -> tuple[COOTensor, NetworkReport]:
         """Run a frozen plan over concrete tensors.
 
@@ -260,6 +414,13 @@ class NetworkExecutor:
         dropped from the live list before the next step runs.
         ``backend`` overrides the runtime's kernel backend for every
         pairwise step (see :mod:`repro.backends`).
+
+        Pass annotations are honored behind runtime guards (see the
+        module docstring); ``cse_cache`` extends digest-guarded reuse
+        across executions sharing the cache.  ``_reduced`` is the
+        prepared-execution fast path: the already-marginalized operand
+        list from :class:`PreparedNetwork` (identity matters — pinned
+        cache entries key on these exact tensors).
         """
         network = TensorNetwork.parse(plan.subscripts, operands)
         report = NetworkReport(plan=plan, plan_source="given")
@@ -268,14 +429,18 @@ class NetworkExecutor:
         # Upfront marginalization of dead single indices, per the plan.
         live: list[COOTensor] = []
         live_inter: list[bool] = []
-        for tensor, sub, reduced in zip(
-            operands, network.inputs, plan.input_subs
-        ):
-            if sub != reduced:
-                dead = [m for m, ch in enumerate(sub) if ch not in reduced]
-                tensor = sum_out_modes(tensor, dead)
-            live.append(tensor)
-            live_inter.append(sub != reduced)
+        if _reduced is not None:
+            live = list(_reduced)
+            live_inter = [False] * len(live)
+        else:
+            for tensor, sub, reduced in zip(
+                operands, network.inputs, plan.input_subs
+            ):
+                if sub != reduced:
+                    dead = [m for m, ch in enumerate(sub) if ch not in reduced]
+                    tensor = sum_out_modes(tensor, dead)
+                live.append(tensor)
+                live_inter.append(sub != reduced)
 
         peak_nnz = sum(
             t.nnz for t, inter in zip(live, live_inter) if inter
@@ -283,6 +448,22 @@ class NetworkExecutor:
         peak_bytes = sum(
             _tensor_bytes(t) for t, inter in zip(live, live_inter) if inter
         )
+
+        # The dead-step premise: every operand the pass saw as empty
+        # must still be empty, or every shortcut is off.
+        zero_ok = bool(plan.zero_operands) and all(
+            0 <= p < len(operands) and operands[p].nnz == 0
+            for p in plan.zero_operands
+        )
+        # Steps whose results later steps want to reuse, with how many
+        # reuses remain (retention beyond the eager free below).
+        pending_reuses: dict[int, int] = {}
+        for s in plan.steps:
+            if s.cse_of >= 0:
+                pending_reuses[s.cse_of] = pending_reuses.get(s.cse_of, 0) + 1
+        retained: dict[int, tuple[tuple[bytes, bytes], COOTensor]] = {}
+        memo = _DigestMemo()
+        want_digests = bool(pending_reuses) or cse_cache is not None
 
         for k, step in enumerate(plan.steps):
             if not (0 <= step.i < step.j < len(live)):
@@ -293,7 +474,51 @@ class NetworkExecutor:
             left, right = live[step.i], live[step.j]
             t0 = time.perf_counter()
             step_backend = "numpy"
-            if step.kind == "outer":
+            result = None
+            plan_source = ""
+            digests = None
+            if want_digests:
+                digests = (memo.digest(left), memo.digest(right))
+            batch_key = None
+            if cse_cache is not None:
+                batch_key = (
+                    canonical_pattern(step), digests, method, str(backend),
+                )
+
+            if step.dead and zero_ok:
+                dtype = np.result_type(left.values, right.values)
+                shape = tuple(network.extents[ch] for ch in step.sub_out)
+                result = COOTensor(
+                    np.zeros((len(shape), 0), dtype=np.int64),
+                    np.zeros(0, dtype=dtype),
+                    shape,
+                    check=False,
+                )
+                plan_source = "dead"
+                self.dead_skips += 1
+            if result is None and step.cse_of >= 0:
+                hit = retained.get(step.cse_of)
+                if (
+                    hit is not None
+                    and digests == hit[0]
+                    and canonical_pattern(step)
+                    == canonical_pattern(plan.steps[step.cse_of])
+                ):
+                    result = hit[1]
+                    plan_source = "cse"
+                    self.cse_hits += 1
+                else:
+                    self.cse_misses += 1
+            if result is None and batch_key is not None:
+                shared = cse_cache.get(batch_key)
+                if shared is not None:
+                    result = shared
+                    plan_source = "cse-batch"
+                    self.batch_cse_hits += 1
+
+            if result is not None:
+                pass
+            elif step.kind == "outer":
                 result = outer_product(left, right)
                 plan_source = "outer"
             elif method == "fastcc":
@@ -312,18 +537,33 @@ class NetworkExecutor:
                 plan_source = "planner"
             dt = time.perf_counter() - t0
 
-            # Free the step's inputs eagerly, then account the result.
+            if k in pending_reuses and digests is not None:
+                retained[k] = (digests, result)
+            if batch_key is not None and plan_source != "cse-batch":
+                cse_cache.put(batch_key, result)
+
+            # Free the step's inputs eagerly, then account the result
+            # (plus anything retained for a pending cse reuse).
             del live[step.j], live_inter[step.j]
             del live[step.i], live_inter[step.i]
             live.append(result)
             live_inter.append(True)
+            if step.cse_of in pending_reuses:
+                pending_reuses[step.cse_of] -= 1
+                if pending_reuses[step.cse_of] <= 0:
+                    del pending_reuses[step.cse_of]
+                    retained.pop(step.cse_of, None)
+            live_ids = {id(t) for t in live}
+            extra = [
+                t for _, t in retained.values() if id(t) not in live_ids
+            ]
             alive_nnz = sum(
                 t.nnz for t, inter in zip(live, live_inter) if inter
-            )
+            ) + sum(t.nnz for t in extra)
             alive_bytes = sum(
                 _tensor_bytes(t) for t, inter in zip(live, live_inter)
                 if inter
-            )
+            ) + sum(_tensor_bytes(t) for t in extra)
             peak_nnz = max(peak_nnz, alive_nnz)
             peak_bytes = max(peak_bytes, alive_bytes)
             report.steps.append(StepRecord(
@@ -358,6 +598,85 @@ class NetworkExecutor:
         self.reports.append(report)
         return final, report
 
+    # -- prepared (repeated) execution ----------------------------------
+
+    def prepare(
+        self,
+        subscripts: str,
+        *operands: COOTensor,
+        optimizer: str = "auto",
+        volatile: Sequence[int] = (),
+        backend=None,
+    ) -> "PreparedNetwork":
+        """Hoist everything loop-invariant out of a repeated execution.
+
+        Plans (or replays) the network, performs the upfront
+        marginalization once, and acts on the plan's hoist annotations:
+        steps contracting two network inputs get their Algorithm 7 plan,
+        linearizations, *and* tiled tables built now; single-input sides
+        get pre-linearized.  Every touched operand is pinned in the
+        runtime's operand cache so executing the prepared network many
+        times never rebuilds them.  ``volatile`` positions (content
+        changes between executions) are never hoisted regardless of
+        annotations — the same guard the
+        :class:`~repro.network.passes.PassVerifier` enforces statically.
+
+        Use as a context manager (or call :meth:`PreparedNetwork.close`)
+        to release the pins.
+        """
+        plan, _ = self.plan(subscripts, operands, optimizer=optimizer)
+        network = TensorNetwork.parse(subscripts, operands)
+
+        reduced: list[COOTensor] = []
+        for tensor, sub, red in zip(operands, network.inputs, plan.input_subs):
+            if sub != red:
+                dead = [m for m, ch in enumerate(sub) if ch not in red]
+                tensor = sum_out_modes(tensor, dead)
+            reduced.append(tensor)
+
+        graph = PlanGraph.from_plan(plan, network)
+        volatile_set = set(volatile)
+        zero_ok = bool(plan.zero_operands) and all(
+            0 <= p < len(operands) and operands[p].nnz == 0
+            for p in plan.zero_operands
+        )
+        pinned: list[COOTensor] = []
+        tables_built = 0
+        for op in graph.ops:
+            step = op.step
+            if step.kind != "contract" or (step.dead and zero_ok):
+                continue
+            vl, vr = graph.values[op.left], graph.values[op.right]
+            hoist_l = step.hoist_l and vl.is_input and vl.origin[1] not in volatile_set
+            hoist_r = step.hoist_r and vr.is_input and vr.origin[1] not in volatile_set
+            if hoist_l and hoist_r:
+                info = self.runtime.prepare_pairwise(
+                    reduced[vl.origin[1]], reduced[vr.origin[1]],
+                    step.pairs, backend=backend,
+                )
+                tables_built += info["tables_built"]
+                pinned.extend(
+                    (reduced[vl.origin[1]], reduced[vr.origin[1]])
+                )
+            elif hoist_l:
+                self.runtime.prepare_operand(
+                    reduced[vl.origin[1]], "L", vr.shape, step.pairs
+                )
+                pinned.append(reduced[vl.origin[1]])
+            elif hoist_r:
+                self.runtime.prepare_operand(
+                    reduced[vr.origin[1]], "R", vl.shape, step.pairs
+                )
+                pinned.append(reduced[vr.origin[1]])
+        return PreparedNetwork(
+            executor=self,
+            plan=plan,
+            operands=tuple(operands),
+            reduced=tuple(reduced),
+            pinned=tuple(pinned),
+            tables_built=tables_built,
+        )
+
     # -- metrics --------------------------------------------------------
 
     def metrics(self) -> dict:
@@ -367,16 +686,75 @@ class NetworkExecutor:
                 self.plan_hits, self.plan_misses, len(self._plans)
             )
         total = hits + misses
+        cse_total = self.cse_hits + self.cse_misses
         out = {
             "network_plans_cached": cached,
             "network_plan_hits": hits,
             "network_plan_misses": misses,
             "network_plan_hit_rate": hits / total if total else 0.0,
+            "cse_hits": self.cse_hits,
+            "cse_misses": self.cse_misses,
+            "cse_hit_rate": self.cse_hits / cse_total if cse_total else 0.0,
+            "batch_cse_hits": self.batch_cse_hits,
+            "dead_skips": self.dead_skips,
         }
         out.update(
             {f"pairwise_{k}": v for k, v in self.runtime.metrics().items()}
         )
         return out
+
+
+@dataclass
+class PreparedNetwork:
+    """One network pinned for repeated execution (see
+    :meth:`NetworkExecutor.prepare`).
+
+    Holds the plan, the original operands, the once-marginalized
+    operand list the executions actually contract, and the pins to
+    release.  A context manager: pins are released on exit.
+    """
+
+    executor: NetworkExecutor
+    plan: NetworkPlan
+    operands: tuple[COOTensor, ...]
+    reduced: tuple[COOTensor, ...]
+    pinned: tuple[COOTensor, ...]
+    tables_built: int = 0
+    _closed: bool = False
+
+    def execute(
+        self,
+        *,
+        method: str = "fastcc",
+        backend=None,
+        cse_cache: StepResultCache | None = None,
+        return_report: bool = False,
+    ):
+        """One execution of the prepared network."""
+        if self._closed:
+            raise PlanError("prepared network is closed (pins released)")
+        out, report = self.executor.execute(
+            self.plan, self.operands,
+            method=method, backend=backend, cse_cache=cse_cache,
+            _reduced=self.reduced,
+        )
+        if return_report:
+            return out, report
+        return out
+
+    def close(self) -> None:
+        """Release every operand pin (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for tensor in self.pinned:
+            self.executor.runtime.unpin_operand(tensor)
+
+    def __enter__(self) -> "PreparedNetwork":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # -- module-level convenience -------------------------------------------

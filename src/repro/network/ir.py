@@ -223,6 +223,17 @@ class TensorNetwork:
     def inputs(self) -> list[str]:
         return [m.subscript for m in self.operands]
 
+    def empty_operands(self) -> tuple[int, ...]:
+        """Positions of operands declared empty (``nnz == 0``).
+
+        The dead-operand pass records these as the zero premise of its
+        annotations, and the pass verifier re-derives them when checking
+        a plan's ``zero_operands`` record.
+        """
+        return tuple(
+            k for k, meta in enumerate(self.operands) if meta.nnz == 0
+        )
+
     @property
     def subscripts(self) -> str:
         """The canonical einsum string of this network."""

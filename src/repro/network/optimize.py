@@ -386,8 +386,24 @@ def plan_network(
     machine: MachineSpec,
     optimizer: str = "auto",
     nnz=None,
+    passes=None,
 ) -> NetworkPlan:
     """Parse + optimize in one call (operands may be tensors, metadata,
-    or bare shapes combined with ``nnz``)."""
+    or bare shapes combined with ``nnz``).
+
+    ``passes`` optionally runs the plan through a verified optimizer
+    pass pipeline (``"default"``, a comma-separated name list, or a
+    :class:`~repro.network.passes.PassPipeline`; see
+    :mod:`repro.network.passes`) before returning it — the standalone
+    analog of what :class:`~repro.network.NetworkExecutor` does on
+    every plan-cache miss.
+    """
     network = TensorNetwork.parse(subscripts, operands, nnz=nnz)
-    return build_plan(network, machine, optimizer)
+    plan = build_plan(network, machine, optimizer)
+    if passes is not None:
+        from repro.network.passes import resolve_pipeline
+
+        pipeline = resolve_pipeline(passes)
+        if pipeline is not None:
+            plan = pipeline.run(plan, network)
+    return plan

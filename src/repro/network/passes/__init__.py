@@ -1,0 +1,43 @@
+"""Verified optimizer passes over network plans.
+
+Importing this package registers the standard passes (``cse``,
+``dead``, ``hoist``) in :data:`~repro.network.passes.base.PASS_REGISTRY`;
+:func:`resolve_pipeline` turns a configuration value (``"default"``, a
+comma-separated name list, ``None``) into a :class:`PassPipeline` whose
+every rewrite is checked by the :class:`PassVerifier` against the
+dataflow facts of :mod:`repro.network.dataflow`.
+"""
+
+from __future__ import annotations
+
+from repro.network.passes.base import (
+    DEFAULT_PASSES,
+    PASS_REGISTRY,
+    PassContext,
+    PassPipeline,
+    PassResult,
+    PipelineReport,
+    PlanPass,
+    register_pass,
+    resolve_pipeline,
+)
+from repro.network.passes.cse import CSEPass
+from repro.network.passes.dead import DeadOperandPass
+from repro.network.passes.hoist import HoistPass
+from repro.network.passes.verify import PassVerifier
+
+__all__ = [
+    "PassContext",
+    "PlanPass",
+    "PassResult",
+    "PipelineReport",
+    "PassPipeline",
+    "PassVerifier",
+    "PASS_REGISTRY",
+    "DEFAULT_PASSES",
+    "register_pass",
+    "resolve_pipeline",
+    "CSEPass",
+    "DeadOperandPass",
+    "HoistPass",
+]

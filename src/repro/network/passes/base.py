@@ -1,0 +1,224 @@
+"""Pass protocol, registry, and the verified pass pipeline.
+
+An optimizer pass maps ``(plan, network, context) -> plan``.  The
+rewrite language is deliberately *annotations only*: a pass may set
+:class:`~repro.network.plan.PlanStep` annotation fields (``cse_of``,
+``dead``, ``hoist_l``/``hoist_r``) and the plan-level ``passes`` /
+``zero_operands`` records, but never touch a step's computational core
+(positions, subscripts, pairs, estimates).  That closed-world contract
+is what makes every pass mechanically verifiable: the
+:class:`PassVerifier` re-derives the dataflow facts after each pass and
+refuses the rewrite on any error-severity finding, so an unsound pass
+can never hand a plan to the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.network.ir import TensorNetwork
+from repro.network.plan import NetworkPlan
+from repro.staticcheck.diagnostics import Diagnostic
+
+__all__ = [
+    "PassContext",
+    "PlanPass",
+    "PassResult",
+    "PipelineReport",
+    "PassPipeline",
+    "PASS_REGISTRY",
+    "DEFAULT_PASSES",
+    "register_pass",
+    "resolve_pipeline",
+]
+
+
+@dataclass(frozen=True)
+class PassContext:
+    """Extra facts a pass (and the verifier) may consume.
+
+    ``dtypes`` — per-operand dtype names when known (CSE must not merge
+    across dtypes); ``volatile`` — operand positions whose *content*
+    may change between repeated executions (streaming updates): table
+    hoisting across such a mutation is unsound and is refused.
+    """
+
+    dtypes: tuple[str, ...] | None = None
+    volatile: tuple[int, ...] = ()
+
+
+class PlanPass:
+    """One optimizer pass.  Subclasses set ``name`` and implement
+    :meth:`run`; a pass must be pure (same inputs -> same plan) and
+    must return the input plan object unchanged-or-replaced, never
+    mutated."""
+
+    name = "pass"
+
+    def run(
+        self,
+        plan: NetworkPlan,
+        network: TensorNetwork,
+        context: PassContext,
+    ) -> NetworkPlan:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class PassResult:
+    """What one pass did to one plan."""
+
+    name: str
+    changed: bool
+    annotations: int  # annotation fields newly set by this pass
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+@dataclass
+class PipelineReport:
+    """Per-pass trail of one pipeline run (explainability surface)."""
+
+    results: list[PassResult] = field(default_factory=list)
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return [d for r in self.results for d in r.diagnostics]
+
+    def summary(self) -> str:
+        parts = []
+        for r in self.results:
+            mark = f"+{r.annotations}" if r.changed else "-"
+            parts.append(f"{r.name}[{mark}]")
+        return " -> ".join(parts) if parts else "(empty pipeline)"
+
+
+def _count_annotations(plan: NetworkPlan) -> int:
+    n = len(plan.zero_operands)
+    for s in plan.steps:
+        n += (s.cse_of >= 0) + s.dead + s.hoist_l + s.hoist_r
+    return n
+
+
+#: name -> pass class.  Names are stable API (plan-cache keys and the
+#: ``passes`` CLI/serve configuration refer to them).
+PASS_REGISTRY: dict[str, type] = {}
+
+#: The default pipeline, in application order.
+DEFAULT_PASSES = ("cse", "dead", "hoist")
+
+
+def register_pass(cls: type) -> type:
+    """Class decorator adding a pass to :data:`PASS_REGISTRY`."""
+    if not getattr(cls, "name", None):
+        raise PlanError(f"pass class {cls.__name__} declares no name")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+class PassPipeline:
+    """An ordered, verified sequence of optimizer passes.
+
+    Every pass's output is checked by the ``verifier`` (a
+    :class:`~repro.network.passes.verify.PassVerifier` unless
+    overridden) against the pass's input; error-severity findings raise
+    :class:`~repro.errors.PlanError` and the rewrite is discarded.
+    ``key`` is the canonical configuration string used to qualify
+    plan-cache keys.
+    """
+
+    def __init__(self, passes: Sequence[PlanPass], *, verifier=None):
+        if verifier is None:
+            from repro.network.passes.verify import PassVerifier
+
+            verifier = PassVerifier()
+        self.passes = list(passes)
+        self.verifier = verifier
+        seen = set()
+        for p in self.passes:
+            if p.name in seen:
+                raise PlanError(f"duplicate pass {p.name!r} in pipeline")
+            seen.add(p.name)
+
+    @property
+    def key(self) -> str:
+        """Canonical configuration string (``"cse,dead,hoist"``)."""
+        return ",".join(p.name for p in self.passes)
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def run(
+        self,
+        plan: NetworkPlan,
+        network: TensorNetwork,
+        *,
+        context: PassContext | None = None,
+        report: PipelineReport | None = None,
+    ) -> NetworkPlan:
+        """Apply every pass in order, verifying each rewrite.
+
+        Pass ``report`` to collect the per-pass trail; the returned plan
+        records the applied pass names in ``plan.passes``.
+        """
+        context = context if context is not None else PassContext()
+        for p in self.passes:
+            before = plan
+            after = p.run(plan, network, context)
+            diags = self.verifier.check(
+                before, after, network, context=context, pass_name=p.name
+            )
+            errors = [d for d in diags if d.severity == "error"]
+            if errors:
+                findings = "; ".join(d.render() for d in errors)
+                raise PlanError(
+                    f"pass {p.name!r} produced an unsound rewrite: {findings}"
+                )
+            if report is not None:
+                report.results.append(PassResult(
+                    name=p.name,
+                    changed=after is not before,
+                    annotations=(
+                        _count_annotations(after) - _count_annotations(before)
+                    ),
+                    diagnostics=diags,
+                ))
+            plan = after
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PassPipeline({self.key!r})"
+
+
+def resolve_pipeline(spec) -> PassPipeline | None:
+    """Build a pipeline from a configuration value.
+
+    ``None``/``"none"``/``""`` — no pipeline; ``"default"`` — the
+    standard :data:`DEFAULT_PASSES`; a comma-separated string or a
+    sequence of names — those registered passes, in order; an existing
+    :class:`PassPipeline` passes through.
+    """
+    if spec is None or spec == "" or spec == "none":
+        return None
+    if isinstance(spec, PassPipeline):
+        return spec
+    if spec == "default":
+        names: Sequence[str] = DEFAULT_PASSES
+    elif isinstance(spec, str):
+        names = tuple(s.strip() for s in spec.split(",") if s.strip())
+    else:
+        names = tuple(spec)
+    passes = []
+    for name in names:
+        cls = PASS_REGISTRY.get(name)
+        if cls is None:
+            raise PlanError(
+                f"unknown optimizer pass {name!r}; registered: "
+                f"{sorted(PASS_REGISTRY)}"
+            )
+        passes.append(cls())
+    return PassPipeline(passes)

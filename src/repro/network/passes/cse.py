@@ -1,0 +1,70 @@
+"""Common-subexpression elimination over a network plan.
+
+Two steps compute the *same expression* when their canonical index
+patterns match and their operand subtrees match structurally
+(:func:`repro.network.dataflow.expression_key`): duplicate subtrees —
+the "shared subnetwork" of the ROADMAP's serving shape — therefore
+match bottom-up, inner steps first.
+
+Plan metadata cannot prove two operands hold the same bytes (plans are
+cached by shape/nnz signature and replayed on fresh data), so CSE here
+is *speculative with a runtime guard*: the pass marks the later step
+``cse_of = <earlier step>`` and the executor reuses the earlier result
+only when the inputs' content digests confirm the match — otherwise it
+computes the step normally.  Either way the result is bit-identical to
+the unoptimized plan; the annotation only removes redundant work when
+the duplication is real (same tensor object passed in two operand
+slots, or byte-equal data).
+
+The :class:`~repro.network.passes.PassVerifier` checks every
+annotation: targets must be earlier, non-reused roots computing an
+identical expression key (``FSTC502`` otherwise) with compatible dtypes
+(``FSTC503``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.network.dataflow import PlanGraph, expression_key
+from repro.network.ir import TensorNetwork
+from repro.network.passes.base import PassContext, PlanPass, register_pass
+from repro.network.plan import NetworkPlan
+
+__all__ = ["CSEPass"]
+
+
+@register_pass
+class CSEPass(PlanPass):
+    """Annotate structurally duplicate steps with ``cse_of``."""
+
+    name = "cse"
+
+    def run(
+        self,
+        plan: NetworkPlan,
+        network: TensorNetwork,
+        context: PassContext,
+    ) -> NetworkPlan:
+        graph = PlanGraph.from_plan(plan, network)
+        first_of: dict[tuple, int] = {}
+        new_steps = list(plan.steps)
+        changed = False
+        for op in graph.ops:
+            key = expression_key(graph, op.out, context.dtypes)
+            prior = first_of.get(key)
+            if prior is None:
+                first_of[key] = op.index
+            elif op.step.cse_of != prior:
+                new_steps[op.index] = replace(op.step, cse_of=prior)
+                changed = True
+        if not changed:
+            return (
+                plan if self.name in plan.passes
+                else replace(plan, passes=plan.passes + (self.name,))
+            )
+        return replace(
+            plan,
+            steps=tuple(new_steps),
+            passes=plan.passes + (self.name,),
+        )

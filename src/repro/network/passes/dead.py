@@ -1,0 +1,70 @@
+"""Dead-operand elimination: zero propagation through the plan.
+
+An operand declared empty (``nnz == 0``) makes every product it feeds
+identically zero — the whole connected component's contribution is an
+empty tensor, and any step whose :class:`NnzIntervals` upper bound is
+exactly zero need never run.  The pass annotates such steps ``dead``
+and records the *premise* (the empty operand positions) on the plan;
+the executor re-checks the premise against the live tensors — a plan
+replayed on data that no longer matches the declared nnz simply
+computes every step normally, so the shortcut can never change a
+result.
+
+The verifier refuses a ``dead`` annotation on any step whose interval
+upper bound is positive (``FSTC505``: density-model monotonicity) and a
+``zero_operands`` record naming a non-empty operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.network.dataflow import NnzIntervals, PlanGraph, run_analysis
+from repro.network.ir import TensorNetwork
+from repro.network.passes.base import PassContext, PlanPass, register_pass
+from repro.network.plan import NetworkPlan
+
+__all__ = ["DeadOperandPass"]
+
+
+@register_pass
+class DeadOperandPass(PlanPass):
+    """Annotate provably-empty steps ``dead`` with their zero premise."""
+
+    name = "dead"
+
+    def run(
+        self,
+        plan: NetworkPlan,
+        network: TensorNetwork,
+        context: PassContext,
+    ) -> NetworkPlan:
+        zeros = network.empty_operands()
+        if not zeros:
+            return (
+                plan if self.name in plan.passes
+                else replace(plan, passes=plan.passes + (self.name,))
+            )
+        graph = PlanGraph.from_plan(plan, network)
+        intervals = run_analysis(graph, NnzIntervals()).at_exit()
+        new_steps = list(plan.steps)
+        changed = False
+        for op in graph.ops:
+            _, hi = intervals[op.out]
+            if hi == 0.0 and not op.step.dead:
+                new_steps[op.index] = replace(new_steps[op.index], dead=True)
+                changed = True
+        if not changed and plan.zero_operands == zeros:
+            return (
+                plan if self.name in plan.passes
+                else replace(plan, passes=plan.passes + (self.name,))
+            )
+        return replace(
+            plan,
+            steps=tuple(new_steps),
+            zero_operands=zeros,
+            passes=(
+                plan.passes if self.name in plan.passes
+                else plan.passes + (self.name,)
+            ),
+        )

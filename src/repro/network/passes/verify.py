@@ -1,0 +1,70 @@
+"""The pass verifier: dataflow-backed refusal of unsound rewrites.
+
+:class:`PassVerifier` is the :class:`~repro.network.passes.PassPipeline`'s
+gatekeeper — after every pass it compares the output plan against the
+input plan and the re-derived dataflow facts, returning ``FSTC5xx``
+diagnostics.  The actual checking logic lives in
+:mod:`repro.staticcheck.pass_lint` (imported lazily here: the network
+layer must stay importable without pulling the whole static checker in
+at module-import time, and ``staticcheck`` itself imports the network
+layer lazily for the same reason).
+"""
+
+from __future__ import annotations
+
+from repro.network.ir import TensorNetwork
+from repro.network.plan import NetworkPlan
+
+__all__ = ["PassVerifier"]
+
+
+class PassVerifier:
+    """Check one pass's rewrite against the dataflow facts.
+
+    ``strict`` (default) keeps warnings in the returned findings;
+    the pipeline only *refuses* on error severity either way.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+
+    def check(
+        self,
+        before: NetworkPlan,
+        after: NetworkPlan,
+        network: TensorNetwork,
+        *,
+        context=None,
+        pass_name: str = "",
+    ) -> list:
+        from repro.staticcheck.pass_lint import verify_rewrite
+
+        dtypes = getattr(context, "dtypes", None)
+        volatile = getattr(context, "volatile", ())
+        diags = verify_rewrite(
+            before, after, network,
+            dtypes=dtypes, volatile=volatile, pass_name=pass_name,
+        )
+        if not self.strict:
+            diags = [d for d in diags if d.severity == "error"]
+        return diags
+
+    def lint(
+        self,
+        plan: NetworkPlan,
+        network: TensorNetwork,
+        *,
+        context=None,
+    ) -> list:
+        """Check a standalone plan's annotations (no before/after pair)
+        — the entry point for plans deserialized from a cache."""
+        from repro.staticcheck.pass_lint import lint_plan_annotations
+
+        return lint_plan_annotations(
+            plan, network,
+            dtypes=getattr(context, "dtypes", None),
+            volatile=getattr(context, "volatile", ()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PassVerifier(strict={self.strict})"

@@ -37,17 +37,28 @@ def _machine_token(machine: MachineSpec) -> tuple:
 
 @dataclass(frozen=True)
 class NetworkSignature:
-    """Hashable structural identity of one network contraction problem."""
+    """Hashable structural identity of one network contraction problem.
+
+    ``pipeline`` names the optimizer pass pipeline the plan was (or will
+    be) rewritten by — an empty string for the raw optimizer output.  It
+    is part of the identity so an optimized and an unoptimized plan for
+    the same network can never collide in a plan cache.
+    """
 
     subscripts: str
     shapes: tuple[tuple[int, ...], ...]
     nnzs: tuple[int, ...]
     machine: tuple  # (name, n_cores, l3_bytes, l2_bytes_per_core, word_bytes)
     optimizer: str = "auto"
+    pipeline: str = ""
 
     @classmethod
     def for_network(
-        cls, network, machine: MachineSpec, optimizer: str = "auto"
+        cls,
+        network,
+        machine: MachineSpec,
+        optimizer: str = "auto",
+        pipeline: str = "",
     ) -> "NetworkSignature":
         return cls(
             subscripts=network.subscripts,
@@ -55,18 +66,25 @@ class NetworkSignature:
             nnzs=tuple(m.nnz for m in network.operands),
             machine=_machine_token(machine),
             optimizer=optimizer,
+            pipeline=pipeline,
         )
 
     @property
     def key(self) -> str:
-        """Stable string form, usable as a JSON object key."""
+        """Stable string form, usable as a JSON object key.
+
+        The ``|P...`` pipeline qualifier only appears for a non-empty
+        pipeline, so pre-pipeline keys (and persisted caches) keep their
+        historical form.
+        """
         shapes = ";".join("x".join(map(str, s)) for s in self.shapes)
         nnzs = ",".join(map(str, self.nnzs))
         name, cores, l3, l2, word = self.machine
-        return (
+        base = (
             f"E{self.subscripts}|S{shapes}|n{nnzs}"
             f"|M{name};{cores};{l3};{l2};{word}|O{self.optimizer}"
         )
+        return base + (f"|P{self.pipeline}" if self.pipeline else "")
 
 
 @dataclass(frozen=True)
@@ -77,6 +95,25 @@ class PlanStep:
     the step consumes both positions and appends its result at the end
     — the ``numpy.einsum_path`` convention.  ``sub_l``/``sub_r`` are the
     inputs' subscripts at that point, ``sub_out`` the result's.
+
+    The last four fields are *optimizer-pass annotations* (see
+    :mod:`repro.network.passes`).  They never change what the step
+    computes — only how the executor may shortcut it:
+
+    ``cse_of``
+        Index of an earlier step computing the same expression
+        (structurally); the executor reuses that step's result when the
+        inputs' content digests confirm the match, else it computes
+        normally.  ``-1`` means no reuse candidate.
+    ``dead``
+        The step's output is provably empty (zero-propagation from
+        declared-empty operands); the executor short-circuits to an
+        empty tensor once the zero premise is confirmed at run time.
+    ``hoist_l`` / ``hoist_r``
+        The corresponding input is loop-invariant across repeated
+        executions (a network input, not an intermediate), so its
+        linearization/tiled tables can be hoisted out of the execution
+        loop by :meth:`repro.network.executor.NetworkExecutor.prepare`.
     """
 
     i: int
@@ -90,11 +127,31 @@ class PlanStep:
     est_cost: float  # modeled seconds through machine/cost_model
     accumulator: str  # Algorithm 7's choice ("" for outer steps)
     tile: int
+    cse_of: int = -1
+    dead: bool = False
+    hoist_l: bool = False
+    hoist_r: bool = False
 
     @property
     def subscripts(self) -> str:
         """The step as a standalone einsum string."""
         return f"{self.sub_l},{self.sub_r}->{self.sub_out}"
+
+    @property
+    def annotations(self) -> str:
+        """Compact render of the pass annotations (``""`` when bare)."""
+        parts = []
+        if self.dead:
+            parts.append("dead")
+        if self.cse_of >= 0:
+            parts.append(f"cse->{self.cse_of}")
+        hoists = "".join(
+            side for side, on in (("L", self.hoist_l), ("R", self.hoist_r))
+            if on
+        )
+        if hoists:
+            parts.append(f"hoist:{hoists}")
+        return ",".join(parts)
 
 
 @dataclass
@@ -104,6 +161,12 @@ class NetworkPlan:
     ``input_subs`` records each operand's subscript *after* the upfront
     marginalization of dead single indices — the executor reduces any
     operand whose live subscript differs before stepping.
+
+    ``passes`` records the optimizer passes applied (in order) by a
+    :class:`~repro.network.passes.PassPipeline`; ``zero_operands`` is
+    the dead-step premise — operand positions the pass pipeline saw as
+    declared-empty (``nnz == 0``).  The executor re-checks the premise
+    against the live tensors before honoring any ``dead`` annotation.
     """
 
     signature_key: str
@@ -116,6 +179,8 @@ class NetworkPlan:
     est_total_cost: float
     est_peak_nnz: float
     final_sub: str
+    passes: tuple[str, ...] = ()
+    zero_operands: tuple[int, ...] = ()
 
     @property
     def path(self) -> list[tuple[int, int]]:
@@ -145,11 +210,15 @@ class NetworkPlan:
         ]
         if reduced:
             lines.append("  pre-reduced operands: " + ", ".join(reduced))
+        if self.passes:
+            lines.append("  passes applied: " + ", ".join(self.passes))
         for k, s in enumerate(self.steps):
             acc = f"{s.accumulator}/T{s.tile}" if s.kind == "contract" else "outer"
+            notes = s.annotations
             lines.append(
                 f"  step {k}: ({s.i},{s.j})  {s.subscripts:<24} "
                 f"[{acc}]  ~{s.est_nnz:.3g} nnz, {s.est_cost:.3e}s"
+                + (f"  <{notes}>" if notes else "")
             )
         if not self.steps:
             lines.append("  (single operand: reduce/permute only)")
@@ -182,6 +251,10 @@ class NetworkPlan:
                 est_cost=float(s["est_cost"]),
                 accumulator=s["accumulator"],
                 tile=int(s["tile"]),
+                cse_of=int(s.get("cse_of", -1)),
+                dead=bool(s.get("dead", False)),
+                hoist_l=bool(s.get("hoist_l", False)),
+                hoist_r=bool(s.get("hoist_r", False)),
             )
             for s in payload["steps"]
         )
@@ -196,6 +269,10 @@ class NetworkPlan:
             est_total_cost=float(payload["est_total_cost"]),
             est_peak_nnz=float(payload["est_peak_nnz"]),
             final_sub=payload["final_sub"],
+            passes=tuple(payload.get("passes", ())),
+            zero_operands=tuple(
+                int(k) for k in payload.get("zero_operands", ())
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

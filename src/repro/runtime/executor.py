@@ -77,6 +77,12 @@ class _OperandCache:
     tensor so a recycled address can never alias a dead one.  Hitting
     requires ``entry.tensor is tensor`` — identity, not equality: COO
     comparison would cost as much as the linearization being skipped.
+
+    A *pinned* entry (refcounted, see :meth:`pin`/:meth:`unpin`) is
+    exempt from LRU eviction: a prepared network execution pins its
+    hoisted operands so churn from per-step intermediates cannot evict
+    the tables it spent time building.  Pinned entries may carry the
+    cache above ``maxsize``; normal eviction resumes once they unpin.
     """
 
     def __init__(self, maxsize: int = 8):
@@ -84,6 +90,7 @@ class _OperandCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[int, _OperandEntry] = OrderedDict()
+        self._pins: dict[int, int] = {}
         # The serve worker pool shares one runtime: LRU reordering and
         # eviction must not interleave across threads.
         self._lock = threading.Lock()
@@ -91,6 +98,15 @@ class _OperandCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.maxsize:
+            victim = next(
+                (k for k in self._entries if not self._pins.get(k)), None
+            )
+            if victim is None:  # everything oversize is pinned
+                break
+            del self._entries[victim]
 
     def entry(self, tensor: COOTensor) -> _OperandEntry:
         key = id(tensor)
@@ -102,13 +118,41 @@ class _OperandCache:
             entry = _OperandEntry(tensor)
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+            self._evict_locked()
             return entry
 
+    def pin(self, tensor: COOTensor) -> _OperandEntry:
+        """Fetch (or create) the entry and raise its pin refcount."""
+        key = id(tensor)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.tensor is not tensor:
+                entry = _OperandEntry(tensor)
+                self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._pins[key] = self._pins.get(key, 0) + 1
+            return entry
+
+    def unpin(self, tensor: COOTensor) -> None:
+        """Drop one pin; at refcount zero the entry rejoins normal LRU."""
+        key = id(tensor)
+        with self._lock:
+            count = self._pins.get(key, 0)
+            if count > 1:
+                self._pins[key] = count - 1
+            else:
+                self._pins.pop(key, None)
+                self._evict_locked()
+
+    def pinned_count(self) -> int:
+        with self._lock:
+            return len(self._pins)
+
     def clear(self) -> None:
+        """Drop every entry, pinned or not (explicit maintenance)."""
         with self._lock:
             self._entries.clear()
+            self._pins.clear()
 
 
 def _lin_key(role: str, spec: ContractionSpec) -> tuple:
@@ -360,6 +404,94 @@ class ContractionRuntime:
             return out, record
         return out
 
+    # -- preparation (hoisted, pinned operand state) --------------------
+
+    def prepare_pairwise(
+        self,
+        left: COOTensor,
+        right: COOTensor,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        accumulator: str = "auto",
+        tile_size: int | None = None,
+        backend: "str | KernelBackend | None" = None,
+        pin: bool = True,
+    ) -> dict:
+        """Precompute everything invariant about one pairwise problem.
+
+        Linearizes both operands, resolves (and caches) the Algorithm 7
+        plan, and builds both tiled tables — exactly the artifacts a
+        later :meth:`contract` on the same tensors would build — then
+        pins both operands so LRU churn cannot evict them.  Callers
+        must balance every pin with :meth:`unpin_operand`.
+        """
+        sig = signature_for(
+            left, right, pairs, self.machine,
+            accumulator=accumulator, tile_size=tile_size,
+        )
+        kernel_backend = resolve_backend(
+            backend if backend is not None else self.backend, signature=sig
+        )
+        spec = ContractionSpec(left.shape, right.shape, pairs)
+        if pin:
+            self._operands.pin(left)
+            self._operands.pin(right)
+        left_op, _ = self._linearized(left, "L", spec)
+        right_op, _ = self._linearized(right, "R", spec)
+        cached = self.plan_cache.get(sig)
+        if cached is not None:
+            plan = cached.materialize(spec)
+        else:
+            plan = choose_plan(
+                spec, left_op.nnz, right_op.nnz, self.machine,
+                accumulator=accumulator, tile_size=tile_size,
+            )
+            self.plan_cache.put(sig, plan)
+        built = 0
+        if not kernel_backend.has_native_path(left_op, right_op, plan):
+            counters = Counters()
+            self._tables(left, "L", spec, left_op, plan.tile_l, counters)
+            self._tables(right, "R", spec, right_op, plan.tile_r, counters)
+            built = counters.table_builds
+            self.counters.merge(counters)
+        return {
+            "tables_built": built,
+            "backend": kernel_backend.name,
+            "pinned": bool(pin),
+        }
+
+    def prepare_operand(
+        self,
+        tensor: COOTensor,
+        role: str,
+        other_shape: Sequence[int],
+        pairs: Sequence[tuple[int, int]],
+        *,
+        pin: bool = True,
+    ) -> None:
+        """Pre-linearize one side when its partner is not yet known.
+
+        The linearized form depends only on this side's shape and the
+        contracted-mode sequence (see :func:`_lin_key`), so it can be
+        hoisted even when the partner is an intermediate that will only
+        exist mid-execution; the partner's *shape* is statically known
+        from the plan.  Tables are left to first execution (their tile
+        size depends on both operands' nnz) — pinning keeps them alive
+        once built.
+        """
+        if role == "L":
+            spec = ContractionSpec(tensor.shape, tuple(other_shape), pairs)
+        else:
+            spec = ContractionSpec(tuple(other_shape), tensor.shape, pairs)
+        if pin:
+            self._operands.pin(tensor)
+        self._linearized(tensor, role, spec)
+
+    def unpin_operand(self, tensor: COOTensor) -> None:
+        """Balance one :meth:`prepare_pairwise`/:meth:`prepare_operand`
+        pin; at refcount zero the operand rejoins normal LRU."""
+        self._operands.unpin(tensor)
+
     # -- maintenance ----------------------------------------------------
 
     def clear_operand_cache(self) -> None:
@@ -401,6 +533,7 @@ class ContractionRuntime:
             "table_reuse_rate": (
                 c.table_reuse_hits / table_total if table_total else 0.0
             ),
+            "operands_pinned": self._operands.pinned_count(),
             "measured_seconds": measured,
             "seconds_saved": saved,
             "estimated_speedup": (

@@ -46,7 +46,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError, ReproError, SchedulerError
 from repro.machine.specs import DESKTOP, MachineSpec
-from repro.network.executor import NetworkExecutor
+from repro.network.executor import NetworkExecutor, StepResultCache
 from repro.runtime.executor import ContractionRuntime
 from repro.runtime.signature import signature_for
 from repro.serve.batching import affinity_order
@@ -84,6 +84,13 @@ class ServiceConfig:
     ``"auto"`` for the per-signature policy; see
     :mod:`repro.backends`).  The default keeps served results
     bit-identical to direct ``contract()`` calls.
+
+    ``cross_request_cse`` shares intermediate step results *across the
+    network requests of one drained micro-batch*: each worker hands the
+    batch a fresh :class:`~repro.network.executor.StepResultCache`, so
+    two requests contracting the same subnetwork (verified by content
+    digest) compute it once.  The cache dies with the batch — nothing
+    leaks between batches or workers.
     """
 
     queue_capacity: int = 64
@@ -98,6 +105,7 @@ class ServiceConfig:
     plan_cache_size: int = 128
     operand_cache_size: int = 16
     backend: str = "numpy"
+    cross_request_cse: bool = True
 
     def __post_init__(self):
         if self.policy not in POLICIES:
@@ -324,8 +332,12 @@ class ContractionService:
                 self.config.max_batch, timeout=self.config.drain_timeout_s
             )
             if jobs:
+                batch_cache = (
+                    StepResultCache() if self.config.cross_request_cse
+                    else None
+                )
                 for job in affinity_order(jobs):
-                    self._process(job)
+                    self._process(job, batch_cache=batch_cache)
                 continue
             if self.queue.closed:
                 return
@@ -338,7 +350,9 @@ class ContractionService:
         self.metrics.observe(response)
         job.ticket.resolve(response)
 
-    def _process(self, job: Job) -> None:
+    def _process(
+        self, job: Job, *, batch_cache: StepResultCache | None = None
+    ) -> None:
         request = job.request
         now = time.monotonic()
         timings = {"queue_wait": now - job.arrival}
@@ -367,7 +381,9 @@ class ContractionService:
                 plan_source = record.plan_source
                 accumulator, tile = record.accumulator, record.tile
             elif request.kind == NETWORK:
-                result, report, rung = self._run_network(request, degrade)
+                result, report, rung = self._run_network(
+                    request, degrade, batch_cache=batch_cache
+                )
                 plan_source = report.plan_source
                 accumulator, tile = "", 0
             else:
@@ -422,12 +438,20 @@ class ContractionService:
         )
         return out, record, rung
 
-    def _run_network(self, request: Request, degrade: bool):
+    def _run_network(
+        self,
+        request: Request,
+        degrade: bool,
+        *,
+        batch_cache: StepResultCache | None = None,
+    ):
         """Execute a network request, possibly down the ladder.
 
         Rung 1 replays a warm full-quality plan if one is cached for
         the auto optimizer; rung 2 takes the left-to-right path,
-        skipping DP/greedy path search.
+        skipping DP/greedy path search.  ``batch_cache`` shares
+        digest-verified step results across the requests of one drained
+        micro-batch (cross-request CSE).
         """
         rung = None
         optimizer = "auto"
@@ -443,5 +467,6 @@ class ContractionService:
         out, report = self.executor.contract(
             request.subscripts, *request.operands,
             optimizer=optimizer, return_report=True,
+            cse_cache=batch_cache,
         )
         return out, report, rung

@@ -13,7 +13,10 @@ runs a kernel):
   ``__all__`` declarations);
 * :mod:`repro.staticcheck.graph_lint` — ``FSTC2xx`` hazard analysis of
   tile-task write sets (write-write conflicts, order-dependent
-  reductions) before a schedule runs.
+  reductions) before a schedule runs;
+* :mod:`repro.staticcheck.pass_lint` — ``FSTC5xx`` soundness checks of
+  optimizer-pass plan rewrites against re-derived dataflow facts (the
+  :class:`~repro.network.passes.PassVerifier`'s engine).
 
 The CLI front end is ``python -m repro check``; see
 ``docs/staticcheck.md`` for the code catalogue.
@@ -24,6 +27,7 @@ from repro.staticcheck.audit import audit_case, audit_registry, case_problem
 from repro.staticcheck.diagnostics import (
     CODES,
     Diagnostic,
+    diagnostics_to_json,
     has_errors,
     make_diagnostic,
     max_exit_status,
@@ -42,6 +46,11 @@ from repro.staticcheck.graph_lint import (
     assert_disjoint_writes,
     hazards_for_stats,
     write_sets_for_pairs,
+)
+from repro.staticcheck.pass_lint import (
+    lint_plan_annotations,
+    self_test_passes,
+    verify_rewrite,
 )
 from repro.staticcheck.registry_audit import audit_code_registry
 from repro.staticcheck.service_lint import (
@@ -64,10 +73,12 @@ __all__ = [
     "audit_registry",
     "case_problem",
     "cost_floor_seconds",
+    "diagnostics_to_json",
     "has_errors",
     "hazards_for_stats",
     "lint_expression",
     "lint_file",
+    "lint_plan_annotations",
     "lint_problem",
     "lint_request_deadline",
     "lint_ring_balance",
@@ -79,5 +90,7 @@ __all__ = [
     "max_exit_status",
     "predict_plan",
     "render_diagnostics",
+    "self_test_passes",
+    "verify_rewrite",
     "write_sets_for_pairs",
 ]

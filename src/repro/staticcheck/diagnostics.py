@@ -39,6 +39,7 @@ __all__ = [
     "has_errors",
     "max_exit_status",
     "render_diagnostics",
+    "diagnostics_to_json",
 ]
 
 #: Severity levels, ordered from most to least severe.
@@ -71,6 +72,17 @@ class Diagnostic:
         loc = f"{self.location}: " if self.location else ""
         tail = f"  [hint: {self.hint}]" if self.hint else ""
         return f"{loc}{self.code} {self.severity}: {self.message}{tail}"
+
+    def to_json(self) -> dict:
+        """JSON-friendly dict (stable field names; CI gates consume
+        this via ``python -m repro check --json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
 
     def with_location(self, location: str) -> "Diagnostic":
         return replace(self, location=location)
@@ -116,6 +128,13 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC305": (WARNING, "consistent-hash ring is pathologically unbalanced"),
     # --- backend-layer discipline -----------------------------------------
     "FSTC401": (ERROR, "direct NumPy kernel call outside the backend layer"),
+    # --- optimizer-pass soundness -----------------------------------------
+    "FSTC501": (ERROR, "unsound plan rewrite (structure or interface changed)"),
+    "FSTC502": (ERROR, "stale available-expression reuse (CSE target mismatch)"),
+    "FSTC503": (ERROR, "CSE across incompatible operand dtypes"),
+    "FSTC504": (ERROR, "table hoist crosses an operand mutation"),
+    "FSTC505": (ERROR, "density-model monotonicity violated by a rewrite"),
+    "FSTC506": (WARNING, "pass pipeline pessimized the modeled cost"),
 }
 
 
@@ -150,6 +169,19 @@ def has_errors(diagnostics) -> bool:
 def max_exit_status(diagnostics) -> int:
     """CLI convention: 1 when errors are present, else 0."""
     return 1 if has_errors(diagnostics) else 0
+
+
+def diagnostics_to_json(diagnostics) -> dict:
+    """The ``--json`` document: sorted findings plus severity tallies."""
+    ordered = sorted(
+        diagnostics,
+        key=lambda d: (_SEVERITY_ORDER[d.severity], d.code, d.location),
+    )
+    return {
+        "findings": [d.to_json() for d in ordered],
+        "errors": sum(1 for d in ordered if d.severity == ERROR),
+        "warnings": sum(1 for d in ordered if d.severity == WARNING),
+    }
 
 
 def render_diagnostics(diagnostics, *, verbose: bool = True) -> str:

@@ -1,0 +1,500 @@
+"""Soundness lints for optimizer-pass rewrites (``FSTC5xx``).
+
+The pass pipeline's rewrite language is annotations-only (see
+:mod:`repro.network.passes`), which makes verification mechanical: this
+module re-derives the dataflow facts for a rewritten plan and checks
+every annotation against them.  :func:`verify_rewrite` compares a
+pass's output plan against its input; :func:`lint_plan_annotations`
+checks a single (possibly deserialized) plan in isolation — useful for
+plans loaded from a cache whose producing pipeline is unknown.
+
+Checks, by code:
+
+``FSTC501``
+    The rewrite changed something outside the annotation language — a
+    step's positions/subscripts/estimates, the plan interface
+    (signature, subscripts, costs), the step count — or produced a plan
+    whose structural skeleton no longer builds a
+    :class:`~repro.network.dataflow.PlanGraph`.
+``FSTC502``
+    A ``cse_of`` annotation names a step that is not an earlier,
+    non-reused root computing an identical expression key — the
+    available-expression fact it relies on is stale or wrong.
+``FSTC503``
+    A ``cse_of`` annotation merges steps whose expressions match
+    structurally but whose operand dtypes differ: reuse would change
+    the result dtype.
+``FSTC504``
+    A hoist annotation crosses an operand mutation: the hoisted side is
+    an intermediate (changes every execution), a declared-volatile
+    operand, or the step builds no tables at all.
+``FSTC505``
+    A ``dead`` annotation contradicts the nnz-interval facts (the
+    step's upper bound is positive), or the recorded zero premise is
+    false/incomplete — the density model's monotonicity is violated.
+``FSTC506`` (warning)
+    The pipeline pessimized the modeled cost: the effective cost of the
+    rewritten plan (skipping dead/reused steps) exceeds its input's.
+
+All :mod:`repro.network` imports are function-level: ``staticcheck``
+must stay importable without the network layer (and vice versa).
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = [
+    "lint_plan_annotations",
+    "verify_rewrite",
+    "self_test_passes",
+]
+
+#: PlanStep fields a pass may write.  Everything else is the step's
+#: computational core and must survive any rewrite bit-for-bit.
+ANNOTATION_FIELDS = ("cse_of", "dead", "hoist_l", "hoist_r")
+
+#: NetworkPlan fields a pass may write.
+PLAN_ANNOTATION_FIELDS = ("passes", "zero_operands")
+
+_CORE_STEP_FIELDS = (
+    "i", "j", "sub_l", "sub_r", "sub_out", "kind", "pairs",
+    "est_nnz", "est_cost", "accumulator", "tile",
+)
+
+_INTERFACE_FIELDS = (
+    "signature_key", "subscripts", "output", "optimizer", "machine_name",
+    "input_subs", "final_sub", "est_total_cost", "est_peak_nnz",
+)
+
+
+def _loc(pass_name: str, detail: str) -> str:
+    return f"pass {pass_name}: {detail}" if pass_name else detail
+
+
+def effective_cost(plan) -> float:
+    """Modeled cost of the steps the executor will actually run."""
+    return sum(
+        s.est_cost for s in plan.steps if not s.dead and s.cse_of < 0
+    )
+
+
+def lint_plan_annotations(
+    plan,
+    network,
+    *,
+    dtypes=None,
+    volatile=(),
+    pass_name: str = "",
+) -> list[Diagnostic]:
+    """Check one plan's pass annotations against its dataflow facts."""
+    from repro.errors import PlanError
+    from repro.network.dataflow import (
+        NnzIntervals,
+        PlanGraph,
+        ReachableOperands,
+        expression_key,
+        run_analysis,
+    )
+
+    out: list[Diagnostic] = []
+    try:
+        graph = PlanGraph.from_plan(plan, network)
+    except PlanError as exc:
+        return [make_diagnostic(
+            "FSTC501",
+            f"plan no longer builds a dataflow graph: {exc}",
+            hint="passes may only set annotation fields, never the "
+                 "step skeleton",
+            location=_loc(pass_name, "plan"),
+        )]
+
+    volatile_set = set(volatile)
+    intervals = run_analysis(graph, NnzIntervals()).at_exit()
+    reach = run_analysis(graph, ReachableOperands()).at_exit()
+
+    # -- zero premise (plan.zero_operands) ------------------------------
+    declared_zero = set(network.empty_operands())
+    premise = set(plan.zero_operands)
+    for pos in sorted(premise):
+        if not (0 <= pos < network.n_operands):
+            out.append(make_diagnostic(
+                "FSTC505",
+                f"zero premise names operand {pos}, but the network has "
+                f"{network.n_operands} operands",
+                location=_loc(pass_name, "zero_operands"),
+            ))
+        elif pos not in declared_zero:
+            out.append(make_diagnostic(
+                "FSTC505",
+                f"zero premise claims operand {pos} is empty, but its "
+                f"declared nnz is {network.operands[pos].nnz}",
+                hint="the dead pass may only record operands with "
+                     "declared nnz == 0",
+                location=_loc(pass_name, "zero_operands"),
+            ))
+
+    # -- per-step annotations -------------------------------------------
+    for op in graph.ops:
+        step = op.step
+        where = _loc(pass_name, f"step {op.index}")
+
+        # monotonicity of the derived intervals (defensive; the transfer
+        # maintains these by construction)
+        lo, hi = intervals[op.out]
+        cells = float(graph.values[op.out].cells)
+        if not (0.0 <= lo <= hi <= cells):
+            out.append(make_diagnostic(
+                "FSTC505",
+                f"nnz interval [{lo:.3g}, {hi:.3g}] violates "
+                f"0 <= lo <= hi <= cells ({cells:.3g})",
+                location=where,
+            ))
+
+        if step.dead:
+            if hi > 0.0:
+                out.append(make_diagnostic(
+                    "FSTC505",
+                    f"step annotated dead but its nnz upper bound is "
+                    f"{hi:.3g} (> 0)",
+                    hint="dead requires an exact-zero interval from "
+                         "declared-empty operands",
+                    location=where,
+                ))
+            else:
+                # the zero inputs that justify the shortcut must be
+                # recorded so the executor's runtime guard covers them
+                unrecorded = (declared_zero & reach[op.out]) - premise
+                if unrecorded:
+                    out.append(make_diagnostic(
+                        "FSTC505",
+                        f"dead step's empty operands "
+                        f"{sorted(unrecorded)} are missing from the "
+                        f"plan's zero premise",
+                        hint="record every empty operand in "
+                             "zero_operands so the runtime guard is "
+                             "complete",
+                        location=where,
+                    ))
+
+        if step.cse_of >= 0:
+            m = step.cse_of
+            if not (0 <= m < op.index):
+                out.append(make_diagnostic(
+                    "FSTC502",
+                    f"cse_of -> {m} is not an earlier step",
+                    location=where,
+                ))
+            elif graph.ops[m].step.cse_of >= 0:
+                out.append(make_diagnostic(
+                    "FSTC502",
+                    f"cse_of -> {m} targets a step that itself reuses "
+                    f"step {graph.ops[m].step.cse_of} (targets must be "
+                    f"roots)",
+                    location=where,
+                ))
+            else:
+                key_here = expression_key(graph, op.out)
+                key_there = expression_key(graph, graph.ops[m].out)
+                if key_here != key_there:
+                    out.append(make_diagnostic(
+                        "FSTC502",
+                        f"cse_of -> {m} reuses a structurally different "
+                        f"expression (stale available-expression fact)",
+                        location=where,
+                    ))
+                elif dtypes is not None:
+                    typed_here = expression_key(graph, op.out, dtypes)
+                    typed_there = expression_key(
+                        graph, graph.ops[m].out, dtypes
+                    )
+                    if typed_here != typed_there:
+                        out.append(make_diagnostic(
+                            "FSTC503",
+                            f"cse_of -> {m} merges expressions over "
+                            f"operands of different dtypes",
+                            hint="CSE keys must include dtypes when "
+                                 "they are known",
+                            location=where,
+                        ))
+
+        for flag, side in (("hoist_l", op.left), ("hoist_r", op.right)):
+            if not getattr(step, flag):
+                continue
+            if step.kind != "contract":
+                out.append(make_diagnostic(
+                    "FSTC504",
+                    f"{flag} on an {step.kind!r} step, which builds no "
+                    f"tiled tables",
+                    location=where,
+                ))
+                continue
+            value = graph.values[side]
+            if not value.is_input:
+                out.append(make_diagnostic(
+                    "FSTC504",
+                    f"{flag} hoists an intermediate (value of step "
+                    f"{value.origin[1]}), which changes every execution",
+                    location=where,
+                ))
+            elif value.origin[1] in volatile_set:
+                out.append(make_diagnostic(
+                    "FSTC504",
+                    f"{flag} hoists operand {value.origin[1]}, which is "
+                    f"declared volatile — the hoist crosses its "
+                    f"mutation",
+                    hint="volatile operands must be rebuilt each "
+                         "execution",
+                    location=where,
+                ))
+    return out
+
+
+def verify_rewrite(
+    before,
+    after,
+    network,
+    *,
+    dtypes=None,
+    volatile=(),
+    pass_name: str = "",
+) -> list[Diagnostic]:
+    """Check one pass's output plan against its input plan.
+
+    Returns every finding; the caller (the
+    :class:`~repro.network.passes.PassPipeline`) refuses the rewrite on
+    any error-severity diagnostic.
+    """
+    out: list[Diagnostic] = []
+
+    # -- interface immutability (FSTC501) -------------------------------
+    for name in _INTERFACE_FIELDS:
+        b, a = getattr(before, name), getattr(after, name)
+        if b != a:
+            out.append(make_diagnostic(
+                "FSTC501",
+                f"rewrite changed plan.{name} ({b!r} -> {a!r})",
+                hint="passes may only set annotation fields",
+                location=_loc(pass_name, "plan"),
+            ))
+    if len(before.steps) != len(after.steps):
+        out.append(make_diagnostic(
+            "FSTC501",
+            f"rewrite changed the step count "
+            f"({len(before.steps)} -> {len(after.steps)})",
+            location=_loc(pass_name, "plan"),
+        ))
+    else:
+        for k, (b, a) in enumerate(zip(before.steps, after.steps)):
+            broken = [
+                name for name in _CORE_STEP_FIELDS
+                if getattr(b, name) != getattr(a, name)
+            ]
+            if broken:
+                out.append(make_diagnostic(
+                    "FSTC501",
+                    f"rewrite changed core step field(s) "
+                    f"{', '.join(broken)}",
+                    location=_loc(pass_name, f"step {k}"),
+                ))
+    if tuple(after.passes[: len(before.passes)]) != tuple(before.passes):
+        out.append(make_diagnostic(
+            "FSTC501",
+            f"rewrite rewrote the applied-pass record "
+            f"({before.passes!r} -> {after.passes!r})",
+            location=_loc(pass_name, "plan"),
+        ))
+    if any(d.severity == "error" for d in out):
+        return out
+
+    # -- annotation soundness against re-derived facts ------------------
+    out.extend(lint_plan_annotations(
+        after, network,
+        dtypes=dtypes, volatile=volatile, pass_name=pass_name,
+    ))
+    if any(d.severity == "error" for d in out):
+        return out
+
+    # -- pessimization (FSTC506, warning) -------------------------------
+    cost_b, cost_a = effective_cost(before), effective_cost(after)
+    if cost_a > cost_b * (1.0 + 1e-12):
+        out.append(make_diagnostic(
+            "FSTC506",
+            f"rewrite raised the effective modeled cost "
+            f"{cost_b:.3e}s -> {cost_a:.3e}s",
+            hint="a pass should never un-annotate shortcuts a prior "
+                 "pass proved",
+            location=_loc(pass_name, "plan"),
+        ))
+    return out
+
+
+# -- self test ----------------------------------------------------------
+
+
+def _self_test_fixtures():
+    """(name, network, dtypes, volatile) fixtures for the self-test."""
+    from repro.network.ir import TensorNetwork
+
+    chain = TensorNetwork.parse(
+        "ab,bc,cd,de->ae",
+        [(16, 16)] * 4,
+        nnz=[48, 48, 48, 48],
+    )
+    shared = TensorNetwork.parse(
+        "ab,bc,dc,de->ae",
+        [(12, 12), (12, 12), (12, 12), (12, 12)],
+        nnz=[30, 40, 40, 30],
+    )
+    empty = TensorNetwork.parse(
+        "ij,jk,kl->il",
+        [(10, 10)] * 3,
+        nnz=[25, 0, 25],
+    )
+    outer = TensorNetwork.parse(
+        "ij,kl->ijkl",
+        [(6, 7), (5, 4)],
+        nnz=[10, 8],
+    )
+    return [
+        ("chain", chain, ("float64",) * 4, ()),
+        ("shared", shared, ("float64",) * 4, ()),
+        ("empty-mid", empty, ("float64",) * 3, ()),
+        ("outer", outer, ("float64", "float64"), (1,)),
+        ("mixed-dtype", chain, ("float64", "float32", "float64", "float64"), ()),
+    ]
+
+
+def _corruptions():
+    """(name, corrupt(plan) -> plan, expected code) adversarial cases.
+
+    Each function takes a *clean, pipeline-optimized* plan and produces
+    a deliberately unsound rewrite the verifier must refuse.
+    """
+    from dataclasses import replace
+
+    def forward_cse(plan):
+        steps = list(plan.steps)
+        steps[0] = replace(steps[0], cse_of=len(steps) - 1)
+        return replace(plan, steps=tuple(steps))
+
+    def mismatched_cse(plan):
+        steps = list(plan.steps)
+        steps[-1] = replace(steps[-1], cse_of=0)
+        return replace(plan, steps=tuple(steps))
+
+    def false_dead(plan):
+        steps = list(plan.steps)
+        # the last step NOT already annotated dead has a positive nnz
+        # upper bound (the dead pass annotates every exact-zero step)
+        alive = [k for k, s in enumerate(steps) if not s.dead]
+        if not alive:
+            return None
+        steps[alive[-1]] = replace(steps[alive[-1]], dead=True)
+        return replace(plan, steps=tuple(steps))
+
+    def false_premise(plan):
+        return replace(plan, zero_operands=(0,))
+
+    def hoist_intermediate(plan):
+        steps = list(plan.steps)
+        # the final step's left input is an intermediate in any
+        # multi-step left-deep plan
+        steps[-1] = replace(steps[-1], hoist_l=True, hoist_r=True)
+        return replace(plan, steps=tuple(steps))
+
+    def tampered_skeleton(plan):
+        steps = list(plan.steps)
+        steps[0] = replace(steps[0], sub_out=steps[0].sub_out[::-1] + "z")
+        return replace(plan, steps=tuple(steps))
+
+    def stripped_record(plan):
+        return replace(plan, passes=())
+
+    return [
+        ("cse-forward-reference", forward_cse, "FSTC502"),
+        ("cse-different-expression", mismatched_cse, "FSTC502"),
+        ("dead-with-positive-bound", false_dead, "FSTC505"),
+        ("false-zero-premise", false_premise, "FSTC505"),
+        ("hoist-of-intermediate", hoist_intermediate, "FSTC504"),
+        ("tampered-step-skeleton", tampered_skeleton, "FSTC501"),
+        ("stripped-pass-record", stripped_record, "FSTC501"),
+    ]
+
+
+def self_test_passes() -> tuple[list[Diagnostic], dict]:
+    """End-to-end check of the pass pipeline and its verifier.
+
+    Runs every registered pipeline configuration over fixture networks
+    (clean plans must verify with zero errors), then applies adversarial
+    corruptions that the verifier must catch.  Returns the findings plus
+    a summary dict; an empty error set means the gate passes.
+    """
+    from repro.errors import PlanError
+    from repro.machine.specs import DESKTOP
+    from repro.network.optimize import OPTIMIZERS, build_plan
+    from repro.network.passes import PassContext, resolve_pipeline
+
+    out: list[Diagnostic] = []
+    n_clean = n_caught = n_scenarios = 0
+
+    for fixture, network, dtypes, volatile in _self_test_fixtures():
+        context = PassContext(dtypes=dtypes, volatile=volatile)
+        for optimizer in OPTIMIZERS:
+            base = build_plan(network, DESKTOP, optimizer)
+            pipeline = resolve_pipeline("default")
+            n_scenarios += 1
+            try:
+                optimized = pipeline.run(base, network, context=context)
+            except PlanError as exc:
+                out.append(make_diagnostic(
+                    "FSTC501",
+                    f"verifier refused a clean pipeline run: {exc}",
+                    location=f"{fixture}/{optimizer}",
+                ))
+                continue
+            residual = verify_rewrite(
+                base, optimized, network,
+                dtypes=dtypes, volatile=volatile, pass_name="pipeline",
+            )
+            errors = [d for d in residual if d.severity == "error"]
+            if errors:
+                out.extend(
+                    d.with_location(f"{fixture}/{optimizer}: {d.location}")
+                    for d in errors
+                )
+                continue
+            n_clean += 1
+
+            if optimizer != "dp" or not optimized.steps:
+                continue
+            for cname, corrupt, expected in _corruptions():
+                bad = corrupt(optimized)
+                if bad is None:  # precondition absent on this fixture
+                    continue
+                n_scenarios += 1
+                found = verify_rewrite(
+                    optimized, bad, network,
+                    dtypes=dtypes, volatile=volatile, pass_name=cname,
+                )
+                flagged = {
+                    d.code for d in found if d.severity in ("error", "warning")
+                }
+                if expected in flagged:
+                    n_caught += 1
+                else:
+                    out.append(make_diagnostic(
+                        "FSTC501",
+                        f"verifier missed corruption {cname!r} "
+                        f"(expected {expected}, flagged "
+                        f"{sorted(flagged) or 'nothing'})",
+                        location=f"{fixture}/{optimizer}",
+                    ))
+
+    summary = {
+        "scenarios": n_scenarios,
+        "clean_pipelines": n_clean,
+        "corruptions_caught": n_caught,
+        "errors": sum(1 for d in out if d.severity == "error"),
+    }
+    return out, summary

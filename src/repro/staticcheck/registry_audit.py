@@ -17,7 +17,12 @@ from pathlib import Path
 
 from repro.staticcheck.diagnostics import CODES, Diagnostic, make_diagnostic
 
-__all__ = ["audit_code_registry", "documented_codes", "find_docs"]
+__all__ = [
+    "audit_code_registry",
+    "documented_codes",
+    "duplicate_codes",
+    "find_docs",
+]
 
 #: Catalogue entry form: ``**FSTC008** (warning) — ...``.
 _ENTRY_RE = re.compile(r"\*\*(FSTC\d{3})\*\*\s*\((error|warning|info)\)")
@@ -43,6 +48,14 @@ def documented_codes(text: str) -> dict[str, str]:
     return {code: sev for code, sev in _ENTRY_RE.findall(text)}
 
 
+def duplicate_codes(text: str) -> dict[str, int]:
+    """Code -> entry count, for codes catalogued more than once."""
+    counts: dict[str, int] = {}
+    for code, _ in _ENTRY_RE.findall(text):
+        counts[code] = counts.get(code, 0) + 1
+    return {code: n for code, n in counts.items() if n > 1}
+
+
 def audit_code_registry(docs_path: Path | None = None) -> list[Diagnostic]:
     """Compare :data:`CODES` against the documented catalogue.
 
@@ -53,7 +66,8 @@ def audit_code_registry(docs_path: Path | None = None) -> list[Diagnostic]:
         docs_path = find_docs()
         if docs_path is None:
             return []
-    documented = documented_codes(Path(docs_path).read_text())
+    text = Path(docs_path).read_text()
+    documented = documented_codes(text)
     location = str(docs_path)
 
     out: list[Diagnostic] = []
@@ -80,6 +94,14 @@ def audit_code_registry(docs_path: Path | None = None) -> list[Diagnostic]:
             f"{code} is documented but missing from the registry",
             hint="retired codes stay reserved: keep a tombstone entry in "
                  "the docs and drop the severity marker, or restore the code",
+            location=location,
+        ))
+    for code, n in sorted(duplicate_codes(text).items()):
+        out.append(make_diagnostic(
+            "FSTC105",
+            f"{code} has {n} catalogue entries (codes are documented "
+            "exactly once)",
+            hint="merge the duplicate entries",
             location=location,
         ))
     return out

@@ -134,3 +134,56 @@ def test_every_method_matches_dense(problem):
             out.to_dense(), expected, rtol=1e-8, atol=1e-10,
             err_msg=f"method={method}, pairs={pairs}, shape={tensor.shape}",
         )
+
+
+@st.composite
+def network_problems(draw):
+    """Random chain networks exercising every pass annotation.
+
+    Half the draws duplicate the chain into twin branches (CSE fires,
+    including digest-guard rejections when contents differ), and
+    operands are occasionally emptied (dead-step elimination fires).
+    """
+    n = draw(st.integers(3, 6))
+    ops = []
+    for k in range(3):
+        nnz = draw(st.integers(0, 2 * n))
+        coords = np.array(
+            [[draw(st.integers(0, n - 1)) for _ in range(nnz)]
+             for _ in range(2)],
+            dtype=np.int64,
+        ).reshape(2, nnz)
+        values = np.array(
+            [draw(st.floats(-4, 4, allow_nan=False)) for _ in range(nnz)]
+        )
+        ops.append(COOTensor(coords, values, (n, n)))
+    if draw(st.booleans()):
+        # twin branches; share or fork the second branch's operands
+        share = draw(st.booleans())
+        branch = ops[:2] if share else [ops[1], ops[2]]
+        return "ij,jk,lm,mn->il", [ops[0], ops[1], *branch]
+    return "ab,bc,cd->ad", ops
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=network_problems())
+def test_pass_pipeline_differential_bitwise(problem):
+    """Optimized plans must be bit-identical to unoptimized ones on
+    every detected backend: passes only skip work the runtime guards
+    prove redundant, never change arithmetic."""
+    from repro.backends import backend_status
+    from repro.network import NetworkExecutor
+
+    subscripts, operands = problem
+    backends = [
+        name for name, (ok, _) in sorted(backend_status().items()) if ok
+    ]
+    for backend in backends:
+        base = NetworkExecutor(machine=DESKTOP, passes=None)
+        opt = NetworkExecutor(machine=DESKTOP)
+        ref = base.contract(subscripts, *operands, backend=backend)
+        out = opt.contract(subscripts, *operands, backend=backend)
+        np.testing.assert_array_equal(
+            ref.to_dense(), out.to_dense(),
+            err_msg=f"backend={backend}, subscripts={subscripts}",
+        )

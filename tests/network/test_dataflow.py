@@ -1,0 +1,149 @@
+"""Unit tests for the dataflow framework over the network IR."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import PlanError
+from repro.machine.specs import DESKTOP
+from repro.network.dataflow import (
+    AvailableExpressions,
+    LiveValues,
+    NnzIntervals,
+    PlanGraph,
+    ReachableOperands,
+    canonical_pattern,
+    expression_key,
+    run_analysis,
+)
+from repro.network.ir import TensorNetwork
+from repro.network.optimize import build_plan
+
+
+def chain():
+    network = TensorNetwork.parse(
+        "ab,bc,cd->ad", [(12, 12)] * 3, nnz=[40, 40, 40]
+    )
+    return network, build_plan(network, DESKTOP, "dp")
+
+
+def twins():
+    network = TensorNetwork.parse(
+        "ij,jk,lm,mn->il", [(14, 14)] * 4, nnz=[40, 40, 40, 40]
+    )
+    return network, build_plan(network, DESKTOP, "dp")
+
+
+class TestPlanGraph:
+    def test_lifts_plan_to_ssa(self):
+        network, plan = chain()
+        graph = PlanGraph.from_plan(plan, network)
+        assert graph.n_inputs == 3
+        assert len(graph.ops) == len(plan.steps)
+        # the output value is defined by the last op
+        assert graph.values[graph.output_value].origin == (
+            "step", len(plan.steps) - 1,
+        )
+        # every input value knows its operand position
+        positions = {
+            v.origin[1] for v in graph.values[: graph.n_inputs]
+        }
+        assert positions == {0, 1, 2}
+
+    def test_rejects_tampered_skeleton(self):
+        network, plan = chain()
+        steps = list(plan.steps)
+        steps[0] = replace(steps[0], sub_out=steps[0].sub_out[::-1] + "z")
+        bad = replace(plan, steps=tuple(steps))
+        with pytest.raises(PlanError):
+            PlanGraph.from_plan(bad, network)
+
+    def test_value_of_step(self):
+        network, plan = chain()
+        graph = PlanGraph.from_plan(plan, network)
+        v = graph.value_of_step(0)
+        assert v.origin == ("step", 0)
+        assert v.sub == plan.steps[0].sub_out
+
+
+class TestLiveValues:
+    def test_inputs_live_until_used(self):
+        network, plan = chain()
+        graph = PlanGraph.from_plan(plan, network)
+        res = run_analysis(graph, LiveValues())
+        # only the final output is live after the last step
+        assert res.after[len(graph.ops) - 1] == frozenset(
+            {graph.output_value}
+        )
+        # every op's inputs are live right before it runs
+        for op in graph.ops:
+            assert op.left in res.before[op.index]
+            assert op.right in res.before[op.index]
+
+
+class TestReachableOperands:
+    def test_output_reaches_every_operand(self):
+        network, plan = chain()
+        graph = PlanGraph.from_plan(plan, network)
+        reach = run_analysis(graph, ReachableOperands()).at_exit()
+        assert reach[graph.output_value] == frozenset({0, 1, 2})
+
+    def test_intermediate_reaches_its_subtree(self):
+        network, plan = twins()
+        graph = PlanGraph.from_plan(plan, network)
+        reach = run_analysis(graph, ReachableOperands()).at_exit()
+        subtree_sizes = sorted(
+            len(reach[graph.value_of_step(k).id])
+            for k in range(len(graph.ops) - 1)
+        )
+        assert subtree_sizes == [2, 2]
+
+
+class TestExpressionKeys:
+    def test_isomorphic_steps_share_a_key(self):
+        network, plan = twins()
+        graph = PlanGraph.from_plan(plan, network)
+        k0 = expression_key(graph, graph.value_of_step(0).id)
+        k1 = expression_key(graph, graph.value_of_step(1).id)
+        assert k0 == k1
+
+    def test_dtypes_split_the_key(self):
+        network, plan = twins()
+        graph = PlanGraph.from_plan(plan, network)
+        dtypes = ("float64", "float64", "float32", "float32")
+        k0 = expression_key(graph, graph.value_of_step(0).id, dtypes)
+        k1 = expression_key(graph, graph.value_of_step(1).id, dtypes)
+        assert k0 != k1
+
+    def test_canonical_pattern_renames_letters(self):
+        network, plan = twins()
+        p0 = canonical_pattern(plan.steps[0])
+        p1 = canonical_pattern(plan.steps[1])
+        assert p0 == p1
+
+    def test_available_expressions_record_first_definition(self):
+        network, plan = twins()
+        graph = PlanGraph.from_plan(plan, network)
+        avail = run_analysis(graph, AvailableExpressions()).at_exit()
+        k0 = expression_key(graph, graph.value_of_step(0).id)
+        assert avail[k0] == 0  # first definition wins
+
+
+class TestNnzIntervals:
+    def test_bounds_bracket_declared_nnz(self):
+        network, plan = chain()
+        graph = PlanGraph.from_plan(plan, network)
+        intervals = run_analysis(graph, NnzIntervals()).at_exit()
+        for op in graph.ops:
+            lo, hi = intervals[op.out]
+            assert 0.0 <= lo <= hi <= graph.values[op.out].cells
+
+    def test_empty_operand_pins_interval_to_zero(self):
+        network = TensorNetwork.parse(
+            "ij,jk,kl->il", [(10, 10)] * 3, nnz=[25, 0, 25]
+        )
+        plan = build_plan(network, DESKTOP, "dp")
+        graph = PlanGraph.from_plan(plan, network)
+        intervals = run_analysis(graph, NnzIntervals()).at_exit()
+        lo, hi = intervals[graph.output_value]
+        assert (lo, hi) == (0.0, 0.0)

@@ -225,6 +225,50 @@ class TestAffinityBatching:
         assert served_rate > fifo.plan_cache.hit_rate
 
 
+class TestCrossRequestCSE:
+    def network_batch(self, n=4):
+        a = random_coo((24, 24), nnz=90, seed=21)
+        b = random_coo((24, 24), nnz=90, seed=22)
+        c = random_coo((24, 16), nnz=60, seed=23)
+        return [Request.network("ij,jk,kl->il", a, b, c) for _ in range(n)]
+
+    def test_micro_batch_shares_step_results(self):
+        requests = self.network_batch()
+        with small_service(max_batch=8) as service:
+            tickets = [service.submit(r) for r in requests]
+            responses = [t.result(30.0) for t in tickets]
+            hits = service.metrics_json()["network"]["batch_cse_hits"]
+        assert all(r.status == "ok" for r in responses)
+        assert hits > 0
+        ref = responses[0].result.to_dense()
+        for r in responses[1:]:
+            np.testing.assert_array_equal(ref, r.result.to_dense())
+
+    def test_knob_off_disables_sharing(self):
+        requests = self.network_batch()
+        with small_service(max_batch=8,
+                           cross_request_cse=False) as service:
+            tickets = [service.submit(r) for r in requests]
+            responses = [t.result(30.0) for t in tickets]
+            hits = service.metrics_json()["network"]["batch_cse_hits"]
+        assert all(r.status == "ok" for r in responses)
+        assert hits == 0
+
+    def test_shared_results_match_direct_execution(self):
+        requests = self.network_batch(n=3)
+        expected = NetworkExecutor(machine=DESKTOP, passes=None).contract(
+            "ij,jk,kl->il",
+            *requests[0].operands,
+        )
+        with small_service(max_batch=8) as service:
+            tickets = [service.submit(r) for r in requests]
+            responses = [t.result(30.0) for t in tickets]
+        for r in responses:
+            np.testing.assert_array_equal(
+                expected.to_dense(), r.result.to_dense()
+            )
+
+
 class TestLifecycleAndConfig:
     def test_unbounded_config_is_refused(self):
         with pytest.raises(ConfigError):

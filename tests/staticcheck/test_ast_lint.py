@@ -185,6 +185,64 @@ class TestPublicModules:
         assert diags == []
 
 
+class TestBackendDiscipline:
+    def test_direct_kernel_call_flagged(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel(a, b):
+                return np.matmul(a, b)
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC401"]
+
+    def test_pragma_suppresses_finding(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel(a, b):
+                return np.matmul(a, b)  # staticcheck: ignore[FSTC401] ref
+            """,
+            kernel=True,
+        )
+        assert diags == []
+
+    def test_pragma_lists_multiple_codes(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel(a, b):
+                return np.matmul(a, b)  # staticcheck: ignore[FSTC101, FSTC401]
+            """,
+            kernel=True,
+        )
+        assert diags == []
+
+    def test_pragma_for_other_code_does_not_suppress(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel(a, b):
+                return np.matmul(a, b)  # staticcheck: ignore[FSTC101]
+            """,
+            kernel=True,
+        )
+        assert codes(diags) == ["FSTC401"]
+
+    def test_backend_layer_exempt(self):
+        diags = run(
+            """
+            import numpy as np
+            def kernel(a, b):
+                return np.matmul(a, b)
+            """,
+            kernel=True,
+            backend_layer=True,
+        )
+        assert diags == []
+
+
 def test_repro_tree_is_clean():
     """The shipped source passes its own lint (the CI --self gate)."""
     assert lint_tree() == []

@@ -9,7 +9,56 @@ class TestSelfLint:
     def test_self_is_clean(self, capsys):
         assert main(["check", "--self"]) == 0
         out = capsys.readouterr().out
-        assert "0 error(s)" in out
+        assert "no findings" in out
+
+
+class TestJsonOutput:
+    def test_self_json_document(self, capsys):
+        import json
+
+        assert main(["check", "--self", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 0
+        assert isinstance(doc["findings"], list)
+
+    def test_audit_json_carries_verdicts(self, capsys):
+        import json
+
+        status = main(["check", "NIPS_2", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert doc["errors"] >= 1
+        assert any(f["code"] == "FSTC010" for f in doc["findings"])
+        assert any(v == "dnf" for v in doc["verdicts"].values())
+
+    def test_expr_json_carries_verdict(self, capsys):
+        import json
+
+        status = main(
+            ["check", "--expr", "ij,jk->ik",
+             "--shapes", "100x200,200x50", "--nnz", "500,400", "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert "verdict" in doc
+
+
+class TestPassSelfTest:
+    def test_passes_gate_is_clean(self, capsys):
+        assert main(["check", "--passes"]) == 0
+        out = capsys.readouterr().out
+        assert "pass self-test:" in out
+        assert "corruptions caught" in out
+
+    def test_passes_json_summary(self, capsys):
+        import json
+
+        assert main(["check", "--passes", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 0
+        assert doc["summary"]["errors"] == 0
+        assert doc["summary"]["clean_pipelines"] > 0
+        assert doc["summary"]["corruptions_caught"] > 0
 
 
 class TestRegistryAudit:

@@ -1,0 +1,253 @@
+"""Unit tests for the FSTC5xx optimizer-pass soundness lints."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.machine.specs import DESKTOP
+from repro.network.ir import TensorNetwork
+from repro.network.optimize import build_plan
+from repro.network.passes import PassContext, resolve_pipeline
+from repro.staticcheck.pass_lint import (
+    effective_cost,
+    lint_plan_annotations,
+    self_test_passes,
+    verify_rewrite,
+)
+
+
+def chain_network():
+    return TensorNetwork.parse(
+        "ab,bc,cd,de->ae", [(16, 16)] * 4, nnz=[48, 48, 48, 48]
+    )
+
+
+def twin_branch_network():
+    # two isomorphic branches (same shapes/nnz) under distinct labels
+    return TensorNetwork.parse(
+        "ij,jk,lm,mn->il", [(14, 14)] * 4, nnz=[40, 40, 40, 40]
+    )
+
+
+def empty_mid_network():
+    return TensorNetwork.parse(
+        "ij,jk,kl->il", [(10, 10)] * 3, nnz=[25, 0, 25]
+    )
+
+
+def optimized(network, *, dtypes=None, volatile=(), optimizer="dp"):
+    base = build_plan(network, DESKTOP, optimizer)
+    pipeline = resolve_pipeline("default")
+    context = PassContext(dtypes=dtypes, volatile=volatile)
+    return base, pipeline.run(base, network, context=context)
+
+
+def errors(diags):
+    return [d for d in diags if d.severity == "error"]
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestCleanPlans:
+    def test_pipeline_output_verifies(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        diags = verify_rewrite(base, opt, network, dtypes=("float64",) * 4)
+        assert errors(diags) == []
+
+    def test_identity_rewrite_verifies(self):
+        network = chain_network()
+        base = build_plan(network, DESKTOP, "dp")
+        assert errors(verify_rewrite(base, base, network)) == []
+
+    def test_self_test_is_clean(self):
+        diags, summary = self_test_passes()
+        assert summary["errors"] == 0, [d.render() for d in diags]
+        assert summary["clean_pipelines"] > 0
+        assert summary["corruptions_caught"] > 0
+
+
+class TestFSTC501Structure:
+    def test_tampered_step_subscripts(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        steps = list(opt.steps)
+        steps[0] = replace(steps[0], sub_out=steps[0].sub_out[::-1] + "z")
+        bad = replace(opt, steps=tuple(steps))
+        assert "FSTC501" in codes(verify_rewrite(opt, bad, network))
+
+    def test_tampered_cost_estimate(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        steps = list(opt.steps)
+        steps[0] = replace(steps[0], est_cost=steps[0].est_cost * 2)
+        bad = replace(opt, steps=tuple(steps))
+        assert "FSTC501" in codes(verify_rewrite(opt, bad, network))
+
+    def test_dropped_step(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        bad = replace(opt, steps=opt.steps[:-1])
+        assert "FSTC501" in codes(verify_rewrite(opt, bad, network))
+
+    def test_changed_interface(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        bad = replace(opt, est_total_cost=opt.est_total_cost * 3)
+        assert "FSTC501" in codes(verify_rewrite(opt, bad, network))
+
+    def test_stripped_pass_record(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        bad = replace(opt, passes=())
+        assert "FSTC501" in codes(verify_rewrite(opt, bad, network))
+
+
+class TestFSTC502CSE:
+    def test_forward_reference(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        steps = list(opt.steps)
+        steps[0] = replace(steps[0], cse_of=len(steps) - 1)
+        bad = replace(opt, steps=tuple(steps))
+        assert "FSTC502" in codes(lint_plan_annotations(bad, network))
+
+    def test_structurally_different_target(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        steps = list(opt.steps)
+        steps[-1] = replace(steps[-1], cse_of=0)
+        bad = replace(opt, steps=tuple(steps))
+        assert "FSTC502" in codes(lint_plan_annotations(bad, network))
+
+
+class TestFSTC503DtypeMerge:
+    def test_cse_across_dtypes_flagged(self):
+        network = twin_branch_network()
+        base = build_plan(network, DESKTOP, "dp")
+        # find the isomorphic twin steps the cse pass would merge
+        opt = resolve_pipeline("cse").run(
+            base, network, context=PassContext()
+        )
+        merged = [k for k, s in enumerate(opt.steps) if s.cse_of >= 0]
+        assert merged, "twin-branch fixture must produce a CSE merge"
+        # same plan, but the second branch's operands are float32
+        dtypes = ("float64", "float64", "float32", "float32")
+        diags = lint_plan_annotations(opt, network, dtypes=dtypes)
+        assert "FSTC503" in codes(diags)
+
+    def test_same_dtypes_clean(self):
+        network = twin_branch_network()
+        base = build_plan(network, DESKTOP, "dp")
+        opt = resolve_pipeline("cse").run(
+            base, network, context=PassContext()
+        )
+        diags = lint_plan_annotations(
+            opt, network, dtypes=("float64",) * 4
+        )
+        assert errors(diags) == []
+
+
+class TestFSTC504Hoist:
+    def test_hoist_of_intermediate(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        steps = list(opt.steps)
+        steps[-1] = replace(steps[-1], hoist_l=True, hoist_r=True)
+        bad = replace(opt, steps=tuple(steps))
+        assert "FSTC504" in codes(lint_plan_annotations(bad, network))
+
+    def test_hoist_of_volatile_operand(self):
+        network = chain_network()
+        base = build_plan(network, DESKTOP, "dp")
+        opt = resolve_pipeline("hoist").run(
+            base, network, context=PassContext()
+        )
+        hoisted = [
+            k for k, s in enumerate(opt.steps) if s.hoist_l or s.hoist_r
+        ]
+        assert hoisted, "chain fixture must hoist at least one side"
+        diags = lint_plan_annotations(
+            opt, network, volatile=tuple(range(network.n_operands))
+        )
+        assert "FSTC504" in codes(diags)
+
+    def test_hoist_on_outer_step(self):
+        network = TensorNetwork.parse(
+            "ij,kl->ijkl", [(6, 7), (5, 4)], nnz=[10, 8]
+        )
+        base = build_plan(network, DESKTOP, "dp")
+        steps = list(base.steps)
+        steps[0] = replace(steps[0], hoist_l=True)
+        bad = replace(base, steps=tuple(steps))
+        assert "FSTC504" in codes(lint_plan_annotations(bad, network))
+
+
+class TestFSTC505Zero:
+    def test_false_dead_annotation(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        steps = list(opt.steps)
+        steps[-1] = replace(steps[-1], dead=True)
+        bad = replace(opt, steps=tuple(steps))
+        assert "FSTC505" in codes(lint_plan_annotations(bad, network))
+
+    def test_false_zero_premise(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        bad = replace(opt, zero_operands=(0,))
+        assert "FSTC505" in codes(lint_plan_annotations(bad, network))
+
+    def test_out_of_range_premise(self):
+        network = chain_network()
+        base, opt = optimized(network)
+        bad = replace(opt, zero_operands=(99,))
+        assert "FSTC505" in codes(lint_plan_annotations(bad, network))
+
+    def test_true_dead_plan_is_clean(self):
+        network = empty_mid_network()
+        base, opt = optimized(network)
+        assert any(s.dead for s in opt.steps)
+        assert errors(lint_plan_annotations(opt, network)) == []
+
+
+class TestFSTC506Pessimization:
+    def test_stripping_annotations_warns(self):
+        network = twin_branch_network()
+        base, opt = optimized(network)
+        assert any(s.cse_of >= 0 for s in opt.steps)
+        stripped = replace(opt, steps=tuple(
+            replace(s, cse_of=-1) for s in opt.steps
+        ))
+        diags = verify_rewrite(opt, stripped, network)
+        assert "FSTC506" in codes(diags)
+        assert errors(diags) == []
+
+    def test_effective_cost_drops_with_cse(self):
+        network = twin_branch_network()
+        base, opt = optimized(network)
+        assert effective_cost(opt) < effective_cost(base)
+
+
+class TestPipelineRefusesUnsoundPass:
+    def test_tampering_pass_raises(self):
+        from repro.errors import PlanError
+        from repro.network.passes import PassPipeline, PlanPass
+
+        class Tamper(PlanPass):
+            name = "tamper"
+
+            def run(self, plan, network, context):
+                steps = list(plan.steps)
+                steps[0] = replace(
+                    steps[0], sub_out=steps[0].sub_out[::-1] + "z"
+                )
+                return replace(plan, steps=tuple(steps))
+
+        network = chain_network()
+        base = build_plan(network, DESKTOP, "dp")
+        pipeline = PassPipeline([Tamper()])
+        with pytest.raises(PlanError, match="unsound rewrite"):
+            pipeline.run(base, network)
