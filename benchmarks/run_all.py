@@ -1,10 +1,15 @@
 """Run every benchmark harness and collect outputs (artifact driver).
 
-Usage:  python benchmarks/run_all.py [--out results/] [--quick]
+Usage:  python benchmarks/run_all.py [--out results/] [--quick] [--json]
 
 Mirrors the paper's SC artifact workflow: one command regenerates every
 table and figure, writing each harness's printed rows to a text file.
 ``--quick`` restricts repeats so a full pass finishes in a few minutes.
+``--json`` additionally writes one machine-readable run manifest,
+``BENCH_<stamp>.json``, into the output directory: per-harness status,
+wall-clock seconds and output path, plus the run configuration — what a
+results dashboard or regression tracker ingests instead of scraping the
+text files.
 """
 
 from __future__ import annotations
@@ -42,10 +47,11 @@ HARNESSES = [
     "bench_backends",
     "bench_serve_slo",
     "bench_serve_shards",
+    "bench_autotune",
 ]
 
 
-def run_harness(name: str, out_dir: str) -> tuple[bool, float]:
+def run_harness(name: str, out_dir: str) -> tuple[bool, float, str]:
     """Import and run one harness's main(); capture stdout to a file."""
     module = importlib.import_module(name)
     buffer = io.StringIO()
@@ -61,7 +67,7 @@ def run_harness(name: str, out_dir: str) -> tuple[bool, float]:
     path = os.path.join(out_dir, f"{name.removeprefix('bench_')}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(buffer.getvalue())
-    return ok, elapsed
+    return ok, elapsed, path
 
 
 def main(argv=None) -> int:
@@ -72,6 +78,9 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="clamp every harness's repeats to 1 (smoke "
                              "mode for CI)")
+    parser.add_argument("--json", action="store_true",
+                        help="also write a BENCH_<stamp>.json run manifest "
+                             "into the output directory")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -89,11 +98,33 @@ def main(argv=None) -> int:
             parser.error(f"unknown harnesses: {sorted(missing)}")
 
     failures = 0
+    results = []
+    started = time.time()
     for name in selected:
-        ok, elapsed = run_harness(name, args.out)
+        ok, elapsed, path = run_harness(name, args.out)
         status = "ok" if ok else "FAILED"
         print(f"{name:<36} {status:>7}  {elapsed:7.1f}s")
         failures += not ok
+        results.append({
+            "harness": name, "ok": ok,
+            "seconds": round(elapsed, 3), "output": path,
+        })
+    if args.json:
+        import json
+
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(started))
+        manifest = {
+            "stamp": stamp,
+            "started_at": started,
+            "quick": args.quick,
+            "harnesses": results,
+            "succeeded": len(selected) - failures,
+            "failed": failures,
+        }
+        manifest_path = os.path.join(args.out, f"BENCH_{stamp}.json")
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1)
+        print(f"manifest written to {manifest_path}")
     print(f"\n{len(selected) - failures}/{len(selected)} harnesses succeeded; "
           f"outputs in {args.out}/")
     return 1 if failures else 0

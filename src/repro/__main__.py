@@ -43,6 +43,15 @@ Subcommands
     queue stats, cache hit rates — are printed (``--json`` for the raw
     document).  ``--demo`` runs a canned capacity-then-overload
     sequence; with ``--quick`` it is the CI smoke configuration.
+    ``--autotune`` turns on online bandit exploration
+    (:mod:`repro.autotune`), with ``--autotune-state`` persisting the
+    learned weights, measurements and promotions across restarts.
+``autotune``
+    Operate on learned autotune state: inspect a state file (default),
+    ``--replay`` the promotion/rollback audit log, ``--reset`` the
+    learned state in place, or run the end-to-end ``--self-check``
+    (explore on live contractions, promote on synthetic skew, roll back
+    on regression, round-trip persistence) — the CI smoke gate.
 """
 
 from __future__ import annotations
@@ -488,6 +497,9 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         default_deadline_s=args.deadline,
         backend=args.backend or "numpy",
+        autotune=args.autotune,
+        autotune_explore_rate=args.autotune_rate,
+        autotune_state_path=args.autotune_state,
     )
     requests = synthetic_requests(
         args.requests,
@@ -516,6 +528,9 @@ def _cmd_serve(args) -> int:
             print(report.render())
             print()
             print(_render_service(service))
+            tuner = getattr(service, "tuner", None)
+            if tuner is not None:
+                print(f"  autotune: {tuner.metrics()}")
     finally:
         service.close()
     return 0
@@ -544,6 +559,9 @@ def _serve_demo(args, machine) -> int:
         queue_capacity=capacity, policy="shed_oldest",
         n_workers=args.workers, max_batch=args.max_batch,
         backend=args.backend or "numpy",
+        autotune=args.autotune,
+        autotune_explore_rate=args.autotune_rate,
+        autotune_state_path=args.autotune_state,
     )
     requests = synthetic_requests(n, n_signatures=3, seed=args.seed)
     # try/finally rather than ``with``: Ctrl-C during the demo must
@@ -567,6 +585,9 @@ def _serve_demo(args, machine) -> int:
         queue_stats = _queue_stats(service)
         print()
         print(_render_service(service))
+        tuner = getattr(service, "tuner", None)
+        if tuner is not None:
+            print(f"  autotune: {tuner.metrics()}")
         ok = (
             open_report.statuses.get("failed", 0) == 0
             and closed.statuses.get("failed", 0) == 0
@@ -582,6 +603,175 @@ def _serve_demo(args, machine) -> int:
         print(f"\ndemo FAIL: statuses {open_report.statuses}, "
               f"queue {queue_stats}")
     return 0 if ok else 1
+
+
+def _cmd_autotune(args) -> int:
+    import json
+
+    if args.self_check:
+        return _autotune_self_check(args)
+    if args.state is None:
+        print("repro autotune needs --state FILE (or --self-check)",
+              file=sys.stderr)
+        return 2
+
+    from repro.autotune import AutotuneState
+
+    # The machine name is embedded in the file; read it first so the
+    # loader's machine-mismatch guard does not fight the inspector.
+    try:
+        with open(args.state, encoding="utf-8") as fh:
+            machine_name = str(json.load(fh).get("machine", ""))
+    except (OSError, ValueError) as exc:
+        if args.reset:
+            machine_name = "desktop-i7-11700F"
+        else:
+            print(f"cannot read {args.state}: {exc}", file=sys.stderr)
+            return 1
+
+    if args.reset:
+        fresh = AutotuneState(machine_name)
+        path = fresh.save(args.state)
+        print(f"reset learned autotune state at {path} "
+              f"(machine {machine_name})")
+        return 0
+
+    state = AutotuneState(machine_name)
+    if not state.load(args.state):
+        print(f"cannot load {args.state}: {state.load_error}",
+              file=sys.stderr)
+        return 1
+
+    if args.replay:
+        if args.json:
+            print(json.dumps([e.to_json() for e in state.history], indent=2))
+            return 0
+        if not state.history:
+            print("no promotion history")
+            return 0
+        for e in state.history:
+            print(f"{e.timestamp:.3f} {e.event:<9} {e.arm_id:<16} "
+                  f"challenger {e.challenger_mean:.3e}s vs champion "
+                  f"{e.champion_mean:.3e}s  [{e.sig_key}]")
+            if e.reason:
+                print(f"    {e.reason}")
+        return 0
+
+    if args.json:
+        print(json.dumps(state.summary(), indent=2))
+        return 0
+    s = state.summary()
+    print(f"autotune state {args.state} (machine {s['machine']}):")
+    print(f"  weights fitted: {s['weights_fitted']}")
+    print(f"  measurements: {s['samples']} samples over "
+          f"{s['signatures']} signatures")
+    print(f"  champions: {s['champions']} promoted "
+          f"({s['promotions']} promotions, {s['rollbacks']} rollbacks "
+          f"on record)")
+    for sig_key, record in sorted(state.champions.items()):
+        print(f"    {record.arm_id:<16} baseline "
+              f"{record.baseline_mean:.3e}s  [{sig_key}]")
+    return 0
+
+
+def _autotune_self_check(args) -> int:
+    """End-to-end tuner exercise on live contractions (the CI gate).
+
+    Four assertions: exploration happens on eligible traffic; explored
+    executions are numerically identical to the champion's; a
+    synthetically skewed challenger is promoted and a synthetic
+    regression rolls it back; flushed state round-trips into a fresh
+    tuner (warm start).
+    """
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from repro.autotune import (
+        CHAMPION_ARM,
+        OnlineTuner,
+        TunerConfig,
+        pairwise_candidates,
+    )
+    from repro.data.random_tensors import random_coo
+    from repro.machine.specs import DESKTOP
+    from repro.runtime import ContractionRuntime
+    from repro.runtime.signature import signature_for
+
+    rounds = 24 if args.quick else 80
+    failures: list[str] = []
+
+    def check(ok: bool, label: str) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "autotune.json")
+        runtime = ContractionRuntime(machine=DESKTOP)
+        tuner = OnlineTuner(DESKTOP, TunerConfig(
+            explore_rate=0.25, min_trials=2, promote_margin=0.05,
+            refit_every=8, state_path=path, default_eligible=True,
+            seed=args.seed,
+        )).attach(runtime)
+
+        left = random_coo((48, 40), nnz=320, seed=args.seed)
+        right = random_coo((40, 44), nnz=320, seed=args.seed + 1)
+        reference = runtime.contract(left, right, [(1, 0)]).to_dense()
+
+        print("autotune self-check:")
+        max_diff = 0.0
+        for _ in range(rounds):
+            out = runtime.contract(left, right, [(1, 0)])
+            max_diff = max(
+                max_diff, float(np.abs(out.to_dense() - reference).max())
+            )
+        metrics = tuner.metrics()
+        check(metrics["explorations"] > 0,
+              f"exploration under budget ({metrics['explorations']} of "
+              f"{metrics['eligible_calls']} eligible calls)")
+        check(max_diff <= 1e-8 * max(1.0, float(np.abs(reference).max())),
+              f"explored results match champion (max diff {max_diff:.2e})")
+
+        # Synthetic skew on a *fresh* signature (the live loop above may
+        # already hold promotions or cooldowns on its own): a fast
+        # challenger must be promoted, then a regression rolled back.
+        sig = signature_for(
+            random_coo((32, 28), nnz=200, seed=args.seed + 2),
+            random_coo((28, 36), nnz=200, seed=args.seed + 3),
+            [(1, 0)], DESKTOP,
+        )
+        arm = pairwise_candidates(sig, DESKTOP)[0].arm_id
+        for _ in range(3):
+            tuner.observe_pairwise(sig, CHAMPION_ARM, 10e-3)
+            tuner.observe_pairwise(sig, arm, 1e-3)
+        promoted = tuner.state.champion(sig.key)
+        check(promoted is not None and promoted.arm_id == arm,
+              f"synthetic skew promotes the fast challenger ({arm})")
+        for _ in range(8):
+            tuner.observe_pairwise(sig, None, 100e-3)
+        check(tuner.state.champion(sig.key) is None and tuner.rollbacks >= 1,
+              "synthetic regression rolls the promotion back")
+
+        flushed = tuner.flush()
+        samples_before = tuner.state.store.summary()["samples"]
+
+        runtime2 = ContractionRuntime(machine=DESKTOP)
+        tuner2 = OnlineTuner(DESKTOP, TunerConfig(
+            state_path=path, default_eligible=True,
+        )).attach(runtime2)
+        samples_after = tuner2.state.store.summary()["samples"]
+        check(flushed == path and tuner2.state.loaded_from == path
+              and samples_after == samples_before,
+              f"persisted state round-trips ({samples_after} samples "
+              f"warm-started)")
+
+    if failures:
+        print(f"self-check FAIL: {len(failures)} of 5 checks failed")
+        return 1
+    print("self-check PASS")
+    return 0
 
 
 def _add_backend_flag(subparser) -> None:
@@ -746,7 +936,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the load report and service metrics "
                             "as one JSON document")
+    serve.add_argument("--autotune", action="store_true",
+                       help="explore challenger plans on eligible live "
+                            "traffic (bandit autotuning)")
+    serve.add_argument("--autotune-rate", type=float, default=0.05,
+                       dest="autotune_rate",
+                       help="fraction of eligible calls that may run a "
+                            "challenger (default 0.05)")
+    serve.add_argument("--autotune-state", default=None,
+                       dest="autotune_state",
+                       help="JSON file persisting learned weights, "
+                            "measurements and promotions across restarts "
+                            "(sharded serving derives per-shard files "
+                            "from --cache-dir instead)")
     _add_backend_flag(serve)
+
+    tune = sub.add_parser(
+        "autotune", help="inspect, replay, reset, or self-check learned "
+                         "autotune state"
+    )
+    tune.add_argument("--state", default=None,
+                      help="autotune state file to operate on")
+    tune.add_argument("--replay", action="store_true",
+                      help="print the promotion/rollback audit log")
+    tune.add_argument("--reset", action="store_true",
+                      help="clear the learned state in place")
+    tune.add_argument("--self-check", dest="self_check", action="store_true",
+                      help="run the end-to-end tuner exercise (explore, "
+                           "promote, roll back, persist) and exit nonzero "
+                           "on any failed check")
+    tune.add_argument("--quick", action="store_true",
+                      help="shrink --self-check to the CI smoke budget")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--json", action="store_true",
+                      help="machine-readable output")
 
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
@@ -771,6 +994,7 @@ def main(argv=None) -> int:
         "check": _cmd_check,
         "network": _cmd_network,
         "serve": _cmd_serve,
+        "autotune": _cmd_autotune,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,188 @@
+"""Candidate-arm enumeration for the online tuner.
+
+A *candidate* is one alternative way to execute a recurring problem —
+the knobs Algorithm 7 / the path optimizer decided once, reopened for
+measurement:
+
+* **pairwise** problems vary the accumulator choice (dense/sparse), the
+  tile size (one power-of-two step around the model's pick), and the
+  kernel backend (every backend that passes feature detection);
+* **network** problems vary the path optimizer (left/greedy/dp/
+  sparsity), ranked by modeled cost so "the second-best candidate" is a
+  meaningful notion before any measurement exists.
+
+Enumeration is deliberately small — a handful of arms per signature —
+because every arm costs real serving latency to measure; SparseAuto's
+lesson is that the headroom is concentrated in a few coarse decisions,
+not a fine grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import choose_accumulator
+from repro.core.plan import ContractionSpec
+from repro.machine.specs import MachineSpec
+from repro.network.optimize import OPTIMIZERS, build_plan
+from repro.runtime.signature import ProblemSignature
+from repro.util.arrays import next_power_of_two
+
+__all__ = [
+    "CHAMPION_ARM",
+    "Candidate",
+    "pairwise_candidates",
+    "rank_network_optimizers",
+    "network_candidates",
+]
+
+#: Arm id of the incumbent decision (the model/optimizer's own choice).
+CHAMPION_ARM = "model"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One executable alternative for a recurring problem.
+
+    ``arm_id`` is the stable identity measurements accumulate under;
+    the remaining fields are the execution overrides the arm stands
+    for.  ``None``/``"auto"`` fields defer to the normal decision.
+    """
+
+    arm_id: str
+    kind: str  # "pairwise" | "network"
+    accumulator: str = "auto"
+    tile_size: int | None = None
+    backend: str | None = None
+    optimizer: str | None = None
+    note: str = ""
+
+    def overrides(self) -> dict:
+        """Keyword overrides for a runtime/executor call."""
+        out: dict = {}
+        if self.kind == "pairwise":
+            out["accumulator"] = self.accumulator
+            if self.tile_size is not None:
+                out["tile_size"] = self.tile_size
+            if self.backend is not None:
+                out["backend"] = self.backend
+        elif self.optimizer is not None:
+            out["optimizer"] = self.optimizer
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "arm_id": self.arm_id,
+            "kind": self.kind,
+            "accumulator": self.accumulator,
+            "tile_size": self.tile_size,
+            "backend": self.backend,
+            "optimizer": self.optimizer,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Candidate":
+        return cls(
+            arm_id=str(doc["arm_id"]),
+            kind=str(doc.get("kind", "pairwise")),
+            accumulator=str(doc.get("accumulator", "auto")),
+            tile_size=(
+                None if doc.get("tile_size") is None
+                else int(doc["tile_size"])
+            ),
+            backend=doc.get("backend"),
+            optimizer=doc.get("optimizer"),
+        )
+
+
+def _detected_backends() -> list[str]:
+    from repro.backends.registry import backend_status
+
+    return [name for name, (ok, _) in backend_status().items() if ok]
+
+
+def pairwise_candidates(
+    signature: ProblemSignature,
+    machine: MachineSpec,
+    *,
+    backends: bool = True,
+) -> list[Candidate]:
+    """Challenger arms for one pairwise problem signature.
+
+    The champion (``model`` arm) is *not* in the list — it is whatever
+    the plan cache currently replays; these are the alternatives the
+    bandit may spend exploration budget on.
+    """
+    spec = ContractionSpec(
+        signature.left_shape, signature.right_shape, list(signature.pairs)
+    )
+    choice = choose_accumulator(
+        max(1, spec.L), max(1, spec.R), max(1, spec.C),
+        signature.nnz_l, signature.nnz_r, machine,
+    )
+    out: list[Candidate] = []
+    other_acc = "sparse" if choice.accumulator == "dense" else "dense"
+    out.append(Candidate(
+        arm_id=f"acc={other_acc}", kind="pairwise", accumulator=other_acc,
+        note=f"flip of the model's {choice.accumulator} choice",
+    ))
+    cap = next_power_of_two(max(spec.L, spec.R))
+    # Tiles past the problem extent all execute as one tile; step around
+    # the *effective* tile, not the model's unclamped pick.
+    base_tile = min(int(choice.tile_size), cap)
+    for tile in (base_tile // 2, base_tile * 2):
+        if tile >= 4 and tile != base_tile and tile <= cap:
+            out.append(Candidate(
+                arm_id=f"tile={tile}", kind="pairwise",
+                accumulator=choice.accumulator, tile_size=tile,
+                note=f"one step from the model tile {base_tile}",
+            ))
+    if backends:
+        for name in _detected_backends():
+            if name == "numpy":
+                continue
+            out.append(Candidate(
+                arm_id=f"backend={name}", kind="pairwise", backend=name,
+            ))
+    return out
+
+
+def rank_network_optimizers(network, machine: MachineSpec) -> list[tuple[str, float]]:
+    """``(optimizer, modeled cost)`` for every path optimizer, best first.
+
+    The modeled ranking seeds the bandit's prior: the champion is the
+    ``auto`` pick and the "second-best" challenger is the next entry.
+    Optimizers whose planning itself fails (e.g. DP refused by size)
+    are skipped.
+    """
+    ranked: list[tuple[str, float]] = []
+    for name in OPTIMIZERS:
+        try:
+            plan = build_plan(network, machine, name)
+        except Exception:  # noqa: BLE001 - unplannable variant is not an arm
+            continue
+        ranked.append((name, float(plan.est_total_cost)))
+    ranked.sort(key=lambda item: item[1])
+    return ranked
+
+
+def network_candidates(
+    network,
+    machine: MachineSpec,
+    *,
+    champion_optimizer: str,
+    max_arms: int = 3,
+) -> list[Candidate]:
+    """Challenger arms for one network signature: alternate optimizers,
+    modeled-cost order, the champion's own optimizer excluded."""
+    out: list[Candidate] = []
+    for name, cost in rank_network_optimizers(network, machine):
+        if name == champion_optimizer:
+            continue
+        out.append(Candidate(
+            arm_id=f"opt={name}", kind="network", optimizer=name,
+            note=f"modeled cost {cost:.3g}",
+        ))
+        if len(out) >= max_arms:
+            break
+    return out

@@ -150,6 +150,8 @@ def fit_cost_weights(
     predicted = feats @ base_vec
     denom = float(predicted @ predicted)
     alpha = float(predicted @ meas) / denom if denom > 0 else 1.0
+    if not np.isfinite(alpha):
+        alpha = 1.0
     alpha = max(alpha, 1e-12)
     scaled = base.scaled(alpha)
 

@@ -16,6 +16,7 @@ just logged).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.analysis.counters import Counters
@@ -47,6 +48,24 @@ class CostSample:
     def features(self) -> tuple[float, float, float, bool]:
         return (self.queries, self.data_volume, self.accum_updates,
                 self.workspace_fits)
+
+    @property
+    def usable(self) -> bool:
+        """Finite, positive-time, non-empty — fit-worthy.
+
+        A ``nan`` from a broken clock or an ``inf`` from a counter
+        overflow must never reach the least squares: one such row turns
+        every fitted weight into ``nan``/``inf`` and the *calibrated*
+        model then misprices every plan until restart.
+        """
+        return (
+            math.isfinite(self.seconds) and self.seconds > 0
+            and math.isfinite(self.queries)
+            and math.isfinite(self.data_volume)
+            and math.isfinite(self.accum_updates)
+            and (self.queries > 0 or self.data_volume > 0
+                 or self.accum_updates > 0)
+        )
 
 
 @dataclass
@@ -97,20 +116,26 @@ class CostCalibrator:
             workspace_fits=fits,
             seconds=measured,
         )
-        if measured > 0 and (sample.queries or sample.data_volume
-                             or sample.accum_updates):
+        if sample.usable:
             self.samples.append(sample)
             if self.refit_every and len(self.samples) % self.refit_every == 0:
                 self.fit()
         return sample
 
     def fit(self) -> CostWeights:
-        """Refit weights from all recorded samples (see module doc)."""
-        if not self.samples:
-            raise ValueError("no samples recorded; nothing to fit")
+        """Refit weights from all recorded samples (see module doc).
+
+        Non-usable samples (non-finite timings or counters, appended to
+        ``samples`` directly rather than through :meth:`observe`) are
+        skipped, never fitted — a corrupt row must not poison the
+        weights every later prediction uses.
+        """
+        usable = [s for s in self.samples if s.usable]
+        if not usable:
+            raise ValueError("no usable samples recorded; nothing to fit")
         self.weights = fit_cost_weights(
-            [s.features for s in self.samples],
-            [s.seconds for s in self.samples],
+            [s.features for s in usable],
+            [s.seconds for s in usable],
             base=self.base,
         )
         return self.weights
@@ -135,7 +160,7 @@ class CostCalibrator:
         return [
             abs(self._predicted(s, weights) - s.seconds) / s.seconds
             for s in self.samples
-            if s.seconds > 0
+            if s.usable
         ]
 
     def mean_relative_error(self, weights: CostWeights | None = None) -> float:

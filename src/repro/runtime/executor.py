@@ -234,6 +234,10 @@ class ContractionRuntime:
         self.counters = Counters()
         self.records: list[RunRecord] = []
         self._operands = _OperandCache(maxsize=operand_cache_size)
+        # Online autotuner hook; set via OnlineTuner.attach(runtime).
+        # When present, default-parameter calls may be routed to a
+        # challenger plan and every measured outcome is fed back.
+        self.tuner = None
 
     # -- cache-aware pipeline pieces ------------------------------------
 
@@ -322,6 +326,36 @@ class ContractionRuntime:
             left, right, pairs, self.machine,
             accumulator=accumulator, tile_size=tile_size,
         )
+
+        # Autotuning applies only to *championable* calls — ones where
+        # every decision was left to the model.  A caller-pinned
+        # accumulator/tile/backend is an explicit instruction, not a
+        # decision the bandit owns.
+        championable = (
+            self.tuner is not None
+            and accumulator == "auto"
+            and tile_size is None
+            and backend is None
+        )
+        champion_sig = sig
+        explored_arm = None
+        if championable:
+            explored = self.tuner.route_pairwise(sig)
+            if explored is not None:
+                explored_arm = explored.arm_id
+                accumulator = explored.accumulator
+                tile_size = explored.tile_size
+                backend = explored.backend
+                if accumulator != "auto" or tile_size is not None:
+                    # Re-key the call: the explored plan caches under
+                    # its own signature, never the champion's entry.
+                    sig = signature_for(
+                        left, right, pairs, self.machine,
+                        accumulator=accumulator, tile_size=tile_size,
+                    )
+            else:
+                backend = self.tuner.preferred_backend(sig)
+
         kernel_backend = resolve_backend(
             backend if backend is not None else self.backend, signature=sig
         )
@@ -395,6 +429,11 @@ class ContractionRuntime:
         self.counters.merge(call_counters)
         if counters is not None:
             counters.merge(call_counters)
+
+        if championable:
+            self.tuner.observe_pairwise(
+                champion_sig, explored_arm, record.seconds
+            )
 
         if return_stats and return_record:
             return out, stats, record

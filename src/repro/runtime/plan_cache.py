@@ -147,6 +147,31 @@ class PlanCache:
                 self.evictions += 1
         return cached
 
+    def peek_key(self, key: str) -> CachedPlan | None:
+        """Look up by raw key without touching recency or hit counters.
+
+        Used by the autotuner to snapshot the entry a promotion is about
+        to displace; a peek must not make a cold entry look hot.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def put_key(self, key: str, plan: Plan | CachedPlan) -> CachedPlan:
+        """Insert (or refresh) a decision under a raw signature key.
+
+        Same LRU semantics as :meth:`put`; the autotuner promotes and
+        rolls back by key because it stores keys, not live signatures.
+        """
+        cached = plan if isinstance(plan, CachedPlan) else CachedPlan.from_plan(plan)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = cached
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return cached
+
     @property
     def hit_rate(self) -> float:
         with self._lock:

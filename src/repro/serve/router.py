@@ -197,6 +197,15 @@ class ShardRouter:
             self.config.cache_dir, f"plan_cache_shard{shard_id}.json"
         )
 
+    def _autotune_path(self, shard_id: int) -> str | None:
+        """Per-shard autotune state file (one writer per file)."""
+        if self.config.cache_dir is None or not self.config.service.autotune:
+            return None
+        os.makedirs(self.config.cache_dir, exist_ok=True)
+        return os.path.join(
+            self.config.cache_dir, f"autotune_shard{shard_id}.json"
+        )
+
     def _spawn(self, shard: _Shard) -> None:
         # caller holds the lock
         spec = ShardSpec(
@@ -204,6 +213,7 @@ class ShardRouter:
             machine_name=self.machine.name,
             service=self.config.service,
             cache_path=self._cache_path(shard.shard_id),
+            autotune_path=self._autotune_path(shard.shard_id),
         )
         # Fresh queues per generation: a hard-killed process can die while
         # holding its outbox's cross-process write lock, which would wedge
@@ -556,8 +566,41 @@ class ShardRouter:
         return dict(wait["got"])
 
     def flush(self, *, timeout: float = 10.0) -> dict:
-        """Persist every live shard's plan cache (warm-start files)."""
+        """Persist every live shard's plan cache (warm-start files).
+
+        With autotuning enabled the broadcast also flushes each shard's
+        learned autotune state to its per-shard file."""
         return self._broadcast("flush", timeout=timeout)
+
+    def merged_autotune_state(self, save_to: str | None = None):
+        """Fold every shard's persisted autotune state into one.
+
+        Reads the per-shard ``autotune_shard<k>.json`` files (call
+        :meth:`flush` — or stop the router — first so they are current)
+        and merges them through the associative measurement-store merge;
+        the result can seed any future process's warm start.  Returns
+        the merged :class:`~repro.autotune.AutotuneState`, or ``None``
+        when autotune persistence is not configured.
+        """
+        from repro.autotune import AutotuneState
+
+        if self.config.cache_dir is None or not self.config.service.autotune:
+            return None
+        merged = AutotuneState(self.machine.name)
+        found = False
+        for shard_id in range(self.config.n_shards):
+            path = self._autotune_path(shard_id)
+            if path is None or not os.path.exists(path):
+                continue
+            shard_state = AutotuneState(self.machine.name)
+            if shard_state.load(path):
+                merged.merge(shard_state)
+                found = True
+        if not found:
+            return None
+        if save_to is not None:
+            merged.save(save_to)
+        return merged
 
     # -- metrics and rebalancing ----------------------------------------
 

@@ -33,13 +33,16 @@ executor with the serving machinery the ROADMAP's traffic shape needs:
   runtime/network cache hit rates, exported as one JSON document.
 
 Construction lints the configuration through
-:func:`repro.staticcheck.lint_service_config` and refuses
-error-severity findings (``FSTC301``), so an unbounded queue can not
-reach production; warnings are kept on ``config_diagnostics``.
+:func:`repro.staticcheck.lint_service_config` and — when autotuning is
+enabled — :func:`repro.staticcheck.lint_autotune_config`, refusing
+error-severity findings (``FSTC301``, ``FSTC601``, ``FSTC603``), so an
+unbounded queue or a runaway exploration rate can not reach
+production; warnings are kept on ``config_diagnostics``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass
@@ -47,6 +50,9 @@ from dataclasses import dataclass
 from repro.errors import ConfigError, ReproError, SchedulerError
 from repro.machine.specs import DESKTOP, MachineSpec
 from repro.network.executor import NetworkExecutor, StepResultCache
+from repro.network.ir import TensorNetwork
+from repro.network.optimize import resolve_optimizer
+from repro.network.plan import NetworkSignature
 from repro.runtime.executor import ContractionRuntime
 from repro.runtime.signature import signature_for
 from repro.serve.batching import affinity_order
@@ -91,6 +97,18 @@ class ServiceConfig:
     two requests contracting the same subnetwork (verified by content
     digest) compute it once.  The cache dies with the batch — nothing
     leaks between batches or workers.
+
+    ``autotune`` enables online bandit exploration
+    (:mod:`repro.autotune`): a bounded fraction
+    (``autotune_explore_rate``) of *eligible* requests — no deadline,
+    not degraded, queue depth at most ``autotune_max_queue_depth`` —
+    execute a challenger plan instead of the cached champion, and a
+    challenger that wins by ``autotune_promote_margin`` over
+    ``autotune_min_trials`` measured trials is promoted (with automatic
+    rollback on regression).  ``autotune_state_path`` persists the
+    learned state (calibrated weights, measurements, champions) across
+    restarts; leaving it unset relearns from scratch every process
+    (``FSTC602`` warns).
     """
 
     queue_capacity: int = 64
@@ -106,6 +124,12 @@ class ServiceConfig:
     operand_cache_size: int = 16
     backend: str = "numpy"
     cross_request_cse: bool = True
+    autotune: bool = False
+    autotune_explore_rate: float = 0.05
+    autotune_min_trials: int = 3
+    autotune_promote_margin: float = 0.10
+    autotune_state_path: str | None = None
+    autotune_max_queue_depth: int = 4
 
     def __post_init__(self):
         if self.policy not in POLICIES:
@@ -152,11 +176,18 @@ class ContractionService:
         runtime: ContractionRuntime | None = None,
         executor: NetworkExecutor | None = None,
     ):
-        from repro.staticcheck import has_errors, lint_service_config
+        from repro.staticcheck import (
+            has_errors,
+            lint_autotune_config,
+            lint_service_config,
+        )
 
         self.machine = machine
         self.config = config if config is not None else ServiceConfig()
         self.config_diagnostics = lint_service_config(self.config, machine)
+        self.config_diagnostics += lint_autotune_config(
+            self.config, location="service config"
+        )
         if has_errors(self.config_diagnostics):
             findings = "; ".join(
                 d.render() for d in self.config_diagnostics
@@ -173,6 +204,16 @@ class ContractionService:
         self.executor = executor if executor is not None else NetworkExecutor(
             machine=machine, runtime=self.runtime
         )
+        self.tuner = None
+        if self.config.autotune:
+            from repro.autotune import OnlineTuner, TunerConfig
+
+            self.tuner = OnlineTuner(machine, TunerConfig(
+                explore_rate=self.config.autotune_explore_rate,
+                min_trials=self.config.autotune_min_trials,
+                promote_margin=self.config.autotune_promote_margin,
+                state_path=self.config.autotune_state_path,
+            )).attach(self.runtime)
         self.queue = AdmissionQueue(
             self.config.queue_capacity, self.config.policy
         )
@@ -224,6 +265,8 @@ class ContractionService:
         for t in self._workers:
             t.join(timeout)
         self._workers.clear()
+        if self.tuner is not None:
+            self.tuner.flush()
 
     def __enter__(self) -> "ContractionService":
         return self.start()
@@ -305,6 +348,8 @@ class ContractionService:
         payload["runtime"] = self.runtime.metrics()
         payload["network"] = self.executor.metrics()
         payload["machine"] = self.machine.name
+        if self.tuner is not None:
+            payload["autotune"] = self.tuner.metrics()
         return payload
 
     # -- internals ------------------------------------------------------
@@ -374,20 +419,35 @@ class ContractionService:
                 remaining < self.config.degrade_margin * self._cost_floor(job)
             )
 
+        # Exploration eligibility: never on degraded or deadline-carrying
+        # requests, and only while the queue is shallow (exploring under
+        # pressure spends latency the backlog cannot afford).
+        bracket = contextlib.nullcontext()
+        if self.tuner is not None:
+            eligible = (
+                not degrade
+                and job.deadline_at is None
+                and self.queue.depth <= self.config.autotune_max_queue_depth
+            )
+            bracket = self.tuner.serving(eligible=eligible)
+
         t0 = time.perf_counter()
         try:
-            if request.kind == PAIRWISE:
-                result, record, rung = self._run_pairwise(request, degrade)
-                plan_source = record.plan_source
-                accumulator, tile = record.accumulator, record.tile
-            elif request.kind == NETWORK:
-                result, report, rung = self._run_network(
-                    request, degrade, batch_cache=batch_cache
-                )
-                plan_source = report.plan_source
-                accumulator, tile = "", 0
-            else:
-                raise ConfigError(f"unknown request kind {request.kind!r}")
+            with bracket:
+                if request.kind == PAIRWISE:
+                    result, record, rung = self._run_pairwise(request, degrade)
+                    plan_source = record.plan_source
+                    accumulator, tile = record.accumulator, record.tile
+                elif request.kind == NETWORK:
+                    result, report, rung = self._run_network(
+                        request, degrade, batch_cache=batch_cache
+                    )
+                    plan_source = report.plan_source
+                    accumulator, tile = "", 0
+                else:
+                    raise ConfigError(
+                        f"unknown request kind {request.kind!r}"
+                    )
         except ReproError as exc:
             timings["execute"] = time.perf_counter() - t0
             self._finish(job, Response(
@@ -455,6 +515,8 @@ class ContractionService:
         """
         rung = None
         optimizer = "auto"
+        tune_key = None
+        explored_arm = None
         if degrade:
             warm = self.executor.cached_plan(
                 request.subscripts, request.operands, optimizer="auto"
@@ -464,9 +526,31 @@ class ContractionService:
             else:
                 rung = "cheap-path"
                 optimizer = "left"
+        elif self.tuner is not None:
+            network = TensorNetwork.parse(
+                request.subscripts, request.operands
+            )
+            champion = resolve_optimizer("auto", network)
+            tune_key = NetworkSignature.for_network(
+                network, self.machine, champion,
+                pipeline=self.executor.pipeline_key,
+            ).key
+            cand = self.tuner.route_network(tune_key, network, champion)
+            if cand is not None:
+                explored_arm = cand.arm_id
+                optimizer = cand.optimizer
+            else:
+                preferred = self.tuner.preferred_network_optimizer(tune_key)
+                if preferred is not None:
+                    optimizer = preferred
+        t0 = time.perf_counter()
         out, report = self.executor.contract(
             request.subscripts, *request.operands,
             optimizer=optimizer, return_report=True,
             cse_cache=batch_cache,
         )
+        if tune_key is not None:
+            self.tuner.observe_network(
+                tune_key, explored_arm, time.perf_counter() - t0
+            )
         return out, report, rung

@@ -58,6 +58,10 @@ class ShardSpec:
     machine_name: str = "desktop"
     service: ServiceConfig = field(default_factory=ServiceConfig)
     cache_path: str | None = None
+    #: Per-shard autotune state file (each shard must own its file —
+    #: concurrent writers to one JSON would race; the router merges the
+    #: per-shard states associatively instead).
+    autotune_path: str | None = None
 
 
 def _resolve_machine(name: str):
@@ -73,6 +77,8 @@ def shard_main(spec: ShardSpec, inbox, outbox) -> None:
     monitor turns the death into requeue/respawn — the failure story
     lives on the router side, not here.
     """
+    from dataclasses import replace
+
     from repro.runtime.executor import ContractionRuntime
     from repro.serve.service import ContractionService
 
@@ -83,8 +89,11 @@ def shard_main(spec: ShardSpec, inbox, outbox) -> None:
         cache_size=spec.service.plan_cache_size,
         operand_cache_size=spec.service.operand_cache_size,
     )
+    config = spec.service
+    if spec.autotune_path is not None:
+        config = replace(config, autotune_state_path=spec.autotune_path)
     service = ContractionService(
-        machine=machine, config=spec.service, runtime=runtime
+        machine=machine, config=config, runtime=runtime
     )
     service.start()
     outbox.put(("ready", spec.shard_id, len(runtime.plan_cache)))
@@ -119,6 +128,8 @@ def shard_main(spec: ShardSpec, inbox, outbox) -> None:
                     service.metrics_json(),
                 ))
             elif kind == "flush":
+                if service.tuner is not None:
+                    service.tuner.flush()
                 outbox.put((
                     "flushed", spec.shard_id, message[1], runtime.flush(),
                 ))

@@ -390,7 +390,7 @@ def _merge_two_metrics(a: dict, b: dict) -> dict:
             }
         elif key == "kernel_counters":
             out[key] = merge_snapshots(va, vb)
-        elif key in ("queue", "runtime", "network"):
+        elif key in ("queue", "runtime", "network", "autotune"):
             out[key] = _merge_numeric_section(va, vb)
         elif isinstance(va, bool) or isinstance(vb, bool):
             out[key] = va and vb
@@ -418,7 +418,7 @@ def merge_metrics_json(snapshots) -> dict:
     # Normalize the first snapshot's derived fields through the same
     # path later merges take, so a single-shard aggregate is identical
     # to a two-shard aggregate with an empty peer.
-    for section in ("queue", "runtime", "network"):
+    for section in ("queue", "runtime", "network", "autotune"):
         if isinstance(merged.get(section), dict):
             merged[section] = _merge_numeric_section(merged[section], {})
     for other in snapshots[1:]:

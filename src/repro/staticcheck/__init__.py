@@ -24,6 +24,7 @@ The CLI front end is ``python -m repro check``; see
 
 from repro.staticcheck.ast_lint import lint_file, lint_source, lint_tree
 from repro.staticcheck.audit import audit_case, audit_registry, case_problem
+from repro.staticcheck.autotune_lint import lint_autotune_config
 from repro.staticcheck.diagnostics import (
     CODES,
     Diagnostic,
@@ -76,6 +77,7 @@ __all__ = [
     "diagnostics_to_json",
     "has_errors",
     "hazards_for_stats",
+    "lint_autotune_config",
     "lint_expression",
     "lint_file",
     "lint_plan_annotations",

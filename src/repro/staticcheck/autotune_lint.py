@@ -1,0 +1,110 @@
+"""Autotune-configuration lints (``FSTC6xx``).
+
+Online exploration spends real serving latency, so a bad configuration
+is not just suboptimal — it is a production incident waiting on traffic:
+
+* an **exploration rate above 0.5** makes exploration the workload
+  rather than a measurement tax, and a **non-positive rate** with
+  autotuning enabled configures a tuner that can never learn
+  (``FSTC601``, error);
+* **unpersisted learned state** relearns from zero on every restart —
+  every process pays the full exploration cost again and shard workers
+  cannot warm-start or merge (``FSTC602``, warning);
+* a **zero promotion margin** lets measurement noise flip the champion
+  back and forth — promotion must demand a strict win (``FSTC603``,
+  error);
+* a **trials floor below 2** promotes or rolls back on a single sample,
+  which on wall-clock measurements is promotion by coin flip
+  (``FSTC604``, warning).
+
+Configs are duck-typed, like the ``FSTC3xx`` service lints: anything
+carrying ``explore_rate``/``min_trials``/``promote_margin``/
+``state_path`` — or the ``autotune_``-prefixed spellings used by
+:class:`repro.serve.ServiceConfig` — lints the same way, so the checks
+run on plain stand-ins in tests and on either config layer.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = ["lint_autotune_config"]
+
+#: Above this fraction of eligible traffic, exploration is the workload.
+MAX_SANE_EXPLORE_RATE = 0.5
+
+_MISSING = object()
+
+
+def _knob(config, name: str, default):
+    """Read a knob under either its bare or ``autotune_``-prefixed name."""
+    value = getattr(config, name, _MISSING)
+    if value is _MISSING:
+        value = getattr(config, f"autotune_{name}", _MISSING)
+    return default if value is _MISSING else value
+
+
+def lint_autotune_config(
+    config, *, location: str = "autotune config"
+) -> list[Diagnostic]:
+    """``FSTC601``–``FSTC604`` findings for one autotune configuration.
+
+    ``config`` is duck-typed: a :class:`repro.autotune.TunerConfig`, a
+    :class:`repro.serve.ServiceConfig` (``autotune_*`` fields), or any
+    stand-in.  An object whose ``autotune`` attribute is present and
+    false is skipped entirely — a disabled tuner has no unsafe knobs.
+    """
+    if not _knob(config, "autotune", True):
+        return []
+    out: list[Diagnostic] = []
+
+    rate = float(_knob(config, "explore_rate", 0.05))
+    if rate <= 0.0:
+        out.append(make_diagnostic(
+            "FSTC601",
+            f"exploration rate {rate} can never explore; the tuner "
+            "records measurements but no challenger is ever tried",
+            hint="set explore_rate in (0, 0.5] or disable autotuning",
+            location=location,
+        ))
+    elif rate > MAX_SANE_EXPLORE_RATE:
+        out.append(make_diagnostic(
+            "FSTC601",
+            f"exploration rate {rate} makes exploration the workload "
+            f"(more than {MAX_SANE_EXPLORE_RATE:.0%} of eligible calls "
+            "would run challengers)",
+            hint=f"keep explore_rate at or below {MAX_SANE_EXPLORE_RATE}",
+            location=location,
+        ))
+
+    if _knob(config, "state_path", None) is None:
+        out.append(make_diagnostic(
+            "FSTC602",
+            "learned autotune state is not persisted; every restart "
+            "relearns from zero and shard workers cannot warm-start",
+            hint="set a state_path (or the router's cache_dir) so "
+                 "weights, measurements and champions survive restarts",
+            location=location,
+        ))
+
+    margin = float(_knob(config, "promote_margin", 0.10))
+    if margin <= 0.0:
+        out.append(make_diagnostic(
+            "FSTC603",
+            f"promotion margin {margin} promotes on any mean difference; "
+            "measurement noise would oscillate the champion",
+            hint="require a strictly positive promote_margin "
+                 "(0.05-0.2 is a sane band)",
+            location=location,
+        ))
+
+    trials = int(_knob(config, "min_trials", 3))
+    if trials < 2:
+        out.append(make_diagnostic(
+            "FSTC604",
+            f"trials floor {trials} promotes or rolls back on a single "
+            "wall-clock sample",
+            hint="set min_trials to at least 2 (3+ recommended)",
+            location=location,
+        ))
+    return out

@@ -22,6 +22,12 @@ Code ranges
 ``FSTC4xx``
     Backend-layer discipline: kernel code reaching around the
     :mod:`repro.backends` interface.
+``FSTC5xx``
+    Optimizer-pass soundness: plan rewrites checked against re-derived
+    dataflow facts.
+``FSTC6xx``
+    Autotune configuration lints: online-exploration knobs that would
+    burn serving latency or lose learned state.
 """
 
 from __future__ import annotations
@@ -128,6 +134,11 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC305": (WARNING, "consistent-hash ring is pathologically unbalanced"),
     # --- backend-layer discipline -----------------------------------------
     "FSTC401": (ERROR, "direct NumPy kernel call outside the backend layer"),
+    # --- autotune configuration lints -------------------------------------
+    "FSTC601": (ERROR, "autotune exploration rate outside the sane band"),
+    "FSTC602": (WARNING, "learned autotune state is not persisted"),
+    "FSTC603": (ERROR, "champion promotion without a positive margin"),
+    "FSTC604": (WARNING, "autotune trials floor below two samples"),
     # --- optimizer-pass soundness -----------------------------------------
     "FSTC501": (ERROR, "unsound plan rewrite (structure or interface changed)"),
     "FSTC502": (ERROR, "stale available-expression reuse (CSE target mismatch)"),

@@ -1,0 +1,88 @@
+"""Differential fuzz: explored executions equal champion executions.
+
+Every bandit arm varies *how* a contraction runs — accumulator flip,
+tile size, kernel backend — never what it computes.  This suite fuzzes
+exactly that contract: for random problems, the result of executing any
+challenger candidate must match the champion's result, with coordinates
+bit-identical and values within the repo's cross-backend tolerance
+(dense reconstruction at ``rtol=1e-8, atol=1e-10``, the policy of
+``docs/backends.md`` — accumulator and tile changes reorder float
+additions, so literal bit equality on values is not the contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotune.candidates import pairwise_candidates
+from repro.backends import backend_status
+from repro.data.random_tensors import random_coo
+from repro.machine.specs import DESKTOP
+from repro.runtime import ContractionRuntime
+from repro.runtime.signature import signature_for
+
+
+def _problem(seed):
+    rng = np.random.default_rng(0xA070 + seed)
+    L = int(rng.integers(12, 64))
+    C = int(rng.integers(8, 48))
+    R = int(rng.integers(12, 64))
+    nnz = int(rng.integers(20, 400))
+    left = random_coo((L, C), nnz=min(nnz, L * C), seed=seed * 2 + 1)
+    right = random_coo((C, R), nnz=min(nnz, C * R), seed=seed * 2 + 2)
+    return left, right
+
+
+def _assert_equivalent(explored, champion, label):
+    np.testing.assert_array_equal(
+        explored.coords, champion.coords, err_msg=f"coords differ: {label}"
+    )
+    np.testing.assert_allclose(
+        explored.to_dense(), champion.to_dense(),
+        rtol=1e-8, atol=1e-10, err_msg=f"values differ: {label}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_every_candidate_arm_matches_champion(seed):
+    """Direct execution of each arm's overrides equals the champion."""
+    left, right = _problem(seed)
+    runtime = ContractionRuntime(machine=DESKTOP)
+    champion = runtime.contract(left, right, [(1, 0)])
+    sig = signature_for(left, right, [(1, 0)], DESKTOP)
+    arms = pairwise_candidates(sig, DESKTOP)
+    assert arms, "candidate enumeration must offer at least one arm"
+    for candidate in arms:
+        if candidate.backend is not None:
+            available, _ = backend_status()[candidate.backend]
+            if not available:
+                continue
+        explored = runtime.contract(
+            left, right, [(1, 0)],
+            accumulator=candidate.accumulator,
+            tile_size=candidate.tile_size,
+            backend=candidate.backend,
+        )
+        _assert_equivalent(
+            explored, champion, f"seed={seed} arm={candidate.arm_id}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_tuner_routed_exploration_matches_unexplored_run(seed):
+    """The integrated path: a tuner-driven runtime (exploring on every
+    eligible call) returns the same results as a tuner-free runtime."""
+    from repro.autotune import OnlineTuner, TunerConfig
+
+    left, right = _problem(100 + seed)
+    plain = ContractionRuntime(machine=DESKTOP)
+    reference = plain.contract(left, right, [(1, 0)])
+
+    tuned = ContractionRuntime(machine=DESKTOP)
+    tuner = OnlineTuner(DESKTOP, TunerConfig(
+        explore_rate=1.0, min_trials=2, promote_margin=0.05,
+        default_eligible=True, seed=seed,
+    )).attach(tuned)
+    for _ in range(12):
+        out = tuned.contract(left, right, [(1, 0)])
+        _assert_equivalent(out, reference, f"seed={seed}")
+    assert tuner.metrics()["explorations"] > 0

@@ -1,0 +1,148 @@
+"""Persistent autotune state: round-trip, guards, associative merge."""
+
+import json
+
+import pytest
+
+from repro.autotune.candidates import Candidate
+from repro.autotune.measurements import MeasurementStore
+from repro.autotune.state import AutotuneState, ChampionRecord, PromotionEvent
+from repro.machine.cost_model import DEFAULT_WEIGHTS
+
+
+def record(arm_id="acc=sparse", baseline=1.0):
+    return ChampionRecord(
+        arm_id=arm_id,
+        candidate=Candidate(arm_id=arm_id, kind="pairwise",
+                            accumulator="sparse"),
+        baseline_mean=baseline,
+        plan={"accumulator": "sparse", "tile_l": 32, "tile_r": 32,
+              "machine_name": "desktop-i7-11700F"},
+        prev_plan=None,
+    )
+
+
+def event(ts, kind="promote"):
+    return PromotionEvent(event=kind, sig_key="s", arm_id="acc=sparse",
+                          reason="test", timestamp=ts)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        path = tmp_path / "state.json"
+        state = AutotuneState("desktop-i7-11700F", path=str(path))
+        state.weights = DEFAULT_WEIGHTS.scaled(3.0)
+        state.store.observe("sig", "acc=sparse", 0.01)
+        state.store.observe("sig", "model", 0.02)
+        state.set_champion("sig", record())
+        state.record_event(event(1.0))
+        assert state.flush() == str(path)
+
+        fresh = AutotuneState("desktop-i7-11700F")
+        assert fresh.load(path)
+        assert fresh.weights.query_cost == pytest.approx(
+            3.0 * DEFAULT_WEIGHTS.query_cost)
+        assert fresh.store.trials("sig", "acc=sparse") == 1
+        assert fresh.champion("sig").arm_id == "acc=sparse"
+        assert fresh.champion("sig").plan["tile_l"] == 32
+        assert len(fresh.history) == 1
+        assert fresh.loaded_from == str(path)
+
+    def test_constructor_warm_starts_from_existing_file(self, tmp_path):
+        path = tmp_path / "state.json"
+        state = AutotuneState("m", path=str(path))
+        state.store.observe("sig", "a", 0.5)
+        state.flush()
+        warm = AutotuneState("m", path=str(path))
+        assert warm.store.trials("sig", "a") == 1
+
+    def test_save_requires_some_path(self):
+        with pytest.raises(ValueError):
+            AutotuneState("m").save()
+        assert AutotuneState("m").flush() is None
+
+
+class TestGuards:
+    def test_machine_mismatch_refused(self, tmp_path):
+        path = tmp_path / "state.json"
+        AutotuneState("desktop-i7-11700F", path=str(path)).save()
+        other = AutotuneState("server-xeon-6330")
+        assert not other.load(path)
+        assert "desktop-i7-11700F" in other.load_error
+
+    def test_corrupt_file_degrades_cold(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("{not json")
+        state = AutotuneState("m", path=str(path))
+        assert state.load_error is not None
+        assert len(state.champions) == 0
+
+    def test_version_skew_refused(self, tmp_path):
+        path = tmp_path / "state.json"
+        doc = AutotuneState("m").to_json()
+        doc["version"] = 99
+        path.write_text(json.dumps(doc))
+        state = AutotuneState("m")
+        assert not state.load(path)
+        assert "version" in state.load_error
+
+
+class TestMerge:
+    def _shard(self, samples, champion=None, events=()):
+        state = AutotuneState("m", store=MeasurementStore())
+        for sig, arm_id, secs in samples:
+            state.store.observe(sig, arm_id, secs)
+        if champion is not None:
+            state.set_champion(*champion)
+        for e in events:
+            state.record_event(e)
+        return state
+
+    def test_stores_merge_associatively(self):
+        shards = [
+            self._shard([("s", "a", 0.1 * (k + 1)), ("s", "b", 0.2)])
+            for k in range(3)
+        ]
+        left = self._shard([])
+        left.merge(shards[0])
+        left.merge(shards[1])
+        left.merge(shards[2])
+
+        tail = self._shard([])
+        tail.merge(shards[1])
+        tail.merge(shards[2])
+        right = self._shard([])
+        right.merge(shards[0])
+        right.merge(tail)
+
+        ls = left.store.stats_for("s", "a")
+        rs = right.store.stats_for("s", "a")
+        assert ls.count == rs.count == 3
+        assert ls.mean == pytest.approx(rs.mean)
+        assert ls.m2 == pytest.approx(rs.m2)
+
+    def test_local_champion_wins_merge(self):
+        mine = self._shard([], champion=("s", record("acc=sparse")))
+        theirs = self._shard([], champion=("s", record("tile=16")))
+        mine.merge(theirs)
+        assert mine.champion("s").arm_id == "acc=sparse"
+        # A signature only the peer promoted is adopted.
+        theirs.set_champion("t", record("tile=16"))
+        mine.merge(theirs)
+        assert mine.champion("t").arm_id == "tile=16"
+
+    def test_histories_interleave_by_timestamp(self):
+        a = self._shard([], events=[event(1.0), event(3.0)])
+        b = self._shard([], events=[event(2.0, "rollback")])
+        a.merge(b)
+        assert [e.timestamp for e in a.history] == [1.0, 2.0, 3.0]
+
+    def test_summary_counts(self):
+        state = self._shard(
+            [("s", "a", 0.1)], champion=("s", record()),
+            events=[event(1.0), event(2.0, "rollback")],
+        )
+        s = state.summary()
+        assert s["champions"] == 1
+        assert s["promotions"] == 1 and s["rollbacks"] == 1
+        assert s["samples"] == 1

@@ -118,3 +118,95 @@ class TestCalibratorAcceptance:
         model = cal.model_for(shape)
         assert model.weights == cal.calibrated
         assert model.weights != DEFAULT_WEIGHTS
+
+
+class TestSampleHygiene:
+    """Corrupt measurements must never reach (or poison) the fit."""
+
+    def _observe(self, cal, seconds):
+        from types import SimpleNamespace
+
+        plan = SimpleNamespace(tile_l=32, tile_r=32)
+        stats = SimpleNamespace(kernel_seconds=seconds)
+        counters = SimpleNamespace(
+            hash_queries=1e4, data_volume=1e5, accum_updates=1e5)
+        return cal.observe(plan, stats, counters)
+
+    @pytest.mark.parametrize(
+        "seconds", [float("nan"), float("inf"), -float("inf"), 0.0, -0.5])
+    def test_observe_rejects_bad_timings(self, seconds):
+        cal = CostCalibrator(machine=DESKTOP)
+        sample = self._observe(cal, seconds)
+        assert not sample.usable
+        assert cal.samples == []
+
+    def test_observe_rejects_nonfinite_counters(self):
+        from types import SimpleNamespace
+
+        cal = CostCalibrator(machine=DESKTOP)
+        plan = SimpleNamespace(tile_l=32, tile_r=32)
+        stats = SimpleNamespace(kernel_seconds=0.01)
+        counters = SimpleNamespace(
+            hash_queries=float("inf"), data_volume=1e5, accum_updates=1e5)
+        cal.observe(plan, stats, counters)
+        assert cal.samples == []
+
+    def test_all_zero_features_not_usable(self):
+        assert not CostSample(0.0, 0.0, 0.0, True, 0.01).usable
+
+    def test_fit_skips_directly_appended_corrupt_samples(self):
+        cal = CostCalibrator(machine=DESKTOP)
+        cal.samples.append(CostSample(1e4, 1e5, 1e5, True, 0.01))
+        cal.samples.append(CostSample(1e4, 1e5, 1e5, True, float("nan")))
+        cal.samples.append(
+            CostSample(float("inf"), 1e5, 1e5, True, 0.01))
+        fitted = cal.fit()
+        assert all(np.isfinite([
+            fitted.query_cost, fitted.element_cost,
+            fitted.update_hit_cost, fitted.update_miss_cost,
+        ]))
+        # relative_errors must skip the corrupt rows too.
+        assert len(cal.relative_errors()) == 1
+
+    def test_fit_with_no_usable_samples_raises(self):
+        cal = CostCalibrator(machine=DESKTOP)
+        with pytest.raises(ValueError):
+            cal.fit()
+        cal.samples.append(CostSample(1e4, 1e5, 1e5, True, float("nan")))
+        with pytest.raises(ValueError):
+            cal.fit()
+        assert cal.weights is None
+        assert cal.calibrated is cal.base
+
+
+class TestDegenerateFits:
+    """Zero, one, and rank-deficient sample sets must stay well-posed."""
+
+    def test_single_sample_scale_fit(self):
+        sample = (1e4, 1e5, 1e5, True)
+        truth = 3.0 * DEFAULT_WEIGHTS.seconds(*sample[:3],
+                                              workspace_fits=True)
+        fitted = fit_cost_weights([sample], [truth])
+        assert fitted.query_cost == pytest.approx(
+            3.0 * DEFAULT_WEIGHTS.query_cost)
+
+    def test_identical_samples_fall_back_to_scale(self):
+        # >= 4 samples but a rank-1 design matrix: the full refit must
+        # decline and return the (well-posed) scale fit.
+        sample = (1e4, 1e5, 1e5, True)
+        t = 2.0 * DEFAULT_WEIGHTS.seconds(*sample[:3], workspace_fits=True)
+        fitted = fit_cost_weights([sample] * 6, [t] * 6)
+        assert fitted.query_cost == pytest.approx(
+            2.0 * DEFAULT_WEIGHTS.query_cost)
+        assert fitted.element_cost == pytest.approx(
+            2.0 * DEFAULT_WEIGHTS.element_cost)
+
+    def test_zero_feature_rows_yield_base_weights(self):
+        fitted = fit_cost_weights([(0.0, 0.0, 0.0, True)], [0.01])
+        assert fitted.query_cost == DEFAULT_WEIGHTS.query_cost
+
+    def test_nonfinite_measurement_cannot_blow_up_alpha(self):
+        fitted = fit_cost_weights(
+            [(1e4, 1e5, 1e5, True)], [float("nan")])
+        assert np.isfinite(fitted.query_cost)
+        assert fitted.query_cost == DEFAULT_WEIGHTS.query_cost

@@ -304,3 +304,58 @@ class TestWarmStart:
         warmed.contract(a, b, [(1, 0)])
         assert warmed.counters.plan_cache_hits == 1
         assert warmed.counters.plan_cache_misses == 0
+
+
+class TestPromotionEvictionInteraction:
+    """Autotune promotions go through put_key; they must obey — not
+    distort — the LRU contract."""
+
+    def test_promotion_does_not_evict_hot_champion(self):
+        # A full cache holds a hot champion (signature 0, freshly read)
+        # and colder entries.  Promoting a challenger for a *different*
+        # signature must displace the coldest entry, never the hot one.
+        cache = PlanCache(maxsize=3)
+        _, plan = make_plan()
+        for n in range(3):
+            cache.put(sig(n), plan)
+        hot = sig(0)
+        assert cache.get(hot) is not None  # refresh recency
+
+        promoted = CachedPlan(
+            accumulator="sparse", tile_l=16, tile_r=16,
+            machine_name=DESKTOP.name)
+        cache.put_key(sig(3).key, promoted)
+
+        assert cache.peek_key(hot.key) is not None
+        assert cache.peek_key(sig(1).key) is None  # coldest went
+        assert cache.peek_key(sig(3).key) is promoted
+        assert cache.evictions == 1
+
+    def test_promotion_of_existing_key_refreshes_not_grows(self):
+        cache = PlanCache(maxsize=2)
+        _, plan = make_plan()
+        cache.put(sig(0), plan)
+        cache.put(sig(1), plan)
+        promoted = CachedPlan(
+            accumulator="dense", tile_l=32, tile_r=32,
+            machine_name=DESKTOP.name)
+        cache.put_key(sig(0).key, promoted)  # in-place champion swap
+        assert cache.evictions == 0
+        assert cache.peek_key(sig(0).key) is promoted
+        # The swap refreshed sig(0): inserting a third entry now evicts
+        # sig(1), the least recently touched.
+        cache.put(sig(2), plan)
+        assert cache.peek_key(sig(0).key) is promoted
+        assert cache.peek_key(sig(1).key) is None
+
+    def test_peek_key_does_not_refresh_recency(self):
+        cache = PlanCache(maxsize=2)
+        _, plan = make_plan()
+        cache.put(sig(0), plan)
+        cache.put(sig(1), plan)
+        hits_before = cache.hits
+        cache.peek_key(sig(0).key)  # a tuner snapshot, not a use
+        assert cache.hits == hits_before
+        cache.put(sig(2), plan)  # evicts sig(0): peek kept it cold
+        assert cache.peek_key(sig(0).key) is None
+        assert cache.peek_key(sig(1).key) is not None

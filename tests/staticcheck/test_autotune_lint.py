@@ -1,0 +1,105 @@
+"""Unit tests for the FSTC6xx autotune-configuration lints."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.autotune import TunerConfig
+from repro.staticcheck import has_errors, lint_autotune_config
+from repro.staticcheck.diagnostics import CODES
+
+
+def config(**overrides) -> SimpleNamespace:
+    # Duck-typed like the FSTC3xx lints: a plain namespace is the
+    # documented stand-in for TunerConfig / ServiceConfig.
+    base = dict(
+        explore_rate=0.1, min_trials=3, promote_margin=0.05,
+        state_path="/tmp/state.json",
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRegistry:
+    def test_codes_are_registered(self):
+        assert CODES["FSTC601"][0] == "error"
+        assert CODES["FSTC602"][0] == "warning"
+        assert CODES["FSTC603"][0] == "error"
+        assert CODES["FSTC604"][0] == "warning"
+
+
+class TestExploreRate:
+    def test_clean_config_has_no_findings(self):
+        assert lint_autotune_config(config()) == []
+
+    @pytest.mark.parametrize("rate", [0.0, -0.5])
+    def test_non_positive_rate_is_an_error(self, rate):
+        findings = lint_autotune_config(config(explore_rate=rate))
+        assert codes(findings) == ["FSTC601"]
+        assert has_errors(findings)
+        assert "never explore" in findings[0].message
+
+    def test_excessive_rate_is_an_error(self):
+        findings = lint_autotune_config(config(explore_rate=0.75))
+        assert codes(findings) == ["FSTC601"]
+        assert "workload" in findings[0].message
+
+    def test_half_rate_is_the_boundary(self):
+        assert lint_autotune_config(config(explore_rate=0.5)) == []
+
+
+class TestPersistenceAndGates:
+    def test_unpersisted_state_warns(self):
+        findings = lint_autotune_config(config(state_path=None))
+        assert codes(findings) == ["FSTC602"]
+        assert not has_errors(findings)
+
+    def test_zero_margin_is_an_error(self):
+        findings = lint_autotune_config(config(promote_margin=0.0))
+        assert codes(findings) == ["FSTC603"]
+        assert has_errors(findings)
+
+    def test_low_trials_floor_warns(self):
+        findings = lint_autotune_config(config(min_trials=1))
+        assert codes(findings) == ["FSTC604"]
+        assert not has_errors(findings)
+
+    def test_everything_wrong_fires_everything(self):
+        findings = lint_autotune_config(config(
+            explore_rate=0.9, state_path=None,
+            promote_margin=-0.1, min_trials=0,
+        ))
+        assert codes(findings) == [
+            "FSTC601", "FSTC602", "FSTC603", "FSTC604",
+        ]
+
+
+class TestDuckTyping:
+    def test_disabled_tuner_lints_clean(self):
+        bad = config(autotune=False, explore_rate=5.0, state_path=None)
+        assert lint_autotune_config(bad) == []
+
+    def test_prefixed_spellings_are_read(self):
+        # ServiceConfig carries autotune_-prefixed knobs.
+        service_like = SimpleNamespace(
+            autotune=True, autotune_explore_rate=0.9,
+            autotune_state_path=None, autotune_promote_margin=0.05,
+            autotune_min_trials=3,
+        )
+        assert codes(lint_autotune_config(service_like)) == [
+            "FSTC601", "FSTC602",
+        ]
+
+    def test_real_tuner_config_lints_clean(self, tmp_path):
+        cfg = TunerConfig(state_path=str(tmp_path / "s.json"))
+        assert lint_autotune_config(cfg) == []
+
+    def test_location_is_threaded_through(self):
+        findings = lint_autotune_config(
+            config(state_path=None), location="service config"
+        )
+        assert findings[0].location == "service config"

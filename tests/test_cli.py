@@ -1,5 +1,7 @@
 """Unit tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -156,8 +158,6 @@ class TestServeCommand:
         assert "statuses:" in out
 
     def test_closed_loop_json_document(self, capsys):
-        import json
-
         rc = main([
             "serve", "--requests", "6", "--closed", "2", "--json",
         ])
@@ -180,3 +180,57 @@ class TestDnfHandling:
         rc = main(["run", "uber_123", "--machine", "server"])
         assert rc == 0
         assert "server-tr-3990x" in capsys.readouterr().out
+
+
+class TestAutotuneCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["autotune", "--self-check"])
+        assert args.self_check and not args.quick
+        assert args.state is None and args.seed == 0
+
+    def test_serve_autotune_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--demo", "--autotune", "--autotune-rate", "0.2",
+             "--autotune-state", "s.json"]
+        )
+        assert args.autotune and args.autotune_rate == 0.2
+        assert args.autotune_state == "s.json"
+
+    def test_self_check_quick_passes(self, capsys):
+        assert main(["autotune", "--self-check", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "autotune self-check" in out
+        assert "FAIL" not in out
+
+    def test_missing_state_is_usage_error(self, capsys):
+        assert main(["autotune"]) == 2
+
+    def test_reset_then_inspect_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "state.json")
+        assert main(["autotune", "--state", path, "--reset"]) == 0
+        assert main(["autotune", "--state", path]) == 0
+        out = capsys.readouterr().out
+        assert "champions: 0 promoted" in out
+        assert main(["autotune", "--state", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["champions"] == 0 and doc["samples"] == 0
+
+    def test_replay_on_empty_state(self, tmp_path, capsys):
+        path = str(tmp_path / "state.json")
+        main(["autotune", "--state", path, "--reset"])
+        capsys.readouterr()
+        assert main(["autotune", "--state", path, "--replay"]) == 0
+        assert "no promotion history" in capsys.readouterr().out
+
+    def test_unreadable_state_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["autotune", "--state", str(path)]) == 1
+
+    def test_serve_demo_with_autotune(self, tmp_path, capsys):
+        path = str(tmp_path / "autotune.json")
+        code = main(["serve", "--demo", "--quick",
+                     "--autotune", "--autotune-state", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autotune:" in out
