@@ -48,7 +48,47 @@ HARNESSES = [
     "bench_serve_slo",
     "bench_serve_shards",
     "bench_autotune",
+    "bench_streaming",
 ]
+
+
+def _environment() -> dict:
+    """Provenance block for the JSON manifest.
+
+    Records the git commit the numbers came from, the machine model the
+    harnesses priced against, and which optional kernel backends were
+    importable — the three things a regression tracker needs to decide
+    whether two manifests are comparable at all.
+    """
+    import subprocess
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 - tarball checkouts have no git
+        commit = None
+    try:
+        from repro.backends import available_backends
+
+        backends = sorted(available_backends())
+    except Exception:  # noqa: BLE001 - manifest stays writable regardless
+        backends = []
+    try:
+        from repro.machine.specs import DESKTOP
+
+        machine = DESKTOP.name
+    except Exception:  # noqa: BLE001
+        machine = None
+    return {
+        "git_commit": commit,
+        "machine_model": machine,
+        "python": sys.version.split()[0],
+        "backends": backends,
+    }
 
 
 def run_harness(name: str, out_dir: str) -> tuple[bool, float, str]:
@@ -117,6 +157,7 @@ def main(argv=None) -> int:
             "stamp": stamp,
             "started_at": started,
             "quick": args.quick,
+            "environment": _environment(),
             "harnesses": results,
             "succeeded": len(selected) - failures,
             "failed": failures,

@@ -774,6 +774,137 @@ def _autotune_self_check(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    if not args.demo:
+        print("repro stream currently only supports --demo", file=sys.stderr)
+        return 2
+    return _stream_demo(args)
+
+
+def _stream_demo(args) -> int:
+    """End-to-end streaming exercise (the CI gate).
+
+    Checks: a registered stream matches einsum; a small delta takes the
+    incremental path and its patched output is *bit-identical* (same
+    coordinates, same bytes of values) to a from-scratch contraction of
+    the mutated tensor under the same plan; a sweeping delta falls back
+    to full recompute; the stale-read guard fires between a bump and
+    its refresh; and the ``stream`` request kind round-trips through a
+    live :class:`~repro.serve.ContractionService`.
+    """
+    import time
+
+    import numpy as np
+
+    import repro
+    from repro.data.random_tensors import random_coo
+    from repro.errors import StaleReadError
+    from repro.machine.specs import DESKTOP
+    from repro.serve import ContractionService, Request, ServiceConfig
+    from repro.streaming import DeltaBatch, IncrementalEngine
+
+    failures: list[str] = []
+
+    def check(ok: bool, label: str) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures.append(label)
+
+    nnz = 1200 if args.quick else 6000
+    left = random_coo((2048, 48), nnz=nnz, seed=args.seed)
+    right = random_coo((48, 400), nnz=nnz // 2, seed=args.seed + 1)
+
+    print("stream demo:")
+    engine = IncrementalEngine(DESKTOP)
+    out0 = engine.register("demo", left, right, [(1, 0)])
+    expect0 = repro.einsum("ij,jk->ik", left, right)
+    check(out0.allclose(expect0), "registered stream matches einsum")
+
+    # A delta confined to one row block (insert, update and delete all
+    # land on nearby rows): one touched tile, so the density model
+    # prices the patch far below a full recompute.
+    victim = left.coords[:, int(np.argmin(left.coords[0]))]
+    delta = DeltaBatch.from_ops(
+        [("insert", (int(victim[0]), j % left.shape[1]), 1.0 + j)
+         for j in range(8)]
+        + [("delete", tuple(victim), 0.0)],
+        left.shape,
+    )
+    t0 = time.perf_counter()
+    stats = engine.apply_delta("demo", delta)
+    dt_inc = time.perf_counter() - t0
+    mutated = delta.apply(left)
+    check(
+        stats.mode == "incremental",
+        f"small delta takes the incremental path (modeled fraction "
+        f"{stats.modeled_fraction:.3f}, {stats.tiles_touched} of "
+        f"{stats.tiles_total} tiles)",
+    )
+    out1 = engine.result("demo")
+    fresh = IncrementalEngine(DESKTOP)
+    ref1 = fresh.register(
+        "ref", mutated, right, [(1, 0)], plan=engine._state("demo").plan
+    )
+    check(
+        np.array_equal(out1.coords, ref1.coords)
+        and np.array_equal(out1.values, ref1.values),
+        "patched output is bit-identical to a from-scratch contraction",
+    )
+
+    # A delta sweeping most row blocks must fall back to full recompute.
+    rows = np.linspace(0, left.shape[0] - 1, 400).astype(int)
+    wide = DeltaBatch.inserts(
+        np.stack([rows, np.full(rows.size, 3)]),
+        np.ones(rows.size), left.shape,
+    )
+    t0 = time.perf_counter()
+    stats_full = engine.apply_delta("demo", wide)
+    dt_full = time.perf_counter() - t0
+    check(
+        stats_full.mode == "full",
+        f"sweeping delta falls back to full recompute (modeled fraction "
+        f"{stats_full.modeled_fraction:.3f})",
+    )
+    check(
+        engine.result("demo").allclose(
+            repro.einsum("ij,jk->ik", wide.apply(mutated), right)
+        ),
+        "output stays correct across the incremental/full chain",
+    )
+    print(f"  (incremental delta {dt_inc * 1e3:.1f} ms, "
+          f"full recompute {dt_full * 1e3:.1f} ms)")
+
+    stale = False
+    engine.tracker.bump("demo.left")
+    try:
+        engine.result("demo")
+    except StaleReadError:
+        stale = True
+    check(stale, "stale-read guard fires between bump and refresh")
+    engine.invalidate("demo")
+
+    with ContractionService(config=ServiceConfig(n_workers=2)) as service:
+        resp = service.call(Request.stream(
+            "served", "register", left=left, right=right, pairs=[(1, 0)],
+        ))
+        resp_d = service.call(Request.stream("served", "delta", delta=delta))
+        ok = (
+            resp.status == "ok" and resp_d.status == "ok"
+            and resp_d.result is not None
+            and resp_d.result.allclose(
+                repro.einsum("ij,jk->ik", mutated, right)
+            )
+        )
+        check(ok, f"stream requests serve end-to-end (delta path "
+                  f"{resp_d.plan_source!r})")
+
+    if failures:
+        print(f"stream demo FAIL: {len(failures)} of 6 checks failed")
+        return 1
+    print("stream demo PASS")
+    return 0
+
+
 def _add_backend_flag(subparser) -> None:
     """Shared ``--backend`` flag (kernel backend selection)."""
     subparser.add_argument(
@@ -971,6 +1102,18 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--json", action="store_true",
                       help="machine-readable output")
 
+    stream = sub.add_parser(
+        "stream", help="exercise the streaming subsystem (delta "
+                       "ingestion, incremental re-contraction)"
+    )
+    stream.add_argument("--demo", action="store_true",
+                        help="canned register/delta/fallback sequence "
+                             "(exit 1 if any bit-identity, pricing or "
+                             "staleness check fails)")
+    stream.add_argument("--quick", action="store_true",
+                        help="shrink --demo to the CI smoke budget")
+    stream.add_argument("--seed", type=int, default=0)
+
     con = sub.add_parser("contract", help="contract two .tns files")
     con.add_argument("file_a")
     con.add_argument("file_b")
@@ -995,6 +1138,7 @@ def main(argv=None) -> int:
         "network": _cmd_network,
         "serve": _cmd_serve,
         "autotune": _cmd_autotune,
+        "stream": _cmd_stream,
     }[args.command]
     return handler(args)
 

@@ -17,6 +17,8 @@ which tallies exactly the quantities the paper's Section 3.4 analyzes:
   reuse (``repro.runtime``): a hit means Algorithm 7 was skipped.
 * ``table_reuse_hits`` / ``table_builds`` — tiled-table reuse across
   batched contractions sharing an operand vs. fresh constructions.
+* ``stream_incremental`` / ``stream_full`` — streaming deltas serviced
+  by tile patching vs. full recompute (``repro.streaming``).
 
 Counting is cheap (scalar adds on batch boundaries) and does not perturb
 the vectorized kernels.
@@ -62,6 +64,8 @@ class Counters:
     plan_cache_misses: int = 0
     table_reuse_hits: int = 0
     table_builds: int = 0
+    stream_incremental: int = 0
+    stream_full: int = 0
 
     def note_workspace(self, cells: int) -> None:
         """Record a workspace allocation; keeps the peak."""

@@ -20,6 +20,8 @@ __all__ = [
     "SchedulerError",
     "StaticCheckError",
     "BackendError",
+    "StreamError",
+    "StaleReadError",
 ]
 
 
@@ -82,4 +84,22 @@ class BackendError(ReproError, RuntimeError):
     requested backend fails feature detection (e.g. ``scipy`` without
     scipy installed); the message carries the detection reason so
     callers — and the test harness's skip messages — can surface it.
+    """
+
+
+class StreamError(ReproError, RuntimeError):
+    """The :mod:`repro.streaming` subsystem was misused.
+
+    Covers unknown stream names, deltas applied to tensors they were
+    not built for, and mutation-log misuse.
+    """
+
+
+class StaleReadError(StreamError):
+    """A cached artifact was read after a dependency moved past it.
+
+    The :class:`repro.streaming.DependencyTracker` raises this when a
+    consumer asserts freshness on an artifact whose underlying tensor
+    has been mutated since the artifact was (re)built — the dynamic
+    counterpart of the static ``FSTC701`` lint.
     """

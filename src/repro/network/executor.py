@@ -35,6 +35,7 @@ inputs compute once per batch.
 from __future__ import annotations
 
 import hashlib
+import re
 import threading
 import time
 from collections import OrderedDict
@@ -72,6 +73,36 @@ __all__ = [
 #: Refuse outer products that would materialize more candidate nonzeros
 #: than this (mirrors the kernel's task/workspace guards).
 OUTER_PRODUCT_LIMIT = 1 << 26
+
+#: The ``|n<nnz,...>|`` segment of a network signature key.
+_NET_NNZ_SEGMENT = re.compile(r"\|n([\d,]*)\|")
+
+
+def _mask_net_nnz(key: str) -> str:
+    """A network signature key with the nnz segment wildcarded.
+
+    Equal masks = same subscripts, shapes, machine, optimizer, and
+    pipeline at possibly different nonzero counts — the candidate
+    relation for drift-tolerant plan reuse.
+    """
+    return _NET_NNZ_SEGMENT.sub("|n*|", key, count=1)
+
+
+def _net_key_nnz(key: str) -> tuple[int, ...] | None:
+    """Parse the per-operand nnz tuple out of a network signature key."""
+    match = _NET_NNZ_SEGMENT.search(key)
+    if match is None or not match.group(1):
+        return None
+    return tuple(int(n) for n in match.group(1).split(","))
+
+
+def _net_relative_drift(a: tuple[int, ...], b: tuple[int, ...]) -> float:
+    """Max per-operand relative nnz change between two keys."""
+    if len(a) != len(b):
+        return float("inf")
+    return max(
+        (abs(x - y) / max(y, 1) for x, y in zip(a, b)), default=0.0
+    )
 
 
 def sum_out_modes(tensor: COOTensor, modes: Sequence[int]) -> COOTensor:
@@ -260,12 +291,15 @@ class NetworkExecutor:
         runtime: ContractionRuntime | None = None,
         plan_cache_size: int = 64,
         passes="default",
+        drift_rtol: float | None = 0.25,
         **runtime_kw,
     ):
         if plan_cache_size < 1:
             raise PlanError(
                 f"plan_cache_size must be >= 1, got {plan_cache_size}"
             )
+        if drift_rtol is not None and drift_rtol < 0:
+            raise PlanError(f"drift_rtol must be >= 0, got {drift_rtol}")
         self.machine = machine
         self.runtime = (
             runtime
@@ -274,12 +308,19 @@ class NetworkExecutor:
         )
         self.plan_cache_size = int(plan_cache_size)
         self.pipeline = resolve_pipeline(passes)
+        self.drift_rtol = drift_rtol
         self._plans: OrderedDict[str, NetworkPlan] = OrderedDict()
+        # Masked structure key -> most recently inserted exact key
+        # (drift-tolerant reuse; see ``plan``).
+        self._plan_structure: dict[str, str] = {}
         # Shared by the serve worker pool: LRU reorder/evict and the
         # hit/miss tallies must not interleave across threads.
         self._plans_lock = threading.Lock()
         self.plan_hits = 0
         self.plan_misses = 0
+        self.plan_drift_hits = 0
+        self.plan_drift_repriced = 0
+        self.plans_invalidated = 0
         self.cse_hits = 0
         self.cse_misses = 0
         self.batch_cse_hits = 0
@@ -331,6 +372,24 @@ class NetworkExecutor:
                 self._plans.move_to_end(key)
                 self.plan_hits += 1
                 return hit, "cache"
+            # Drift probe: the same network structure cached at nearby
+            # nonzero counts (a streamed operand gained a few entries)
+            # keeps its path; past the tolerance the modeled costs that
+            # chose the path are stale, so it is re-priced from scratch.
+            if self.drift_rtol is not None:
+                candidate = self._plan_structure.get(_mask_net_nnz(key))
+                if candidate is not None and candidate != key:
+                    cached = self._plans.get(candidate)
+                    want = _net_key_nnz(key)
+                    have = _net_key_nnz(candidate)
+                    if cached is not None and want is not None and have is not None:
+                        if _net_relative_drift(want, have) <= self.drift_rtol:
+                            rekeyed = replace(cached, signature_key=key)
+                            self._seed_locked(rekeyed)
+                            self.plan_drift_hits += 1
+                            self.plan_hits += 1
+                            return rekeyed, "cache"
+                        self.plan_drift_repriced += 1
         plan = build_plan(network, self.machine, concrete)
         if self.pipeline is not None:
             context = PassContext(dtypes=self._operand_dtypes(operands))
@@ -368,10 +427,45 @@ class NetworkExecutor:
     def seed_plan(self, plan: NetworkPlan) -> None:
         """Insert a pre-built plan into the network-level cache."""
         with self._plans_lock:
-            self._plans[plan.signature_key] = plan
-            self._plans.move_to_end(plan.signature_key)
-            while len(self._plans) > self.plan_cache_size:
-                self._plans.popitem(last=False)
+            self._seed_locked(plan)
+
+    def _seed_locked(self, plan: NetworkPlan) -> None:
+        """Insert under ``_plans_lock``; keeps the structure index in step."""
+        key = plan.signature_key
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        self._plan_structure[_mask_net_nnz(key)] = key
+        while len(self._plans) > self.plan_cache_size:
+            victim, _ = self._plans.popitem(last=False)
+            self._drop_structure_locked(victim)
+
+    def _drop_structure_locked(self, key: str) -> None:
+        """Remove ``key``'s structure mapping if it is still the latest."""
+        masked = _mask_net_nnz(key)
+        if self._plan_structure.get(masked) == key:
+            del self._plan_structure[masked]
+
+    def invalidate_plans(self, predicate=None) -> int:
+        """Drop cached network plans; returns how many were removed.
+
+        ``predicate`` takes a signature key and returns whether to drop
+        that entry; ``None`` clears the whole cache.  The streaming
+        layer calls this when a tensor's nonzero structure moves far
+        enough that even drift-tolerant reuse would mislead.
+        """
+        with self._plans_lock:
+            if predicate is None:
+                dropped = len(self._plans)
+                self._plans.clear()
+                self._plan_structure.clear()
+            else:
+                victims = [k for k in self._plans if predicate(k)]
+                for k in victims:
+                    del self._plans[k]
+                    self._drop_structure_locked(k)
+                dropped = len(victims)
+            self.plans_invalidated += dropped
+            return dropped
 
     # -- execution ------------------------------------------------------
 
@@ -692,6 +786,9 @@ class NetworkExecutor:
             "network_plan_hits": hits,
             "network_plan_misses": misses,
             "network_plan_hit_rate": hits / total if total else 0.0,
+            "network_plan_drift_hits": self.plan_drift_hits,
+            "network_plan_drift_repriced": self.plan_drift_repriced,
+            "network_plans_invalidated": self.plans_invalidated,
             "cse_hits": self.cse_hits,
             "cse_misses": self.cse_misses,
             "cse_hit_rate": self.cse_hits / cse_total if cse_total else 0.0,

@@ -148,6 +148,23 @@ class _OperandCache:
         with self._lock:
             return len(self._pins)
 
+    def invalidate(self, tensor: COOTensor) -> bool:
+        """Drop one tensor's cached state, pinned or not.
+
+        The streaming layer calls this when a delta replaces a tensor:
+        the old object's linearized forms and tiled tables describe a
+        snapshot that no longer exists, so keeping them (even pinned)
+        would serve stale reads.  Returns whether an entry was dropped.
+        """
+        key = id(tensor)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.tensor is not tensor:
+                return False
+            del self._entries[key]
+            self._pins.pop(key, None)
+            return True
+
     def clear(self) -> None:
         """Drop every entry, pinned or not (explicit maintenance)."""
         with self._lock:
@@ -536,6 +553,16 @@ class ContractionRuntime:
     def clear_operand_cache(self) -> None:
         """Drop cached linearizations and tables (plans are kept)."""
         self._operands.clear()
+
+    def invalidate_operand(self, tensor: COOTensor) -> bool:
+        """Drop one tensor's cached linearizations and tiled tables.
+
+        The streaming invalidation hook: after a delta replaces a
+        tensor object, its cached derived state must not be served
+        again (pins included — a pinned stale table is still stale).
+        Returns whether anything was dropped.
+        """
+        return self._operands.invalidate(tensor)
 
     def flush(self):
         """Persist the plan cache to its configured path, if any."""

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
+from typing import Callable
 
 from repro.core.plan import ContractionSpec, Plan
 from repro.runtime.signature import ProblemSignature
@@ -31,6 +33,36 @@ from repro.runtime.signature import ProblemSignature
 __all__ = ["CachedPlan", "PlanCache"]
 
 _FORMAT_VERSION = 1
+
+#: The ``|n<nnz_l>,<nnz_r>|`` segment of a signature key (the only
+#: value-ish part of the otherwise structural key).
+_NNZ_SEGMENT = re.compile(r"\|n(\d+),(\d+)\|")
+
+
+def _mask_nnz(key: str) -> str:
+    """The signature key with its nnz segment wildcarded.
+
+    Two keys with equal masks describe the same *structure* (shapes,
+    pairs, machine, pinned accumulator/tile) at possibly different
+    nonzero counts — the drift-reuse candidate relation.
+    """
+    return _NNZ_SEGMENT.sub("|n*|", key, count=1)
+
+
+def _key_nnz(key: str) -> tuple[int, int] | None:
+    """Parse ``(nnz_l, nnz_r)`` out of a signature key, if present."""
+    match = _NNZ_SEGMENT.search(key)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+def _relative_drift(a: tuple[int, int], b: tuple[int, int]) -> float:
+    """Max per-operand relative nnz change between two keys."""
+    return max(
+        abs(a[0] - b[0]) / max(b[0], 1),
+        abs(a[1] - b[1]) / max(b[1], 1),
+    )
 
 
 @dataclass(frozen=True)
@@ -92,18 +124,43 @@ class PlanCache:
         Optional JSON file.  When given, the cache warms itself from the
         file at construction (silently starting cold if the file is
         missing or corrupt) and :meth:`flush` writes back to it.
+    drift_rtol:
+        Nonzero-count drift tolerance for structural reuse.  A lookup
+        that misses exactly may still hit an entry for the *same
+        structure* at a different nnz (the persisted key embeds the
+        operand nnz at save time, so warm-started entries carry their
+        provenance).  Within the tolerance the entry is reused and
+        re-keyed under the live signature (``drift_hits``); beyond it
+        the lookup misses so the caller re-prices through Algorithm 7
+        instead of blindly replaying a decision made for a tensor that
+        has since drifted (``drift_repriced``).  ``None`` disables
+        structural reuse entirely (exact-key hits only).
     """
 
-    def __init__(self, maxsize: int = 128, path: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        maxsize: int = 128,
+        path: str | os.PathLike | None = None,
+        *,
+        drift_rtol: float | None = 0.25,
+    ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if drift_rtol is not None and drift_rtol < 0:
+            raise ValueError(f"drift_rtol must be >= 0, got {drift_rtol}")
         self.maxsize = int(maxsize)
         self.path = os.fspath(path) if path is not None else None
+        self.drift_rtol = drift_rtol
         self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        # Masked structure key -> most recently inserted exact key.
+        self._structure: dict[str, str] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.drift_hits = 0
+        self.drift_repriced = 0
+        self.invalidated = 0
         self.load_error: str | None = None
         if self.path is not None and os.path.exists(self.path):
             self._load(self.path)
@@ -123,28 +180,62 @@ class PlanCache:
         with self._lock:
             return list(self._entries)
 
+    def _insert_locked(self, key: str, cached: CachedPlan) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = cached
+        self._structure[_mask_nnz(key)] = key
+        while len(self._entries) > self.maxsize:
+            victim, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._drop_structure_locked(victim)
+
+    def _drop_structure_locked(self, key: str) -> None:
+        masked = _mask_nnz(key)
+        if self._structure.get(masked) == key:
+            del self._structure[masked]
+
+    def _rebuild_structure_locked(self) -> None:
+        self._structure = {}
+        for key in self._entries:
+            self._structure[_mask_nnz(key)] = key
+
     def get(self, signature: ProblemSignature) -> CachedPlan | None:
-        """Look up a cached decision; refreshes LRU recency on hit."""
+        """Look up a cached decision; refreshes LRU recency on hit.
+
+        An exact-key miss falls through to the structural drift probe
+        (see ``drift_rtol``): the same structure cached at a nearby nnz
+        is reused and re-keyed; one cached beyond the tolerance stays a
+        miss so the caller re-prices the plan for the drifted operands.
+        """
+        key = signature.key
         with self._lock:
-            entry = self._entries.get(signature.key)
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(signature.key)
-            self.hits += 1
-            return entry
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            if self.drift_rtol is not None:
+                candidate = self._structure.get(_mask_nnz(key))
+                if candidate is not None and candidate != key:
+                    cached = self._entries.get(candidate)
+                    want = _key_nnz(key)
+                    have = _key_nnz(candidate)
+                    if cached is not None and want is not None and have is not None:
+                        if _relative_drift(want, have) <= self.drift_rtol:
+                            self._insert_locked(key, cached)
+                            self.drift_hits += 1
+                            self.hits += 1
+                            return cached
+                        self.drift_repriced += 1
+            self.misses += 1
+            return None
 
     def put(self, signature: ProblemSignature, plan: Plan | CachedPlan) -> CachedPlan:
         """Insert (or refresh) a decision, evicting LRU entries at capacity."""
         cached = plan if isinstance(plan, CachedPlan) else CachedPlan.from_plan(plan)
-        key = signature.key
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = cached
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._insert_locked(signature.key, cached)
         return cached
 
     def peek_key(self, key: str) -> CachedPlan | None:
@@ -164,13 +255,39 @@ class PlanCache:
         """
         cached = plan if isinstance(plan, CachedPlan) else CachedPlan.from_plan(plan)
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = cached
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._insert_locked(key, cached)
         return cached
+
+    # -- invalidation ---------------------------------------------------
+
+    def invalidate(self, signature: ProblemSignature) -> bool:
+        """Drop one signature's entry; returns whether it existed."""
+        return self.invalidate_key(signature.key)
+
+    def invalidate_key(self, key: str) -> bool:
+        """Drop one entry by raw key (streaming invalidation hook)."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._drop_structure_locked(key)
+            self.invalidated += 1
+            return True
+
+    def invalidate_where(self, predicate: Callable[[str], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        The fan-out form: a stream that knows its operands' shapes can
+        drop every cached decision mentioning them without holding live
+        signatures.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            victims = [k for k in self._entries if predicate(k)]
+            for key in victims:
+                del self._entries[key]
+                self._drop_structure_locked(key)
+            self.invalidated += len(victims)
+            return len(victims)
 
     @property
     def hit_rate(self) -> float:
@@ -185,6 +302,9 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "drift_hits": self.drift_hits,
+                "drift_repriced": self.drift_repriced,
+                "invalidated": self.invalidated,
                 "hit_rate": self.hits / (self.hits + self.misses)
                 if self.hits + self.misses else 0.0,
             }
@@ -234,6 +354,7 @@ class PlanCache:
                     self._entries.setdefault(key, cached)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+            self._rebuild_structure_locked()
         return len(loaded)
 
     def _parse(self, path: str) -> "OrderedDict[str, CachedPlan] | None":
@@ -264,6 +385,7 @@ class PlanCache:
             self._entries = entries
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+            self._rebuild_structure_locked()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -35,11 +35,15 @@ from repro.serve.loadgen import (
 )
 from repro.serve.queueing import POLICIES, AdmissionQueue
 from repro.serve.request import (
+    NETWORK,
+    PAIRWISE,
     STATUS_DEGRADED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_SHED,
     STATUS_TIMEOUT,
+    STREAM,
+    STREAM_OPS,
     TERMINAL_STATUSES,
     Job,
     Request,
@@ -64,6 +68,8 @@ __all__ = [
     "Job",
     "LatencyHistogram",
     "LoadReport",
+    "NETWORK",
+    "PAIRWISE",
     "POLICIES",
     "Request",
     "Response",
@@ -77,6 +83,8 @@ __all__ = [
     "STATUS_OK",
     "STATUS_SHED",
     "STATUS_TIMEOUT",
+    "STREAM",
+    "STREAM_OPS",
     "TERMINAL_STATUSES",
     "Ticket",
     "affinity_groups",

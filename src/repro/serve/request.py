@@ -1,12 +1,20 @@
 """Request/response vocabulary of the contraction service.
 
-A :class:`Request` is one unit of client work: either a *pairwise*
+A :class:`Request` is one unit of client work: a *pairwise*
 contraction (two COO operands plus contracted mode pairs — the
-:class:`~repro.runtime.ContractionRuntime` shape) or a *network*
+:class:`~repro.runtime.ContractionRuntime` shape), a *network*
 contraction (einsum subscripts plus N operands — the
-:class:`~repro.network.NetworkExecutor` shape).  Requests optionally
+:class:`~repro.network.NetworkExecutor` shape), or a *stream*
+operation (register / delta / query / invalidate against a named
+evolving contraction owned by an
+:class:`~repro.streaming.IncrementalEngine`).  Requests optionally
 carry a relative **deadline** (seconds of budget from admission) and an
 integer **priority** (higher drains first).
+
+Stream requests key their affinity on the *stream name* rather than a
+structural signature: under the sharded front end every operation on
+one stream consistently hashes to the same shard, so exactly one
+process owns that stream's mutation log and incremental state.
 
 Submitting a request yields a :class:`Ticket` — a small future the
 service resolves exactly once with a :class:`Response`.  Every response
@@ -29,6 +37,8 @@ from repro.tensors.coo import COOTensor
 __all__ = [
     "PAIRWISE",
     "NETWORK",
+    "STREAM",
+    "STREAM_OPS",
     "STATUS_OK",
     "STATUS_DEGRADED",
     "STATUS_SHED",
@@ -44,6 +54,10 @@ __all__ = [
 #: Request kinds.
 PAIRWISE = "pairwise"
 NETWORK = "network"
+STREAM = "stream"
+
+#: Operations a stream request may carry.
+STREAM_OPS = ("register", "delta", "query", "invalidate")
 
 #: Terminal response statuses.
 STATUS_OK = "ok"
@@ -80,6 +94,12 @@ class Request:
     # network fields
     subscripts: str = ""
     operands: tuple[COOTensor, ...] = ()
+    # stream fields (the delta payload is a repro.streaming.DeltaBatch;
+    # typed loosely to keep this module import-light)
+    stream_name: str = ""
+    stream_op: str = ""
+    delta: object | None = None
+    side: str = "left"
 
     @classmethod
     def pairwise(
@@ -128,6 +148,63 @@ class Request:
             operands=tuple(operands),
         )
 
+    @classmethod
+    def stream(
+        cls,
+        stream_name: str,
+        op: str,
+        *,
+        left: COOTensor | None = None,
+        right: COOTensor | None = None,
+        pairs: Sequence[tuple[int, int]] = (),
+        delta=None,
+        side: str = "left",
+        name: str = "",
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> "Request":
+        """A streaming-tensor request against a named evolving stream.
+
+        ``op`` selects the operation:
+
+        * ``"register"`` — establish the stream: contract ``left`` and
+          ``right`` over ``pairs`` and retain the incremental state;
+        * ``"delta"`` — apply a :class:`~repro.streaming.DeltaBatch`
+          (``delta``) to the ``side`` operand and return the refreshed
+          output (patched incrementally when cheap enough);
+        * ``"query"`` — return the current output without mutating;
+        * ``"invalidate"`` — drop the stream's state and caches.
+        """
+        if op not in STREAM_OPS:
+            raise ConfigError(
+                f"stream op must be one of {STREAM_OPS}, got {op!r}"
+            )
+        if not stream_name:
+            raise ConfigError("a stream request needs a stream_name")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be > 0, got {deadline_s}")
+        if op == "register" and (left is None or right is None or not pairs):
+            raise ConfigError(
+                "stream register needs left, right and contracted pairs"
+            )
+        if op == "delta" and delta is None:
+            raise ConfigError("stream delta needs a DeltaBatch payload")
+        if side not in ("left", "right"):
+            raise ConfigError(f"side must be 'left' or 'right', got {side!r}")
+        return cls(
+            kind=STREAM,
+            name=name or stream_name,
+            priority=int(priority),
+            deadline_s=deadline_s,
+            left=left,
+            right=right,
+            pairs=tuple((int(a), int(b)) for a, b in pairs),
+            stream_name=stream_name,
+            stream_op=op,
+            delta=delta,
+            side=side,
+        )
+
     def affinity_key(self, machine: MachineSpec) -> str:
         """The structural signature key micro-batching groups by.
 
@@ -137,7 +214,14 @@ class Request:
         Two requests sharing a key replay the same cached plan, so
         running them back to back turns the whole group (minus the
         first) into warm-cache work.
+
+        Stream requests key on the *stream name* instead: all
+        operations on one stream share a key, so consistent hashing
+        pins the stream — its mutation log, incremental tables and
+        cached output — to exactly one shard.
         """
+        if self.kind == STREAM:
+            return f"stream:{self.stream_name}"
         if self.kind == PAIRWISE:
             from repro.runtime.signature import signature_for
 

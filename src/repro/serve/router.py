@@ -507,12 +507,12 @@ class ShardRouter:
                 wait["got"][shard_id] = payload
                 if set(wait["got"]) >= wait["want"]:
                     wait["event"].set()
-        elif kind == "flushed":
-            _, shard_id, token, path = message
+        elif kind in ("flushed", "invalidated"):
+            _, shard_id, token, payload = message
             with self._lock:
                 wait = self._metric_waits.get(token)
             if wait is not None:
-                wait["got"][shard_id] = path
+                wait["got"][shard_id] = payload
                 if set(wait["got"]) >= wait["want"]:
                     wait["event"].set()
         elif kind == "stopped":
@@ -541,8 +541,9 @@ class ShardRouter:
 
     # -- shard fan-out helpers ------------------------------------------
 
-    def _broadcast(self, kind: str, *, timeout: float = 10.0) -> dict:
-        """Send ``(kind, token)`` to every live shard; gather replies."""
+    def _broadcast(self, kind: str, *extra, timeout: float = 10.0) -> dict:
+        """Send ``(kind, token, *extra)`` to every live shard; gather
+        replies keyed by shard id."""
         with self._lock:
             live = [s for s in self._shards.values() if s.alive]
             self._token += 1
@@ -555,7 +556,7 @@ class ShardRouter:
             self._metric_waits[token] = wait
             for shard in live:
                 try:
-                    shard.inbox.put((kind, token))
+                    shard.inbox.put((kind, token) + extra)
                 except (OSError, ValueError):
                     wait["want"].discard(shard.shard_id)
         if not wait["want"]:
@@ -571,6 +572,19 @@ class ShardRouter:
         With autotuning enabled the broadcast also flushes each shard's
         learned autotune state to its per-shard file."""
         return self._broadcast("flush", timeout=timeout)
+
+    def invalidate_stream(self, name: str, *, timeout: float = 10.0) -> dict:
+        """Drop one stream's cached state on *every* live shard.
+
+        Stream requests have shard affinity (one shard owns a stream's
+        mutation log), but ownership can move — a death/respawn or a
+        ring rebalance reroutes the stream while the old shard still
+        holds its incremental state.  Broadcasting the invalidation
+        reaches any such orphan, so no shard keeps serving a stale
+        cached output for a stream it no longer owns.  Returns
+        ``{shard_id: artifacts_released}``.
+        """
+        return self._broadcast("invalidate", name, timeout=timeout)
 
     def merged_autotune_state(self, save_to: str | None = None):
         """Fold every shard's persisted autotune state into one.

@@ -60,6 +60,7 @@ from repro.serve.queueing import BLOCK, POLICIES, AdmissionQueue
 from repro.serve.request import (
     NETWORK,
     PAIRWISE,
+    STREAM,
     STATUS_DEGRADED,
     STATUS_FAILED,
     STATUS_OK,
@@ -130,6 +131,11 @@ class ServiceConfig:
     autotune_promote_margin: float = 0.10
     autotune_state_path: str | None = None
     autotune_max_queue_depth: int = 4
+    # Streaming (``stream`` request kind): fraction of the modeled full
+    # recompute below which a delta is serviced by tile patching, and
+    # the per-stream mutation-log bound.  Linted as FSTC703/FSTC704.
+    stream_staleness_threshold: float = 0.35
+    stream_log_maxlen: int = 256
 
     def __post_init__(self):
         if self.policy not in POLICIES:
@@ -180,12 +186,16 @@ class ContractionService:
             has_errors,
             lint_autotune_config,
             lint_service_config,
+            lint_stream_config,
         )
 
         self.machine = machine
         self.config = config if config is not None else ServiceConfig()
         self.config_diagnostics = lint_service_config(self.config, machine)
         self.config_diagnostics += lint_autotune_config(
+            self.config, location="service config"
+        )
+        self.config_diagnostics += lint_stream_config(
             self.config, location="service config"
         )
         if has_errors(self.config_diagnostics):
@@ -214,6 +224,12 @@ class ContractionService:
                 promote_margin=self.config.autotune_promote_margin,
                 state_path=self.config.autotune_state_path,
             )).attach(self.runtime)
+        # Streaming engine, created on first stream request.  One lock
+        # serializes all stream operations: deltas against one stream
+        # are order-sensitive, and the engine's state is shared across
+        # the worker pool.
+        self._stream_engine = None
+        self._stream_lock = threading.Lock()
         self.queue = AdmissionQueue(
             self.config.queue_capacity, self.config.policy
         )
@@ -339,6 +355,21 @@ class ContractionService:
         """Submit and block for the terminal response."""
         return self.submit(request).result(timeout)
 
+    def invalidate_stream(self, name: str) -> int:
+        """Drop one stream's cached state (idempotent, queue-bypassing).
+
+        The sharded router fans this out to *every* shard: streams have
+        shard affinity, but after a death/respawn or a ring rebalance a
+        stream's state may survive on a shard that no longer owns it —
+        broadcasting makes the invalidation reach any such orphan.
+        Returns the number of tracked artifacts released (0 when this
+        service holds no state for the stream).
+        """
+        with self._stream_lock:
+            if self._stream_engine is None:
+                return 0
+            return self._stream_engine.invalidate(name)
+
     # -- metrics --------------------------------------------------------
 
     def metrics_json(self) -> dict:
@@ -350,6 +381,9 @@ class ContractionService:
         payload["machine"] = self.machine.name
         if self.tuner is not None:
             payload["autotune"] = self.tuner.metrics()
+        with self._stream_lock:
+            if self._stream_engine is not None:
+                payload["streaming"] = self._stream_engine.metrics()
         return payload
 
     # -- internals ------------------------------------------------------
@@ -444,6 +478,9 @@ class ContractionService:
                     )
                     plan_source = report.plan_source
                     accumulator, tile = "", 0
+                elif request.kind == STREAM:
+                    result, plan_source, rung = self._run_stream(request)
+                    accumulator, tile = "", 0
                 else:
                     raise ConfigError(
                         f"unknown request kind {request.kind!r}"
@@ -497,6 +534,53 @@ class ContractionService:
             name=request.name, return_record=True, **kwargs,
         )
         return out, record, rung
+
+    def _run_stream(self, request: Request):
+        """Execute one stream operation against the shared engine.
+
+        Stream requests never enter the degradation ladder: a delta is
+        already the cheap path when the staleness model allows it, and
+        skipping a mutation (unlike skipping planning work) would
+        change every later answer.  Returns ``(result, plan_source,
+        rung)`` — ``plan_source`` reports ``incremental``/``full``/
+        ``noop`` for deltas so callers can see which path serviced the
+        mutation.
+        """
+        with self._stream_lock:
+            engine = self._stream_engine
+            if engine is None:
+                from repro.streaming import IncrementalEngine
+
+                engine = IncrementalEngine(
+                    self.machine,
+                    staleness_threshold=(
+                        self.config.stream_staleness_threshold
+                    ),
+                    log_maxlen=self.config.stream_log_maxlen,
+                    runtime=self.runtime,
+                    backend=(
+                        None if self.config.backend == "auto"
+                        else self.config.backend
+                    ),
+                )
+                self._stream_engine = engine
+            op = request.stream_op
+            if op == "register":
+                out = engine.register(
+                    request.stream_name, request.left, request.right,
+                    request.pairs,
+                )
+                return out, "register", None
+            if op == "delta":
+                stats = engine.apply_delta(
+                    request.stream_name, request.delta, side=request.side,
+                )
+                return engine.result(request.stream_name), stats.mode, None
+            if op == "query":
+                return engine.result(request.stream_name), "query", None
+            # op == "invalidate" (Request.stream validated the op)
+            dropped = engine.invalidate(request.stream_name)
+            return None, f"invalidated:{dropped}", None
 
     def _run_network(
         self,

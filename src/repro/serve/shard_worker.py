@@ -12,6 +12,8 @@ inbound (router → shard)
     ``("req", uid, Request)`` — admit and execute one request;
     ``("metrics", token)`` — reply with the shard's metrics document;
     ``("flush", token)`` — persist the plan cache (warm-start file);
+    ``("invalidate", token, name)`` — drop cached streaming state for
+    the named stream (the router fans this out to every shard);
     ``("stop",)`` — drain admitted work, flush, and exit.
 
 outbound (shard → router, shared by all shards)
@@ -20,6 +22,8 @@ outbound (shard → router, shared by all shards)
     ``("resp", shard_id, uid, Response)`` — one terminal response;
     ``("metrics", shard_id, token, payload)`` — metrics reply;
     ``("flushed", shard_id, token, path)`` — flush reply;
+    ``("invalidated", shard_id, token, released)`` — invalidation
+    reply (how many tracked artifacts this shard released);
     ``("stopped", shard_id, payload)`` — final metrics, sent last.
 
 Plan-cache **warm-start** rides on the existing JSON persistence: when
@@ -132,6 +136,11 @@ def shard_main(spec: ShardSpec, inbox, outbox) -> None:
                     service.tuner.flush()
                 outbox.put((
                     "flushed", spec.shard_id, message[1], runtime.flush(),
+                ))
+            elif kind == "invalidate":
+                outbox.put((
+                    "invalidated", spec.shard_id, message[1],
+                    service.invalidate_stream(message[2]),
                 ))
             elif kind == "stop":
                 break

@@ -273,6 +273,7 @@ _DERIVED_KEYS = frozenset({
     "network_plan_hit_rate",
     "pairwise_plan_hit_rate", "pairwise_table_reuse_rate",
     "pairwise_estimated_speedup",
+    "mean_modeled_fraction",
 })
 
 
@@ -392,6 +393,18 @@ def _merge_two_metrics(a: dict, b: dict) -> dict:
             out[key] = merge_snapshots(va, vb)
         elif key in ("queue", "runtime", "network", "autotune"):
             out[key] = _merge_numeric_section(va, vb)
+        elif key == "streaming":
+            merged = _merge_numeric_section(
+                {k: v for k, v in va.items() if k not in ("streams", "tracker")},
+                {k: v for k, v in vb.items() if k not in ("streams", "tracker")},
+            )
+            merged["streams"] = sorted(
+                {*va.get("streams", []), *vb.get("streams", [])}
+            )
+            merged["tracker"] = _merge_numeric_section(
+                va.get("tracker", {}), vb.get("tracker", {})
+            )
+            out[key] = merged
         elif isinstance(va, bool) or isinstance(vb, bool):
             out[key] = va and vb
         elif isinstance(va, (int, float)) and isinstance(vb, (int, float)):

@@ -60,6 +60,10 @@ from repro.staticcheck.service_lint import (
     lint_service_config,
 )
 from repro.staticcheck.shard_lint import lint_ring_balance, lint_shard_config
+from repro.staticcheck.stream_lint import (
+    lint_dependency_tracker,
+    lint_stream_config,
+)
 
 __all__ = [
     "CODES",
@@ -78,6 +82,7 @@ __all__ = [
     "has_errors",
     "hazards_for_stats",
     "lint_autotune_config",
+    "lint_dependency_tracker",
     "lint_expression",
     "lint_file",
     "lint_plan_annotations",
@@ -87,6 +92,7 @@ __all__ = [
     "lint_service_config",
     "lint_shard_config",
     "lint_source",
+    "lint_stream_config",
     "lint_tree",
     "make_diagnostic",
     "max_exit_status",

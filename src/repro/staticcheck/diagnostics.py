@@ -28,6 +28,9 @@ Code ranges
 ``FSTC6xx``
     Autotune configuration lints: online-exploration knobs that would
     burn serving latency or lose learned state.
+``FSTC7xx``
+    Streaming lints: dependency-tracker soundness (stale reads,
+    unreachable invalidation) and mutation-log/staleness configuration.
 """
 
 from __future__ import annotations
@@ -139,6 +142,11 @@ CODES: dict[str, tuple[Severity, str]] = {
     "FSTC602": (WARNING, "learned autotune state is not persisted"),
     "FSTC603": (ERROR, "champion promotion without a positive margin"),
     "FSTC604": (WARNING, "autotune trials floor below two samples"),
+    # --- streaming lints ---------------------------------------------------
+    "FSTC701": (ERROR, "stale cached artifact is still registered for reads"),
+    "FSTC702": (ERROR, "artifact tracked with no dependencies (invalidation cannot reach it)"),
+    "FSTC703": (WARNING, "staleness threshold misprices incremental patching"),
+    "FSTC704": (WARNING, "mutation log is unbounded or effectively unbounded"),
     # --- optimizer-pass soundness -----------------------------------------
     "FSTC501": (ERROR, "unsound plan rewrite (structure or interface changed)"),
     "FSTC502": (ERROR, "stale available-expression reuse (CSE target mismatch)"),

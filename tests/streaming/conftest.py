@@ -1,0 +1,24 @@
+"""Fixtures for the streaming subsystem tests.
+
+The differential fuzzer parameterizes over every *registered* kernel
+backend (mirroring ``tests/backends/conftest.py``): backends that fail
+feature detection on this host skip with the detection reason instead of
+silently shrinking the matrix.
+"""
+
+import pytest
+
+from repro.backends import backend_status, get_backend, known_backends
+
+
+@pytest.fixture(params=known_backends())
+def backend_name(request):
+    available, reason = backend_status()[request.param]
+    if not available:
+        pytest.skip(f"backend {request.param!r} unavailable: {reason}")
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_name):
+    return get_backend(backend_name)

@@ -1,0 +1,228 @@
+"""IncrementalEngine: patching, pricing, fallback, and invalidation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.random_tensors import random_coo
+from repro.errors import ConfigError, StaleReadError, StreamError
+from repro.machine.specs import DESKTOP
+from repro.runtime.executor import ContractionRuntime
+from repro.streaming import DeltaBatch, IncrementalEngine
+
+PAIRS = [(1, 0)]
+LEFT_SHAPE = (256, 16)
+RIGHT_SHAPE = (16, 32)
+
+
+def make_engine(**kw):
+    return IncrementalEngine(DESKTOP, **kw)
+
+
+def register(engine, name="s", *, nnz_l=600, nnz_r=200, tile_size=64, **kw):
+    left = random_coo(LEFT_SHAPE, nnz=nnz_l, seed=10)
+    right = random_coo(RIGHT_SHAPE, nnz=nnz_r, seed=11)
+    out = engine.register(name, left, right, PAIRS, tile_size=tile_size, **kw)
+    return left, right, out
+
+
+def one_tile_delta(left, n=4, seed=0):
+    """A batch confined to the row block of left's smallest row index."""
+    rng = np.random.default_rng(seed)
+    victim = left.coords[:, int(np.argmin(left.coords[0]))]
+    row = int(victim[0]) - int(victim[0]) % 64  # tile-aligned base
+    ops = [
+        ("insert", (row + int(rng.integers(0, 64)),
+                    int(rng.integers(0, LEFT_SHAPE[1]))), float(i + 1))
+        for i in range(n)
+    ]
+    return DeltaBatch.from_ops(ops, LEFT_SHAPE)
+
+
+class TestRegister:
+    def test_initial_output_matches_einsum(self):
+        engine = make_engine()
+        left, right, out = register(engine)
+        expected = repro.einsum("ij,jk->ik", left, right).to_dense()
+        np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-12)
+
+    def test_double_register_refused(self):
+        engine = make_engine()
+        register(engine)
+        with pytest.raises(StreamError):
+            register(engine)
+
+    def test_unknown_stream_rejected(self):
+        engine = make_engine()
+        with pytest.raises(StreamError):
+            engine.result("ghost")
+
+    def test_artifacts_registered_per_stream(self):
+        engine = make_engine()
+        register(engine)
+        kinds = sorted(a.kind for a in engine.tracker.artifacts())
+        assert kinds == [
+            "linearized", "linearized", "output", "tiled_table", "tiled_table",
+        ]
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            make_engine(staleness_threshold=0.0)
+        with pytest.raises(ConfigError):
+            make_engine(staleness_threshold=1.5)
+        with pytest.raises(ConfigError):
+            make_engine(log_maxlen=0)
+
+
+class TestApplyDelta:
+    def test_incremental_matches_fresh_register(self):
+        engine = make_engine()
+        left, right, _ = register(engine)
+        delta = one_tile_delta(left)
+        stats = engine.apply_delta("s", delta, force="incremental")
+        assert stats.mode == "incremental"
+
+        reference = make_engine()
+        ref_out = reference.register(
+            "ref", delta.apply(left), right, PAIRS,
+            plan=engine._state("s").plan,
+        )
+        out = engine.result("s")
+        assert np.array_equal(out.coords, ref_out.coords)
+        assert np.array_equal(out.values, ref_out.values)
+
+    def test_small_delta_prices_incremental(self):
+        engine = make_engine()
+        left, _, _ = register(engine)
+        stats = engine.apply_delta("s", one_tile_delta(left))
+        assert stats.mode == "incremental"
+        assert stats.tiles_touched == 1
+        assert 0.0 < stats.modeled_fraction <= engine.staleness_threshold
+
+    def test_sweeping_delta_falls_back_to_full(self):
+        engine = make_engine()
+        left, right, _ = register(engine)
+        rng = np.random.default_rng(2)
+        ops = [
+            ("insert", (int(r), int(c)), 1.0)
+            for r, c in zip(rng.integers(0, LEFT_SHAPE[0], 200),
+                            rng.integers(0, LEFT_SHAPE[1], 200))
+        ]
+        delta = DeltaBatch.from_ops(ops, LEFT_SHAPE)
+        stats = engine.apply_delta("s", delta)
+        assert stats.mode == "full"
+        expected = repro.einsum("ij,jk->ik", delta.apply(left), right).to_dense()
+        np.testing.assert_allclose(engine.result("s").to_dense(), expected,
+                                   rtol=1e-12)
+
+    def test_right_side_delta(self):
+        engine = make_engine()
+        left, right, _ = register(engine)
+        delta = DeltaBatch.from_ops(
+            [("insert", (0, 0), 2.0), ("update", (3, 1), -1.0)], RIGHT_SHAPE
+        )
+        stats = engine.apply_delta("s", delta, side="right")
+        assert stats.side == "right"
+        expected = repro.einsum("ij,jk->ik", left, delta.apply(right)).to_dense()
+        np.testing.assert_allclose(engine.result("s").to_dense(), expected,
+                                   rtol=1e-12)
+
+    def test_incremental_right_side_bit_identical(self):
+        engine = make_engine()
+        left, right, _ = register(engine)
+        delta = DeltaBatch.from_ops([("insert", (5, 7), 1.25)], RIGHT_SHAPE)
+        engine.apply_delta("s", delta, side="right", force="incremental")
+        reference = make_engine()
+        ref_out = reference.register(
+            "ref", left, delta.apply(right), PAIRS,
+            plan=engine._state("s").plan,
+        )
+        out = engine.result("s")
+        assert np.array_equal(out.coords, ref_out.coords)
+        assert np.array_equal(out.values, ref_out.values)
+
+    def test_delta_chain_stays_correct(self):
+        engine = make_engine()
+        left, right, _ = register(engine)
+        current = left
+        for seed in range(5):
+            delta = one_tile_delta(current, seed=seed)
+            engine.apply_delta("s", delta)
+            current = delta.apply(current)
+        expected = repro.einsum("ij,jk->ik", current, right).to_dense()
+        np.testing.assert_allclose(engine.result("s").to_dense(), expected,
+                                   rtol=1e-12)
+
+    def test_noop_delta(self):
+        engine = make_engine()
+        register(engine)
+        stats = engine.apply_delta("s", DeltaBatch.empty(LEFT_SHAPE))
+        assert stats.mode == "noop"
+        assert stats.tiles_touched == 0
+
+    def test_force_and_side_validated(self):
+        engine = make_engine()
+        left, _, _ = register(engine)
+        with pytest.raises(ConfigError):
+            engine.apply_delta("s", one_tile_delta(left), side="middle")
+        with pytest.raises(ConfigError):
+            engine.apply_delta("s", one_tile_delta(left), force="maybe")
+
+    def test_mutation_log_records_sequence(self):
+        engine = make_engine()
+        left, _, _ = register(engine)
+        s0 = engine.apply_delta("s", one_tile_delta(left, seed=0))
+        s1 = engine.apply_delta("s", one_tile_delta(left, seed=1))
+        assert (s0.seq, s1.seq) == (0, 1)
+        assert engine.log("s", "left").next_seq == 2
+        assert engine.log("s", "right").next_seq == 0
+
+
+class TestInvalidation:
+    def test_stale_read_guard_between_bump_and_refresh(self):
+        engine = make_engine()
+        register(engine)
+        engine.tracker.bump("s.left")
+        with pytest.raises(StaleReadError):
+            engine.result("s")
+
+    def test_apply_delta_refreshes_artifacts(self):
+        engine = make_engine()
+        left, _, _ = register(engine)
+        engine.apply_delta("s", one_tile_delta(left))
+        assert engine.tracker.stale_ids() == []
+        engine.result("s")  # guarded read passes
+
+    def test_invalidate_releases_artifacts(self):
+        engine = make_engine()
+        register(engine)
+        assert engine.invalidate("s") == 5
+        assert engine.invalidate("s") == 0  # idempotent
+        with pytest.raises(StreamError):
+            engine.result("s")
+
+    def test_runtime_operand_caches_invalidated(self):
+        runtime = ContractionRuntime(machine=DESKTOP)
+        engine = make_engine(runtime=runtime)
+        left, right, _ = register(engine)
+        # Warm the runtime's operand caches for the *registered* operand
+        # object, then check the delta's hook actually dropped it.
+        registered = engine._state("s").left
+        runtime.contract(registered, right, PAIRS)
+        assert runtime.invalidate_operand(registered) is True
+        runtime.contract(registered, right, PAIRS)  # re-warm
+        engine.apply_delta("s", one_tile_delta(left))
+        assert runtime.invalidate_operand(registered) is False  # dropped
+
+
+class TestMetrics:
+    def test_metrics_shape(self):
+        engine = make_engine()
+        left, _, _ = register(engine)
+        engine.apply_delta("s", one_tile_delta(left))
+        m = engine.metrics()
+        assert m["streams"] == ["s"]
+        assert m["deltas_applied"] == 1
+        assert m["incremental"] + m["full"] == 1
+        assert m["tracker"]["artifacts"] == 5
+        assert 0.0 <= m["mean_modeled_fraction"] <= 1.0

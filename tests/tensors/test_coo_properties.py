@@ -1,0 +1,135 @@
+"""Property-based tests for COO canonicalization (Hypothesis).
+
+``sum_duplicates`` is the keystone the streaming subsystem leans on:
+delta application, output patching, and the bit-identity guarantee all
+assume it produces a *canonical* form — sorted row-major, unique
+coordinates, values summed in stable input order.  These properties pin
+that contract over arbitrary shapes, coordinate multisets, and values,
+instead of the handful of examples in ``test_coo.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming import DeltaBatch
+from repro.tensors.coo import COOTensor
+
+
+@st.composite
+def coo_tensors(draw, max_ndim=3, max_extent=6, max_nnz=40):
+    """Arbitrary (possibly duplicate-ridden, unsorted) COO tensors."""
+    ndim = draw(st.integers(1, max_ndim))
+    shape = tuple(
+        draw(st.integers(1, max_extent)) for _ in range(ndim)
+    )
+    nnz = draw(st.integers(0, max_nnz))
+    coords = np.empty((ndim, nnz), dtype=np.int64)
+    for k in range(ndim):
+        col = draw(
+            st.lists(st.integers(0, shape[k] - 1),
+                     min_size=nnz, max_size=nnz)
+        )
+        coords[k] = col
+    values = np.array(
+        draw(st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz,
+        ))
+    )
+    return COOTensor(coords, values, shape)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_tensors())
+def test_sum_duplicates_is_canonical(tensor):
+    out = tensor.sum_duplicates()
+    lin = out.linearized()
+    # Sorted row-major with unique coordinates.
+    assert np.all(np.diff(lin) > 0)
+    assert out.shape == tensor.shape
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_tensors())
+def test_sum_duplicates_preserves_dense_semantics(tensor):
+    np.testing.assert_allclose(
+        tensor.sum_duplicates().to_dense(), tensor.to_dense(),
+        rtol=1e-12, atol=1e-12,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_tensors())
+def test_sum_duplicates_is_idempotent(tensor):
+    once = tensor.sum_duplicates()
+    twice = once.sum_duplicates()
+    assert np.array_equal(once.coords, twice.coords)
+    assert np.array_equal(once.values, twice.values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_tensors())
+def test_sum_duplicates_is_permutation_invariant(tensor):
+    """Any entry order canonicalizes to the same bytes."""
+    if tensor.nnz < 2:
+        return
+    rng = np.random.default_rng(int(tensor.nnz))
+    perm = rng.permutation(tensor.nnz)
+    shuffled = COOTensor(
+        tensor.coords[:, perm], tensor.values[perm], tensor.shape
+    )
+    a = tensor.sum_duplicates()
+    b = shuffled.sum_duplicates()
+    assert np.array_equal(a.coords, b.coords)
+    np.testing.assert_allclose(a.values, b.values, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_tensors())
+def test_duplicate_merge_sums_values(tensor):
+    """nnz after merging equals the number of distinct coordinates."""
+    out = tensor.sum_duplicates()
+    distinct = np.unique(tensor.linearized()).shape[0]
+    assert out.nnz == distinct
+
+
+@st.composite
+def delta_ops(draw, shape, max_ops=25):
+    n = draw(st.integers(0, max_ops))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["insert", "update", "delete"]))
+        coord = tuple(
+            draw(st.integers(0, s - 1)) for s in shape
+        )
+        value = draw(
+            st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+        )
+        ops.append((kind, coord, value))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_delta_canonicalization_preserves_effect(data):
+    """canonicalize() never changes what a batch does to a tensor."""
+    tensor = data.draw(coo_tensors(max_ndim=2))
+    ops = data.draw(delta_ops(tensor.shape))
+    batch = DeltaBatch.from_ops(ops, tensor.shape)
+    direct = batch.apply(tensor)
+    canon = batch.canonicalize().apply(tensor)
+    assert np.array_equal(direct.coords, canon.coords)
+    np.testing.assert_allclose(
+        direct.values, canon.values, rtol=1e-12, atol=1e-12
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_delta_apply_result_is_canonical(data):
+    tensor = data.draw(coo_tensors(max_ndim=2))
+    ops = data.draw(delta_ops(tensor.shape))
+    out = DeltaBatch.from_ops(ops, tensor.shape).apply(tensor)
+    lin = out.linearized()
+    assert np.all(np.diff(lin) > 0)
